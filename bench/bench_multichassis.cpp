@@ -1,0 +1,70 @@
+// Reproduces Sec 6.4: projected performance of the hierarchical GEMM on one
+// chassis (12.4 GFLOPS) and a 12-chassis XD1 installation (148.3 GFLOPS),
+// with the bandwidth-requirement checks the paper performs, plus a
+// cycle-model scaling sweep over the number of FPGAs.
+#include "bench_util.hpp"
+#include "blas3/mm_hier.hpp"
+#include "model/perf_model.hpp"
+#include "model/projections.hpp"
+
+using namespace xd;
+
+int main() {
+  bench::heading("Sec 6.4: chassis and multi-chassis projections (k=8, b=2048)");
+  TextTable t({"Chassis", "FPGAs (l)", "GFLOPS", "Req. SRAM/FPGA", "Req. DRAM",
+               "Req. inter-chassis", "Met by XD1"});
+  for (unsigned chassis : {1u, 2u, 4u, 8u, 12u}) {
+    const auto s = model::project_system(chassis, 8, 2048, 130.0, 2.06);
+    t.row(chassis, s.total_fpgas, TextTable::num(s.gflops, 1),
+          bench::gbs(s.sram_bytes_per_s), bench::gbs(s.dram_bytes_per_s),
+          bench::gbs(s.interchassis_bytes_per_s),
+          s.bandwidth_met ? "yes" : "NO");
+  }
+  bench::print_table(t);
+  bench::note("Paper: 1 chassis = 2.06 x 6 = 12.4 GFLOPS (73.1 MB/s links); "
+              "12 chassis = 148.3 GFLOPS, 877.5 MB/s DRAM/inter-chassis, all "
+              "requirements met.\n");
+
+  bench::heading("Cycle-model scaling: effective latency vs l (n = 16384)");
+  TextTable s({"l (FPGAs)", "Compute cycles", "Speedup vs l=1",
+               "Latency (s at 130 MHz)", "Stalls (I/O bound?)"});
+  const std::size_t n = 16384;
+  double base = 0.0;
+  for (unsigned l : {1u, 2u, 4u, 8u, 16u, 32u, 72u}) {
+    blas3::MmHierConfig cfg;
+    cfg.l = l;
+    cfg.b = 2048;
+    cfg.dram_words_per_cycle = 3.2 * kGB / (kWordBytes * cfg.clock_mhz * 1e6);
+    cfg.link_words_per_cycle = 2.0 * kGB / (kWordBytes * cfg.clock_mhz * 1e6);
+    blas3::MmHierEngine engine(cfg);
+    const auto out = engine.project(n);
+    if (l == 1) base = static_cast<double>(out.report.cycles);
+    s.row(l, out.report.cycles,
+          TextTable::num(base / static_cast<double>(out.report.cycles), 2),
+          TextTable::num(out.report.seconds(), 2),
+          out.report.stall_cycles > 0 ? "I/O-limited" : "compute-bound");
+  }
+  bench::print_table(s);
+  bench::note("Shape check: latency scales ~1/l through l = 72 because the "
+              "3 k l / b words/cycle requirement stays far below the XD1 "
+              "link budgets.");
+
+  bench::heading("Why the hierarchy: naive long array vs Sec 5.2 design");
+  TextTable w({"Design", "PEs", "Latency (n=8192)", "DRAM need (words/cyc)",
+               "at 130 MHz", "fits 3.2 GB/s?"});
+  for (unsigned l : {6u, 72u}) {
+    for (const auto& pt : {model::gemm_naive_multi(8192, 8, l, 8),
+                           model::gemm_hier_multi(8192, 8, l, 8, 2048)}) {
+      const double bps = pt.words_per_cycle * kWordBytes * 130e6;
+      w.row(pt.name, TextTable::num(pt.pes, 0),
+            TextTable::num(pt.latency_cycles, 0),
+            TextTable::num(pt.words_per_cycle, 3), bench::gbs(bps),
+            bps <= 3.2e9 ? "yes" : "NO");
+    }
+  }
+  bench::print_table(w);
+  bench::note("The naive mapping leaves the SRAM level unused: its DRAM "
+              "requirement grows as 3kl/m and breaks the XD1 budget at "
+              "chassis scale - the Sec 5.2 hierarchy cuts it by b/m = 256x.");
+  return 0;
+}

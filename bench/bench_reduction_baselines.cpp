@@ -1,0 +1,100 @@
+// Ablation: the proposed reduction circuit against the baseline designs the
+// paper's Sec 2.3 surveys — adders used, buffer words, total cycles and
+// stalls on identical input streams. This is the design-space table that
+// motivates the paper's circuit: one adder AND full throughput AND bounded
+// buffers.
+#include <memory>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "fp/softfloat.hpp"
+#include "reduce/baselines.hpp"
+#include "reduce/reduction_circuit.hpp"
+
+using namespace xd;
+
+namespace {
+
+struct Row {
+  std::string name;
+  unsigned adders;
+  std::size_t buffer;
+  u64 cycles;
+  u64 stalls;
+  double util;
+};
+
+Row run(reduce::ReductionCircuitBase& c, const std::vector<std::size_t>& sizes,
+        u64 seed) {
+  Rng rng(seed);
+  std::size_t done = 0, si = 0, ei = 0;
+  u64 cycles = 0;
+  while (done < sizes.size()) {
+    std::optional<reduce::Input> in;
+    if (si < sizes.size()) {
+      in = reduce::Input{fp::to_bits(rng.uniform(-1, 1)), ei + 1 == sizes[si]};
+    }
+    const bool consumed = c.cycle(in);
+    ++cycles;
+    if (in && consumed && ++ei == sizes[si]) {
+      ei = 0;
+      ++si;
+    }
+    if (c.take_result()) ++done;
+  }
+  return Row{c.name(), c.adders_used(), c.buffer_words(), cycles,
+             c.stall_cycles(), c.adder_utilization()};
+}
+
+void compare(const std::string& title, const std::vector<std::size_t>& sizes,
+             unsigned kogge_levels) {
+  bench::heading(title);
+  u64 total = 0;
+  for (auto s : sizes) total += s;
+  bench::note(cat(sizes.size(), " sets, ", total, " inputs\n"));
+
+  std::vector<std::unique_ptr<reduce::ReductionCircuitBase>> circuits;
+  circuits.push_back(std::make_unique<reduce::ReductionCircuit>());
+  circuits.push_back(
+      std::make_unique<reduce::ReductionCircuit>(fp::kAdderStages, true));
+  circuits.push_back(std::make_unique<reduce::StallingAccumulator>());
+  circuits.push_back(std::make_unique<reduce::KoggeTree>(kogge_levels));
+  circuits.push_back(std::make_unique<reduce::NiHwangReducer>());
+  circuits.push_back(std::make_unique<reduce::SingleAdderGreedy>());
+
+  TextTable t({"Design", "Adders", "Buffer (words)", "Cycles",
+               "Cycles/input", "Input stalls", "Adder util"});
+  for (auto& c : circuits) {
+    const Row r = run(*c, sizes, 11);
+    t.row(r.name, r.adders, r.buffer, r.cycles,
+          TextTable::num(static_cast<double>(r.cycles) / double(total), 2),
+          r.stalls, bench::pct(r.util));
+  }
+  bench::print_table(t);
+}
+
+}  // namespace
+
+int main() {
+  // The GEMV workload: many sets of size n/k (512 here).
+  compare("Workload A: 100 sets of 512 (GEMV rows, n=2048 k=4)",
+          std::vector<std::size_t>(100, 512), 10);
+
+  // Sets right at the pipeline depth.
+  compare("Workload B: 400 sets of size alpha = 14",
+          std::vector<std::size_t>(400, 14), 4);
+
+  // Arbitrary mixed sizes (the generality claim).
+  Rng rng(12);
+  std::vector<std::size_t> mixed;
+  for (int i = 0; i < 300; ++i) mixed.push_back(rng.uniform_int(1, 64));
+  compare("Workload C: 300 sets of random size 1..64", mixed, 6);
+
+  bench::note("Reading: the stalling accumulator pays ~alpha cycles/input; "
+              "Kogge matches throughput but needs lg(s) adders; the greedy "
+              "single-adder design matches throughput with an unbounded "
+              "buffer (reported as observed peak); the proposed circuit "
+              "holds 1 adder + fixed 2 alpha^2 buffer at ~1 cycle/input.");
+  return 0;
+}

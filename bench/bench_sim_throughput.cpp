@@ -1,0 +1,92 @@
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// softfloat op rates, pipelined-unit stepping, reduction-circuit cycle rate,
+// and PE-array MACs/second — the numbers that bound how large an n the
+// cycle-accurate experiments can afford.
+#include <benchmark/benchmark.h>
+
+#include "blas3/mm_array.hpp"
+#include "common/random.hpp"
+#include "fp/fpu.hpp"
+#include "fp/softfloat.hpp"
+#include "reduce/reduction_circuit.hpp"
+
+using namespace xd;
+
+namespace {
+
+std::vector<u64> random_bits(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u64> v(n);
+  for (auto& x : v) x = fp::to_bits(rng.uniform(-1e3, 1e3));
+  return v;
+}
+
+void BM_SoftFloatAdd(benchmark::State& state) {
+  const auto a = random_bits(4096, 1);
+  const auto b = random_bits(4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::add(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftFloatAdd);
+
+void BM_SoftFloatMul(benchmark::State& state) {
+  const auto a = random_bits(4096, 3);
+  const auto b = random_bits(4096, 4);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fp::mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoftFloatMul);
+
+void BM_PipelinedAdderCycle(benchmark::State& state) {
+  fp::PipelinedAdder add;
+  const auto a = random_bits(4096, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    add.issue(a[i & 4095], a[(i + 1) & 4095]);
+    add.tick();
+    benchmark::DoNotOptimize(add.take_output());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PipelinedAdderCycle);
+
+void BM_ReductionCircuitCycle(benchmark::State& state) {
+  reduce::ReductionCircuit red;
+  const auto a = random_bits(4096, 6);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    red.cycle(reduce::Input{a[i & 4095], (i & 63) == 63});
+    benchmark::DoNotOptimize(red.take_result());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReductionCircuitCycle);
+
+void BM_MmArrayMacsPerSecond(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  blas3::MmArrayConfig cfg;
+  cfg.mem_words_per_cycle = 8.0;
+  blas3::MmArrayEngine engine(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(a, b, n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * n * n);
+}
+BENCHMARK(BM_MmArrayMacsPerSecond)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

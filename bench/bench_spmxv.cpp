@@ -1,0 +1,75 @@
+// Extension bench ([32], Sec 7): sparse matrix-vector multiply on the
+// tree architecture with the reduction circuit handling arbitrary row
+// lengths. Reproduces the design's qualitative results: throughput tracks
+// the nonzero stream (not the dense dimension), irregular structure costs
+// lane underutilization but no stalls, and SpMXV beats dense GEMV as soon
+// as density drops below ~k-elements-per-row economics.
+#include "bench_util.hpp"
+#include "blas2/mxv_tree.hpp"
+#include "blas2/spmxv.hpp"
+#include "common/random.hpp"
+#include "host/reference.hpp"
+
+using namespace xd;
+
+int main() {
+  Rng rng(21);
+  const std::size_t n = 1024;
+
+  bench::heading("SpMXV (k = 4): structure sweep at n = 1024");
+  TextTable t({"Pattern", "nnz", "nnz/row", "Cycles", "MFLOPS @164MHz",
+               "flops/cycle", "Lane util", "Stalls"});
+  struct Case {
+    std::string name;
+    blas2::CrsMatrix m;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"tridiagonal", blas2::make_banded(n, 1, 31)});
+  cases.push_back({"band hw=8", blas2::make_banded(n, 8, 32)});
+  cases.push_back({"uniform 16/row", blas2::make_uniform_sparse(n, n, 16, 33)});
+  cases.push_back({"uniform 64/row", blas2::make_uniform_sparse(n, n, 64, 34)});
+  cases.push_back({"power-law <=128", blas2::make_power_law(n, n, 128, 35)});
+
+  blas2::SpmxvConfig cfg;
+  cfg.k = 4;
+  cfg.mem_elements_per_cycle = 4.0;
+  blas2::SpmxvEngine engine(cfg);
+  const auto x = rng.vector(n);
+
+  for (auto& c : cases) {
+    const auto out = engine.run(c.m, x);
+    const double ideal_cycles =
+        static_cast<double>(c.m.nnz()) / cfg.k;  // all lanes busy
+    t.row(c.name, c.m.nnz(),
+          TextTable::num(static_cast<double>(c.m.nnz()) / n, 1),
+          out.report.cycles,
+          TextTable::num(out.report.sustained_mflops(), 0),
+          TextTable::num(out.report.flops_per_cycle(), 2),
+          bench::pct(ideal_cycles / static_cast<double>(out.report.cycles)),
+          out.report.stall_cycles);
+  }
+  bench::print_table(t);
+  bench::note("Lane utilization drops on short rows (last group zero-padded) "
+              "- the irregular-structure cost the paper's SpMXV design "
+              "absorbs without stalling, thanks to the arbitrary-set-size "
+              "reduction circuit.\n");
+
+  bench::heading("SpMXV vs dense GEMV on the same sparse operand (n = 1024)");
+  blas2::MxvTreeEngine dense_engine{blas2::MxvTreeConfig{}};
+  TextTable d({"nnz/row", "SpMXV cycles", "dense GEMV cycles", "speedup",
+               "max |diff|"});
+  for (std::size_t nnz : {4ul, 16ul, 64ul, 256ul}) {
+    const auto m = blas2::make_uniform_sparse(n, n, nnz, 40 + nnz);
+    const auto ys = engine.run(m, x);
+    const auto yd = dense_engine.run(m.to_dense(), n, n, x);
+    d.row(nnz, ys.report.cycles, yd.report.cycles,
+          TextTable::num(static_cast<double>(yd.report.cycles) /
+                             static_cast<double>(ys.report.cycles),
+                         1),
+          TextTable::num(host::max_abs_diff(ys.y, yd.y), 3));
+  }
+  bench::print_table(d);
+  bench::note("Speedup ~ n / (2 nnz/row): the dense engine streams all n^2 "
+              "words; SpMXV streams value+index per nonzero.");
+  return 0;
+}

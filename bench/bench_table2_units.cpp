@@ -1,0 +1,73 @@
+// Reproduces Table 2: characteristics of the 64-bit floating-point units and
+// the reduction circuit — pipeline depths, slice counts and clock from the
+// calibrated area model, plus live functional checks of the modeled units
+// (bit-exactness rate and reduction-circuit throughput at those depths).
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "fp/fpu.hpp"
+#include "fp/softfloat.hpp"
+#include "machine/area.hpp"
+#include "reduce/reduction_circuit.hpp"
+
+using namespace xd;
+
+int main() {
+  machine::AreaModel area;
+  const auto& cores = area.cores();
+
+  bench::heading("Table 2: 64-bit FP units and reduction circuit");
+  TextTable t({"Unit", "Pipeline stages", "Area (slices)", "Clock (MHz)"});
+  t.row("Adder", cores.adder_stages, cores.adder_slices, cores.clock_mhz);
+  t.row("Multiplier", cores.multiplier_stages, cores.multiplier_slices,
+        cores.clock_mhz);
+  t.row("Reduction circuit", std::string("-"), area.reduction_circuit_slices(),
+        cores.clock_mhz);
+  bench::print_table(t);
+  bench::note("Paper: adder 14 stages / 892 slices, multiplier 11 / 835,");
+  bench::note("reduction circuit 1658 slices, all at 170 MHz.\n");
+
+  bench::heading("Functional check: bit-exact IEEE-754 against the host FPU");
+  Rng rng(2);
+  std::size_t add_match = 0, mul_match = 0;
+  const std::size_t trials = 200000;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const u64 a = rng.raw_bits();
+    const u64 b = rng.raw_bits();
+    volatile double x = fp::from_bits(a), y = fp::from_bits(b);
+    volatile double s = x + y, p = x * y;
+    add_match += fp::same_value(fp::add(a, b), fp::to_bits(s)) ? 1 : 0;
+    mul_match += fp::same_value(fp::mul(a, b), fp::to_bits(p)) ? 1 : 0;
+  }
+  TextTable f({"Op", "Random bit-pattern trials", "Bit-exact"});
+  f.row("add", trials, bench::pct(double(add_match) / double(trials)));
+  f.row("mul", trials, bench::pct(double(mul_match) / double(trials)));
+  bench::print_table(f);
+
+  bench::heading("Reduction circuit at alpha = 14: throughput and buffers");
+  reduce::ReductionCircuit red(cores.adder_stages);
+  const std::size_t sets = 256, s = 512;
+  std::size_t done = 0;
+  u64 cycles = 0;
+  std::size_t si = 0, ei = 0;
+  while (done < sets) {
+    std::optional<reduce::Input> in;
+    if (si < sets) in = reduce::Input{fp::to_bits(rng.uniform(-1, 1)), ei + 1 == s};
+    const bool consumed = red.cycle(in);
+    ++cycles;
+    if (consumed && ++ei == s) {
+      ei = 0;
+      ++si;
+    }
+    if (red.take_result()) ++done;
+  }
+  TextTable r({"Metric", "Value", "Paper claim"});
+  r.row("FP adders", red.adders_used(), "1");
+  r.row("Buffer capacity (words)", red.buffer_words(), "2 alpha^2 = 392");
+  r.row("Peak buffer occupancy", red.stats().peak_buffer_words, "<= alpha^2 = 196");
+  r.row("Input stalls", red.stats().stall_cycles, "0 (no stalling)");
+  r.row("Cycles for 256 sets of 512",
+        cat(cycles, " (inputs ", sets * s, " + tail ", cycles - sets * s, ")"),
+        "< sum s_i + 2 alpha^2");
+  bench::print_table(r);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Shared helpers for the experiment-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper and prints paper-reported
+// values next to what this reproduction measures.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace xd::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void print_table(const TextTable& t) {
+  std::printf("%s\n", t.render().c_str());
+}
+
+/// "2.06 GB/s"-style formatting.
+inline std::string gbs(double bytes_per_s) {
+  if (bytes_per_s >= 1e9) return TextTable::num(bytes_per_s / 1e9, 2) + " GB/s";
+  return TextTable::num(bytes_per_s / 1e6, 1) + " MB/s";
+}
+
+inline std::string mflops(double flops) {
+  if (flops >= 1e9) return TextTable::num(flops / 1e9, 2) + " GFLOPS";
+  return TextTable::num(flops / 1e6, 0) + " MFLOPS";
+}
+
+inline std::string pct(double fraction) {
+  return TextTable::num(fraction * 100.0, 1) + "%";
+}
+
+}  // namespace xd::bench

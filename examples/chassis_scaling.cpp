@@ -1,0 +1,59 @@
+// Multi-FPGA GEMM scaling study (Sec 5.2 / 6.4): run the hierarchical design
+// across 1..72 FPGAs, validating a small configuration cycle-accurately and
+// projecting the paper's chassis / 12-chassis installations.
+//
+//   ./examples/chassis_scaling
+#include <cstdio>
+
+#include "blas3/mm_array.hpp"
+#include "blas3/mm_hier.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "host/reference.hpp"
+#include "model/projections.hpp"
+
+using namespace xd;
+
+int main() {
+  Rng rng(64);
+
+  // --- 1. cycle-accurate anchor: one FPGA, small n -----------------------
+  const std::size_t n = 64;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  blas3::MmArrayConfig ac;
+  ac.mem_words_per_cycle = 8.0;
+  blas3::MmArrayEngine array(ac);
+  const auto anchor = array.run(a, b, n);
+  std::printf("Cycle-accurate anchor (1 FPGA, k=8, n=%zu):\n", n);
+  std::printf("  cycles %llu vs model %llu, max |err| %.3e\n\n",
+              static_cast<unsigned long long>(anchor.report.cycles),
+              static_cast<unsigned long long>(array.model_cycles(n)),
+              host::max_abs_diff(anchor.c, host::ref_gemm(a, b, n)));
+
+  // --- 2. scale the validated model out across the installation ----------
+  std::printf("Hierarchical GEMM across FPGAs (k=8, m=8, b=2048, n=8192):\n\n");
+  TextTable t({"FPGAs (l)", "Chassis", "Latency (s)", "GFLOPS",
+               "DRAM need", "met by 3.2 GB/s?"});
+  for (unsigned l : {1u, 2u, 6u, 12u, 24u, 48u, 72u}) {
+    blas3::MmHierConfig cfg;
+    cfg.l = l;
+    cfg.b = 2048;
+    cfg.dram_words_per_cycle = 3.2e9 / (8.0 * cfg.clock_mhz * 1e6);
+    cfg.link_words_per_cycle = 2.0e9 / (8.0 * cfg.clock_mhz * 1e6);
+    blas3::MmHierEngine engine(cfg);
+    const auto out = engine.project(8192);
+    const double need_bps =
+        out.required_dram_words_per_cycle * 8.0 * cfg.clock_mhz * 1e6;
+    t.row(l, TextTable::num(l / 6.0, 2),
+          TextTable::num(out.report.seconds(), 3),
+          TextTable::num(out.report.sustained_gflops(), 1),
+          TextTable::num(need_bps / 1e6, 1) + " MB/s",
+          need_bps <= 3.2e9 ? "yes" : "NO");
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Paper checkpoints: 6 FPGAs (1 chassis) = 12.4 GFLOPS, "
+              "72 FPGAs (12 chassis) = 148.3 GFLOPS, DRAM need 877.5 MB/s.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Sparse iterative solve on the simulated FPGA: a 2-D Poisson problem
+// (5-point stencil) solved with the library's sparse Jacobi solver running
+// on the SpMXV engine — the full pipeline the paper's Sec 7 describes:
+// CRS sparse matrix -> tree architecture + reduction circuit -> Jacobi.
+//
+//   ./examples/sparse_jacobi [grid]     (matrix dimension = grid * grid)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "blas2/spmxv.hpp"
+#include "common/random.hpp"
+#include "host/reference.hpp"
+#include "solver/jacobi.hpp"
+
+using namespace xd;
+
+namespace {
+
+/// 5-point Laplacian on a grid x grid mesh, assembled directly in CRS.
+blas2::CrsMatrix laplace2d(std::size_t grid) {
+  const std::size_t n = grid * grid;
+  blas2::CrsMatrix m;
+  m.rows = m.cols = n;
+  m.row_ptr.push_back(0);
+  for (std::size_t r = 0; r < grid; ++r) {
+    for (std::size_t c = 0; c < grid; ++c) {
+      const std::size_t i = r * grid + c;
+      auto push = [&](std::size_t j, double v) {
+        m.values.push_back(v);
+        m.col_idx.push_back(j);
+      };
+      if (r > 0) push(i - grid, -1.0);
+      if (c > 0) push(i - 1, -1.0);
+      push(i, 4.0 + 0.1);  // shifted to make Jacobi strictly convergent
+      if (c + 1 < grid) push(i + 1, -1.0);
+      if (r + 1 < grid) push(i + grid, -1.0);
+      m.row_ptr.push_back(m.values.size());
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t grid = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+  const std::size_t n = grid * grid;
+
+  const auto a = laplace2d(grid);
+  Rng rng(55);
+  const auto x_true = rng.vector(n);
+  const auto b = host::ref_gemv(a.to_dense(), n, n, x_true);
+
+  std::printf("2-D Poisson, %zux%zu grid -> n = %zu, nnz = %zu "
+              "(density %.2f%%)\n\n",
+              grid, grid, n, a.nnz(), 100.0 * a.density());
+
+  solver::SolveOptions opts;
+  opts.max_iterations = 2000;
+  opts.tolerance = 1e-8;
+  const auto res = solver::jacobi_sparse(a, b, opts);
+
+  double err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err = std::max(err, std::fabs(res.x[i] - x_true[i]));
+  }
+  std::printf("%s in %d iterations, residual %.3e, max |x - x_true| = %.3e\n",
+              res.converged ? "converged" : "NOT converged", res.iterations,
+              res.residual_norm, err);
+  std::printf("simulated FPGA: %.3f ms across the solve, %.1f MFLOPS "
+              "(2 flops per nonzero per sweep; row sets of size 3..5 exercise "
+              "the arbitrary-size reduction circuit)\n",
+              res.fpga_seconds() * 1e3, res.sustained_mflops());
+
+  // Cost comparison against running the same sweeps densely.
+  const double dense_cycles_per_sweep = static_cast<double>(n) * n / 4.0;
+  const double sparse_cycles_per_sweep =
+      static_cast<double>(res.fpga_cycles) / std::max(res.iterations, 1);
+  std::printf("dense GEMV would cost ~%.0f cycles/sweep; SpMXV measured "
+              "%.0f cycles/sweep (%.1fx)\n",
+              dense_cycles_per_sweep, sparse_cycles_per_sweep,
+              dense_cycles_per_sweep / sparse_cycles_per_sweep);
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "blas1/dot_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "fp/softfloat.hpp"
+
+namespace xd::blas1 {
+
+namespace {
+/// FIFO between the adder tree and the reduction circuit; absorbs the rare
+/// cycles where the circuit refuses input (buffer swap pressure).
+constexpr std::size_t kRedFifoCap = 64;
+}  // namespace
+
+DotEngine::DotEngine(const DotConfig& cfg) : cfg_(cfg) {
+  require(cfg.k >= 1, "dot engine needs k >= 1");
+  require(cfg.k == 1 || is_pow2(cfg.k), "adder tree needs k to be a power of two");
+  require(cfg.mem_words_per_cycle > 0.0, "memory bandwidth must be positive");
+}
+
+u64 DotEngine::io_lower_bound_cycles(u64 total_elements) const {
+  return static_cast<u64>(
+      std::ceil(2.0 * static_cast<double>(total_elements) / cfg_.mem_words_per_cycle));
+}
+
+DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
+                          const std::vector<std::vector<double>>& vs) {
+  require(us.size() == vs.size(), "dot batch: mismatched u/v counts");
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    require(!us[i].empty() && us[i].size() == vs[i].size(),
+            cat("dot pair ", i, ": vectors must be equal-length and non-empty"));
+  }
+
+  const unsigned k = cfg_.k;
+  // The burst allowance covers one full lane group (2k words) so a channel
+  // slower than the group size still feeds the lanes every few cycles.
+  mem::Channel channel(cfg_.mem_words_per_cycle, "dot.mem",
+                       std::max(cfg_.mem_words_per_cycle + 2.0, 2.0 * k));
+  fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);  // unused when k == 1
+  reduce::ReductionCircuit red(cfg_.adder_stages);
+
+  // The k multipliers run in lockstep; one in-flight record per issued group.
+  struct MultGroup {
+    std::vector<u64> products;
+    bool last;
+    u64 ready;
+  };
+  std::deque<MultGroup> mults;
+  std::deque<std::pair<u64, bool>> red_fifo;  // (bits, last-of-set)
+
+  DotOutcome out;
+  out.results.assign(us.size(), 0.0);
+  std::vector<bool> have(us.size(), false);
+
+  std::size_t pair = 0, pos = 0;  // input cursor
+  std::size_t results_done = 0;
+  u64 streamed_words = 0;
+  u64 cycle = 0;
+  u64 stalls = 0;
+
+  const u64 budget = 50'000'000;
+  while (results_done < us.size()) {
+    ++cycle;
+    if (cycle > budget) throw SimError("dot engine wedged");
+    channel.tick();
+
+    // Multiplier bank: completed product groups feed the adder tree (k >= 2)
+    // or go straight to the reduction FIFO (k == 1).
+    if (!mults.empty() && mults.front().ready == cycle) {
+      MultGroup g = std::move(mults.front());
+      mults.pop_front();
+      if (k == 1) {
+        red_fifo.emplace_back(g.products[0], g.last);
+      } else {
+        tree.issue(g.products, g.last ? 1 : 0);
+      }
+    }
+
+    if (k >= 2) {
+      tree.tick();
+      if (auto r = tree.take_output()) {
+        red_fifo.emplace_back(r->bits, r->tag != 0);
+      }
+    }
+
+    // Reduction circuit: offer the oldest pending tree output.
+    std::optional<reduce::Input> rin;
+    if (!red_fifo.empty()) {
+      rin = reduce::Input{red_fifo.front().first, red_fifo.front().second};
+    }
+    const bool consumed = red.cycle(rin);
+    if (rin.has_value()) {
+      if (consumed) {
+        red_fifo.pop_front();
+      } else {
+        ++stalls;
+      }
+    }
+    if (auto r = red.take_result()) {
+      out.results.at(r->set_id) = fp::from_bits(r->bits);
+      have.at(r->set_id) = true;
+      ++results_done;
+    }
+
+    // Issue a new group of k element pairs if bandwidth and buffering allow.
+    if (pair < us.size() && red_fifo.size() < kRedFifoCap) {
+      const auto& u = us[pair];
+      const auto& v = vs[pair];
+      const std::size_t remaining = u.size() - pos;
+      const std::size_t lanes = std::min<std::size_t>(k, remaining);
+      const double words = 2.0 * static_cast<double>(lanes);
+      if (channel.can_transfer(words)) {
+        channel.transfer(words);
+        streamed_words += 2 * lanes;
+        MultGroup g;
+        g.products.resize(std::max(2u, k), fp::kPosZero);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          g.products[lane] =
+              fp::mul(fp::to_bits(u[pos + lane]), fp::to_bits(v[pos + lane]));
+        }
+        g.last = (pos + lanes == u.size());
+        g.ready = cycle + cfg_.multiplier_stages;
+        mults.push_back(std::move(g));
+        pos += lanes;
+        if (pos == u.size()) {
+          pos = 0;
+          ++pair;
+        }
+      }
+    }
+  }
+
+  u64 flops = 0;
+  for (const auto& u : us) flops += 2 * u.size();
+
+  out.report.design = cat("dot k=", k);
+  out.report.cycles = cycle;
+  out.report.compute_cycles = cycle;
+  out.report.flops = flops;
+  out.report.stall_cycles = stalls + red.stats().stall_cycles;
+  out.report.sram_words = static_cast<double>(streamed_words);
+  out.report.clock_mhz = cfg_.clock_mhz;
+  return out;
+}
+
+}  // namespace xd::blas1

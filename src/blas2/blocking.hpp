@@ -1,0 +1,34 @@
+// Blocked GEMV (Sec 4.2, final paragraph): when vector x (or the
+// y-intermediate store) exceeds the FPGA's on-chip capacity, the operation
+// proceeds block by block.
+//
+//  - Tree architecture: A is split into column panels whose width fits the
+//    on-chip x storage; each panel produces a partial y that a dedicated
+//    pipelined adder folds into the running y (reading/writing y in SRAM).
+//  - Column architecture: A is split into row panels whose height fits the
+//    y-intermediate storage; each panel directly produces a final y block
+//    (no cross-panel accumulation needed).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas2/mxv_col.hpp"
+#include "blas2/mxv_tree.hpp"
+
+namespace xd::blas2 {
+
+/// Blocked row-major tree GEMV. `onchip_x_words` bounds the panel width.
+MxvOutcome run_blocked_gemv_tree(const MxvTreeConfig& cfg,
+                                 std::size_t onchip_x_words,
+                                 const std::vector<double>& a, std::size_t rows,
+                                 std::size_t cols, const std::vector<double>& x);
+
+/// Blocked column-major GEMV. `onchip_y_words` bounds the panel height
+/// (each panel height must still satisfy ceil(height/k) >= adder stages).
+MxvOutcome run_blocked_gemv_col(const MxvColConfig& cfg,
+                                std::size_t onchip_y_words,
+                                const std::vector<double>& a, std::size_t rows,
+                                std::size_t cols, const std::vector<double>& x);
+
+}  // namespace xd::blas2

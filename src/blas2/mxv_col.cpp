@@ -1,0 +1,131 @@
+#include "blas2/mxv_col.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "fp/softfloat.hpp"
+#include "mem/channel.hpp"
+
+namespace xd::blas2 {
+
+MxvColEngine::MxvColEngine(const MxvColConfig& cfg) : cfg_(cfg) {
+  require(cfg.k >= 1, "GEMV column engine needs k >= 1");
+  require(cfg.mem_words_per_cycle > 0.0, "memory bandwidth must be positive");
+}
+
+MxvOutcome MxvColEngine::run(const std::vector<double>& a, std::size_t rows,
+                             std::size_t cols, const std::vector<double>& x) {
+  require(rows >= 1 && cols >= 1, "GEMV needs a non-empty matrix");
+  require(a.size() == rows * cols, "GEMV: matrix size mismatch");
+  require(x.size() == cols, "GEMV: x length mismatch");
+
+  const unsigned k = cfg_.k;
+  const std::size_t groups = ceil_div(rows, k);  // row-groups per column
+  require(groups >= cfg_.adder_stages,
+          cat("column-major GEMV needs ceil(rows/k) >= adder stages (",
+              groups, " < ", cfg_.adder_stages,
+              "): a y element would be re-read before its update completes"));
+
+  mem::Channel channel(cfg_.mem_words_per_cycle, "mxvcol.mem",
+                       std::max(cfg_.mem_words_per_cycle + 2.0,
+                                static_cast<double>(k) + 1.0));
+
+  // Per-lane datapath: one multiplier, one adder, one slice of y-intermediate
+  // storage (entry c accumulates y[c*k + lane]).
+  struct Lane {
+    fp::PipelinedMultiplier mult;
+    fp::PipelinedAdder adder;
+    std::vector<u64> acc;
+    std::vector<bool> inflight;
+    Lane(unsigned ms, unsigned as, std::size_t groups)
+        : mult(ms), adder(as), acc(groups, fp::kPosZero), inflight(groups, false) {}
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(k);
+  for (unsigned p = 0; p < k; ++p) {
+    lanes.emplace_back(cfg_.multiplier_stages, cfg_.adder_stages, groups);
+  }
+
+  std::size_t col = 0, group = 0;
+  bool feeding = true;
+  u64 streamed_words = 0;
+  u64 cycle = 0;
+  u64 stalls = 0;
+
+  auto lanes_busy = [&] {
+    for (const auto& l : lanes) {
+      if (l.mult.busy() || l.adder.busy()) return true;
+    }
+    return false;
+  };
+
+  const u64 budget = 500'000'000;
+  while (feeding || lanes_busy()) {
+    ++cycle;
+    if (cycle > budget) throw SimError("GEMV column engine wedged");
+    channel.tick();
+
+    // Advance datapaths: multiplier output feeds the accumulate add; adder
+    // output retires into the y store.
+    for (auto& l : lanes) {
+      l.mult.tick();
+      l.adder.tick();
+      if (auto r = l.adder.take_output()) {
+        l.acc[r->tag] = r->bits;
+        l.inflight[r->tag] = false;
+      }
+      if (auto r = l.mult.take_output()) {
+        const u64 c = r->tag;
+        if (l.inflight[c]) {
+          throw SimError("column-major GEMV: y-intermediate RAW hazard");
+        }
+        l.adder.issue(r->bits, l.acc[c], c);
+        l.inflight[c] = true;
+      }
+    }
+
+    // Feed one (column, row-group) step: k elements of A, plus the broadcast
+    // x element when a new column starts.
+    if (feeding) {
+      std::size_t active = 0;
+      for (unsigned p = 0; p < k; ++p) {
+        if (group * k + p < rows) ++active;
+      }
+      const double words =
+          static_cast<double>(active) + (group == 0 ? 1.0 : 0.0);  // + x[j]
+      if (channel.can_transfer(words)) {
+        channel.transfer(words);
+        streamed_words += static_cast<u64>(words);
+        const u64 xb = fp::to_bits(x[col]);
+        for (unsigned p = 0; p < k; ++p) {
+          const std::size_t row = group * k + p;
+          if (row >= rows) break;
+          lanes[p].mult.issue(fp::to_bits(a[row * cols + col]), xb, group);
+        }
+        if (++group == groups) {
+          group = 0;
+          if (++col == cols) feeding = false;
+        }
+      } else {
+        ++stalls;
+      }
+    }
+  }
+
+  MxvOutcome out;
+  out.y.assign(rows, 0.0);
+  for (std::size_t row = 0; row < rows; ++row) {
+    out.y[row] = fp::from_bits(lanes[row % k].acc[row / k]);
+  }
+
+  out.report.design = cat("gemv-col k=", k);
+  out.report.cycles = cycle;
+  out.report.compute_cycles = cycle;
+  out.report.flops = 2ull * rows * cols;
+  out.report.stall_cycles = stalls;
+  out.report.sram_words = static_cast<double>(streamed_words + rows);  // + y out
+  out.report.clock_mhz = cfg_.clock_mhz;
+  return out;
+}
+
+}  // namespace xd::blas2

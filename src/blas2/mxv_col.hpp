@@ -1,0 +1,43 @@
+// Level 2 BLAS, architecture 2 (Sec 4.2): column-major interleaved GEMV.
+//
+// k multiplier/adder pairs; lane p owns rows p, k+p, 2k+p, ... of y. Matrix A
+// streams in column-major order, k elements (k distinct rows of one column)
+// per cycle, each multiplied by the broadcast element x[j]. Each lane's adder
+// accumulates into a local intermediate store of y; a given y element is
+// touched once per column, i.e. every n/k cycles, so as long as
+// n/k >= alpha (the adder depth) no read-after-write hazard occurs — the
+// design needs NO reduction circuit. The engine enforces the n/k >= alpha
+// requirement and detects any violated hazard at simulation time.
+#pragma once
+
+#include <vector>
+
+#include "blas2/mxv_tree.hpp"  // MxvOutcome
+#include "fp/fpu.hpp"
+
+namespace xd::blas2 {
+
+struct MxvColConfig {
+  unsigned k = 4;  ///< multiplier/adder lane pairs
+  unsigned adder_stages = fp::kAdderStages;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  double mem_words_per_cycle = 4.0;  ///< streaming rate for A
+  double clock_mhz = 170.0;
+};
+
+class MxvColEngine {
+ public:
+  explicit MxvColEngine(const MxvColConfig& cfg);
+
+  /// y = A x for row-major `a` of shape rows x cols (streamed column-major by
+  /// the engine); requires ceil(rows/k) >= adder_stages (hazard freedom).
+  MxvOutcome run(const std::vector<double>& a, std::size_t rows, std::size_t cols,
+                 const std::vector<double>& x);
+
+  const MxvColConfig& config() const { return cfg_; }
+
+ private:
+  MxvColConfig cfg_;
+};
+
+}  // namespace xd::blas2

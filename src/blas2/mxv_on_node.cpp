@@ -1,0 +1,192 @@
+#include "blas2/mxv_on_node.hpp"
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "fp/softfloat.hpp"
+#include "machine/status_regs.hpp"
+#include "reduce/reduction_circuit.hpp"
+
+namespace xd::blas2 {
+
+NodeGemvEngine::NodeGemvEngine(machine::ComputeNode& node,
+                               const NodeGemvConfig& cfg)
+    : node_(node), cfg_(cfg) {
+  require(is_pow2(node.sram_bank_count()),
+          "node GEMV needs a power-of-two SRAM bank count for the adder tree");
+}
+
+MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
+                               std::size_t cols, const std::vector<double>& x,
+                               bool from_dram) {
+  const unsigned k = node_.sram_bank_count();
+  require(rows >= 1 && cols >= 1, "GEMV needs a non-empty matrix");
+  require(a.size() == rows * cols && x.size() == cols, "GEMV: size mismatch");
+  require(cols % k == 0,
+          "node GEMV streams one word per bank per cycle: cols must be a "
+          "multiple of the bank count (pad the matrix)");
+  const std::size_t per_bank = rows * cols / k;
+  require(per_bank <= node_.sram(0).storage().words(),
+          "matrix does not fit the SRAM banks");
+
+  u64 cycle = 0;
+  u64 staging_cycles = 0;
+
+  // Sec 6.2 control protocol: the host announces the problem size and the
+  // init command before any data moves; completion is polled at the end.
+  std::unique_ptr<machine::StatusRegisters> regs;
+  if (cfg_.with_handshake) {
+    regs = std::make_unique<machine::StatusRegisters>(
+        node_, cfg_.handshake_round_trip_cycles);
+    cycle += regs->host_write(machine::StatusRegisters::Reg::ProblemSize, rows);
+    cycle += regs->host_write(machine::StatusRegisters::Reg::Command,
+                              machine::StatusRegisters::kCmdInit);
+    regs->fpga_write(machine::StatusRegisters::Reg::Status,
+                     machine::StatusRegisters::kStatusBusy);
+  }
+
+  // --- Stage A (bank-blocked layout, prepared by the host processor in its
+  // own DRAM) across the RapidArray link into the four banks. -------------
+  if (from_dram) {
+    require(per_bank * k <= node_.dram().storage().words(),
+            "modeled DRAM slice too small for A (increase dram_words)");
+    std::vector<u64> bankblock(per_bank * k);
+    for (std::size_t e = 0; e < rows * cols; ++e) {
+      bankblock[(e % k) * per_bank + e / k] = fp::to_bits(a[e]);
+    }
+    node_.dram().storage().load(0, bankblock);
+    for (unsigned b = 0; b < k; ++b) {
+      node_.dma().start(node_.dram().storage(), b * per_bank,
+                        node_.sram(b).storage(), 0, per_bank);
+      while (node_.dma().active()) {
+        node_.tick();
+        ++cycle;
+      }
+    }
+    // The processor also loads x into the design's local storage (cols words
+    // over the same link).
+    double pending = static_cast<double>(cols);
+    while (pending > 0.0) {
+      node_.tick();
+      ++cycle;
+      while (pending > 0.0 && node_.dram().link().can_transfer(1.0)) {
+        node_.dram().link().transfer(1.0);
+        pending -= 1.0;
+      }
+    }
+    staging_cycles = cycle;
+  } else {
+    // A already resides in the banks (host-side initialization).
+    for (std::size_t e = 0; e < rows * cols; ++e) {
+      node_.sram(e % k).storage().load(e / k, {fp::to_bits(a[e])});
+    }
+  }
+
+  // --- Compute: one word per bank per cycle through the tree datapath. ----
+  std::vector<u64> xbits(cols);
+  for (std::size_t j = 0; j < cols; ++j) xbits[j] = fp::to_bits(x[j]);
+
+  fp::AdderTree tree(k, cfg_.adder_stages);
+  reduce::ReductionCircuit red(cfg_.adder_stages);
+  struct MultGroup {
+    std::vector<u64> products;
+    bool last;
+    u64 ready;
+  };
+  std::deque<MultGroup> mults;
+  std::deque<std::pair<u64, bool>> red_fifo;
+  constexpr std::size_t kRedFifoCap = 64;
+
+  MxvOutcome out;
+  out.y.assign(rows, 0.0);
+  std::size_t row = 0, col = 0, rows_done = 0;
+  u64 stalls = 0;
+
+  const u64 budget = cycle + 500'000'000;
+  while (rows_done < rows) {
+    node_.tick();
+    ++cycle;
+    if (cycle > budget) throw SimError("node GEMV wedged");
+
+    if (!mults.empty() && mults.front().ready == cycle) {
+      MultGroup g = std::move(mults.front());
+      mults.pop_front();
+      tree.issue(g.products, g.last ? 1 : 0);
+    }
+    tree.tick();
+    if (auto r = tree.take_output()) red_fifo.emplace_back(r->bits, r->tag != 0);
+
+    std::optional<reduce::Input> rin;
+    if (!red_fifo.empty()) {
+      rin = reduce::Input{red_fifo.front().first, red_fifo.front().second};
+    }
+    const bool consumed = red.cycle(rin);
+    if (rin.has_value()) {
+      if (consumed) {
+        red_fifo.pop_front();
+      } else {
+        ++stalls;
+      }
+    }
+    if (auto r = red.take_result()) {
+      out.y.at(r->set_id) = fp::from_bits(r->bits);
+      ++rows_done;
+    }
+
+    if (row < rows && red_fifo.size() < kRedFifoCap) {
+      // One read port per bank per cycle: a full k-wide group every cycle.
+      MultGroup g;
+      g.products.resize(k, fp::kPosZero);
+      const std::size_t base = row * cols + col;
+      for (unsigned lane = 0; lane < k; ++lane) {
+        const std::size_t e = base + lane;
+        const u64 bits = node_.sram(e % k).read(e / k);
+        g.products[lane] = fp::mul(bits, xbits[col + lane]);
+      }
+      g.last = (col + k == cols);
+      g.ready = cycle + cfg_.multiplier_stages;
+      mults.push_back(std::move(g));
+      col += k;
+      if (col == cols) {
+        col = 0;
+        ++row;
+      }
+    }
+  }
+
+  // --- Write y back to DRAM over the link (from-DRAM protocol only). ------
+  if (from_dram) {
+    double pending = static_cast<double>(rows);
+    while (pending > 0.0) {
+      node_.tick();
+      ++cycle;
+      while (pending > 0.0 && node_.dram().link().can_transfer(1.0)) {
+        node_.dram().link().transfer(1.0);
+        pending -= 1.0;
+      }
+    }
+  }
+
+  if (regs) {
+    // The design raises Done; the host's poll finds it on the next round trip.
+    regs->fpga_write(machine::StatusRegisters::Reg::Status,
+                     machine::StatusRegisters::kStatusDone);
+    cycle += regs->host_poll_until(machine::StatusRegisters::kStatusDone,
+                                   cfg_.handshake_poll_interval, 1'000'000);
+  }
+
+  out.report.design = cat("gemv-on-node k=", k);
+  out.report.cycles = cycle;
+  out.report.staging_cycles = staging_cycles;
+  out.report.compute_cycles = cycle - staging_cycles;
+  out.report.flops = 2ull * rows * cols;
+  out.report.stall_cycles = stalls + red.stats().stall_cycles;
+  out.report.sram_words = static_cast<double>(rows * cols);
+  out.report.dram_words =
+      from_dram ? static_cast<double>(rows * cols + cols + rows) : 0.0;
+  out.report.clock_mhz = node_.clock_mhz();
+  return out;
+}
+
+}  // namespace xd::blas2

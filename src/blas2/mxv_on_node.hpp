@@ -1,0 +1,51 @@
+// GEMV executed against a full simulated compute node (Sec 6.2's actual
+// experiment, end to end): matrix A staged from the node's DRAM into its
+// four SRAM banks by the DMA engine over the RapidArray link, then streamed
+// one word per bank per cycle into the tree datapath, with y written back to
+// DRAM afterwards. Unlike blas2::MxvTreeEngine (which throttles on an
+// abstract bandwidth channel), every word here moves through the machine
+// model's ports — bank read-port discipline, link credit and DMA occupancy
+// are all exercised, and the Table 4 latency split (6.4 ms staging /
+// 1.6 ms compute at n = 1024) emerges from the simulation rather than a
+// formula.
+#pragma once
+
+#include <vector>
+
+#include "blas2/mxv_tree.hpp"  // MxvOutcome
+#include "fp/fpu.hpp"
+#include "machine/node.hpp"
+
+namespace xd::blas2 {
+
+struct NodeGemvConfig {
+  unsigned adder_stages = fp::kAdderStages;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  /// k is fixed to the node's SRAM bank count (one word per bank per cycle),
+  /// exactly the paper's XD1 configuration.
+  /// Simulate the Sec 6.2 processor<->FPGA handshake (problem size write,
+  /// init command, completion poll) through the status registers; adds the
+  /// RT-link round trips to the reported cycles.
+  bool with_handshake = false;
+  unsigned handshake_round_trip_cycles = 40;
+  unsigned handshake_poll_interval = 200;
+};
+
+class NodeGemvEngine {
+ public:
+  /// The engine drives `node` cycle by cycle; the node must be freshly
+  /// constructed or otherwise idle.
+  NodeGemvEngine(machine::ComputeNode& node, const NodeGemvConfig& cfg = {});
+
+  /// y = A x. When `from_dram` is set, A is first staged DRAM -> SRAM and
+  /// y is written back to DRAM at the end (the Table 4 protocol); otherwise
+  /// A starts in the SRAM banks.
+  MxvOutcome run(const std::vector<double>& a, std::size_t rows,
+                 std::size_t cols, const std::vector<double>& x, bool from_dram);
+
+ private:
+  machine::ComputeNode& node_;
+  NodeGemvConfig cfg_;
+};
+
+}  // namespace xd::blas2

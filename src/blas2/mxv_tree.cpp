@@ -1,0 +1,137 @@
+#include "blas2/mxv_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <optional>
+
+#include "fp/softfloat.hpp"
+#include "mem/channel.hpp"
+
+namespace xd::blas2 {
+
+namespace {
+constexpr std::size_t kRedFifoCap = 64;
+}
+
+MxvTreeEngine::MxvTreeEngine(const MxvTreeConfig& cfg) : cfg_(cfg) {
+  require(cfg.k >= 1, "GEMV tree engine needs k >= 1");
+  require(cfg.k == 1 || is_pow2(cfg.k), "adder tree needs k to be a power of two");
+  require(cfg.mem_words_per_cycle > 0.0, "memory bandwidth must be positive");
+}
+
+u64 MxvTreeEngine::io_lower_bound_cycles(std::size_t rows, std::size_t cols) const {
+  return static_cast<u64>(std::ceil(static_cast<double>(rows) *
+                                    static_cast<double>(cols) /
+                                    cfg_.mem_words_per_cycle));
+}
+
+MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
+                              std::size_t cols, const std::vector<double>& x) {
+  require(rows >= 1 && cols >= 1, "GEMV needs a non-empty matrix");
+  require(a.size() == rows * cols, "GEMV: matrix size mismatch");
+  require(x.size() == cols, "GEMV: x length mismatch");
+
+  const unsigned k = cfg_.k;
+  mem::Channel channel(cfg_.mem_words_per_cycle, "mxv.mem",
+                       std::max(cfg_.mem_words_per_cycle + 2.0,
+                                static_cast<double>(k)));
+  fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);
+  reduce::ReductionCircuit red(cfg_.adder_stages);
+
+  // Local x storage, lane-striped exactly as the paper describes; pre-convert
+  // to bits once (preload phase, not streamed during compute).
+  std::vector<u64> xbits(cols);
+  for (std::size_t j = 0; j < cols; ++j) xbits[j] = fp::to_bits(x[j]);
+
+  struct MultGroup {
+    std::vector<u64> products;
+    bool last;
+    u64 ready;
+  };
+  std::deque<MultGroup> mults;
+  std::deque<std::pair<u64, bool>> red_fifo;
+
+  MxvOutcome out;
+  out.y.assign(rows, 0.0);
+
+  std::size_t row = 0, col = 0;
+  std::size_t rows_done = 0;
+  u64 streamed_words = 0;
+  u64 cycle = 0;
+  u64 stalls = 0;
+
+  const u64 budget = 200'000'000;
+  while (rows_done < rows) {
+    ++cycle;
+    if (cycle > budget) throw SimError("GEMV tree engine wedged");
+    channel.tick();
+
+    if (!mults.empty() && mults.front().ready == cycle) {
+      MultGroup g = std::move(mults.front());
+      mults.pop_front();
+      if (k == 1) {
+        red_fifo.emplace_back(g.products[0], g.last);
+      } else {
+        tree.issue(g.products, g.last ? 1 : 0);
+      }
+    }
+
+    if (k >= 2) {
+      tree.tick();
+      if (auto r = tree.take_output()) red_fifo.emplace_back(r->bits, r->tag != 0);
+    }
+
+    std::optional<reduce::Input> rin;
+    if (!red_fifo.empty()) {
+      rin = reduce::Input{red_fifo.front().first, red_fifo.front().second};
+    }
+    const bool consumed = red.cycle(rin);
+    if (rin.has_value()) {
+      if (consumed) {
+        red_fifo.pop_front();
+      } else {
+        ++stalls;
+      }
+    }
+    if (auto r = red.take_result()) {
+      out.y.at(r->set_id) = fp::from_bits(r->bits);
+      ++rows_done;
+    }
+
+    if (row < rows && red_fifo.size() < kRedFifoCap) {
+      const std::size_t remaining = cols - col;
+      const std::size_t lanes = std::min<std::size_t>(k, remaining);
+      const double words = static_cast<double>(lanes);  // only A streams
+      if (channel.can_transfer(words)) {
+        channel.transfer(words);
+        streamed_words += lanes;
+        MultGroup g;
+        g.products.resize(std::max(2u, k), fp::kPosZero);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          g.products[lane] =
+              fp::mul(fp::to_bits(a[row * cols + col + lane]), xbits[col + lane]);
+        }
+        g.last = (col + lanes == cols);
+        g.ready = cycle + cfg_.multiplier_stages;
+        mults.push_back(std::move(g));
+        col += lanes;
+        if (col == cols) {
+          col = 0;
+          ++row;
+        }
+      }
+    }
+  }
+
+  out.report.design = cat("gemv-tree k=", k);
+  out.report.cycles = cycle;
+  out.report.compute_cycles = cycle;
+  out.report.flops = 2ull * rows * cols;
+  out.report.stall_cycles = stalls + red.stats().stall_cycles;
+  out.report.sram_words = static_cast<double>(streamed_words + rows);  // + y out
+  out.report.clock_mhz = cfg_.clock_mhz;
+  return out;
+}
+
+}  // namespace xd::blas2

@@ -1,0 +1,89 @@
+// Sparse matrix-vector multiply (SpMXV) on the tree-based architecture.
+//
+// The paper's concluding section describes this design ([32]): the GEMV tree
+// architecture extended to matrices in Compressed Row Storage format, making
+// *no assumption on the sparsity structure*. Each CRS row is one reduction
+// set whose size is the row's nonzero count — arbitrary and irregular, which
+// is precisely the capability the Sec 4.3 reduction circuit adds over
+// power-of-two-only designs.
+//
+// Per cycle the engine streams k (value, column-index) pairs of the current
+// row; each multiplier looks the column's x entry up in its on-chip copy of
+// x and the adder tree + reduction circuit accumulate the row sum. Rows
+// shorter than k leave lanes idle within their last group (zero-padded), the
+// same underutilization the real design shows on very sparse rows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas2/mxv_tree.hpp"  // MxvOutcome
+#include "fp/fpu.hpp"
+
+namespace xd::blas2 {
+
+/// Compressed Row Storage (CRS / CSR) matrix.
+struct CrsMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> row_ptr;  ///< rows + 1 offsets into values/col_idx
+  std::vector<double> values;
+  std::vector<std::size_t> col_idx;
+
+  std::size_t nnz() const { return values.size(); }
+  double density() const {
+    return rows && cols ? static_cast<double>(nnz()) /
+                              (static_cast<double>(rows) * cols)
+                        : 0.0;
+  }
+  /// Validate structural invariants; throws ConfigError on violations.
+  void validate() const;
+
+  /// Build from a dense row-major matrix, dropping exact zeros.
+  static CrsMatrix from_dense(const std::vector<double>& dense, std::size_t rows,
+                              std::size_t cols);
+  /// Dense row-major reconstruction (tests / small examples).
+  std::vector<double> to_dense() const;
+};
+
+struct SpmxvConfig {
+  unsigned k = 4;  ///< multipliers == nonzeros consumed per cycle
+  unsigned adder_stages = fp::kAdderStages;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  /// Streaming rate for the CRS stream. A CRS element is a 64-bit value plus
+  /// an index word; XD1's four banks deliver 4 words/cycle, so a paired
+  /// stream sustains 2 elements/cycle — the default models value+index
+  /// fetched together at one element per bank-pair.
+  double mem_elements_per_cycle = 2.0;
+  double clock_mhz = 164.0;
+};
+
+class SpmxvEngine {
+ public:
+  explicit SpmxvEngine(const SpmxvConfig& cfg);
+
+  /// y = A x for CRS `a`; x resides in on-chip storage (size = a.cols words).
+  MxvOutcome run(const CrsMatrix& a, const std::vector<double>& x);
+
+  const SpmxvConfig& config() const { return cfg_; }
+
+ private:
+  SpmxvConfig cfg_;
+};
+
+// ---- sparse workload generators (deterministic; used by tests & benches) --
+
+/// Uniform random pattern with `nnz_per_row` nonzeros per row.
+CrsMatrix make_uniform_sparse(std::size_t rows, std::size_t cols,
+                              std::size_t nnz_per_row, u64 seed);
+
+/// Banded matrix with the given half-bandwidth (tridiagonal = 1).
+CrsMatrix make_banded(std::size_t n, std::size_t half_bandwidth, u64 seed);
+
+/// Highly irregular rows: row i has between 1 and `max_row` nonzeros drawn
+/// from a heavy-tailed distribution (stresses the reduction circuit with
+/// arbitrary set sizes).
+CrsMatrix make_power_law(std::size_t rows, std::size_t cols, std::size_t max_row,
+                         u64 seed);
+
+}  // namespace xd::blas2

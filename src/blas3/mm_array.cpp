@@ -1,0 +1,157 @@
+#include "blas3/mm_array.hpp"
+
+#include <deque>
+
+#include "common/util.hpp"
+#include "fp/softfloat.hpp"
+#include "mem/channel.hpp"
+
+namespace xd::blas3 {
+
+namespace {
+
+/// Per-PE iteration state over (C-block, z-block, outer product, A element,
+/// column group). All PEs execute the same sequence, offset by their array
+/// position (the systolic skew).
+struct OpCursor {
+  std::size_t gh = 0, z = 0, q = 0, i = 0, c = 0;
+  bool done = false;
+
+  void advance(std::size_t blocks, std::size_t m, std::size_t cpk) {
+    if (++c < cpk) return;
+    c = 0;
+    if (++i < m) return;
+    i = 0;
+    if (++q < m) return;
+    q = 0;
+    if (++z < blocks) return;
+    z = 0;
+    if (++gh < blocks * blocks) return;
+    done = true;
+  }
+};
+
+}  // namespace
+
+MmArrayEngine::MmArrayEngine(const MmArrayConfig& cfg) : cfg_(cfg) {
+  require(cfg.k >= 1, "GEMM array needs k >= 1");
+  require(cfg.m >= 1 && cfg.m % cfg.k == 0, "GEMM array needs m divisible by k");
+  require(cfg.mem_words_per_cycle > 0.0, "memory bandwidth must be positive");
+  const std::size_t slots = static_cast<std::size_t>(cfg.m) * cfg.m / cfg.k;
+  require(slots >= cfg.adder_stages,
+          cat("GEMM array hazard condition violated: m^2/k = ", slots,
+              " < adder depth ", cfg.adder_stages));
+}
+
+MmOutcome MmArrayEngine::run(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t n) {
+  require(n >= 1 && n % cfg_.m == 0, "n must be a positive multiple of m");
+  require(a.size() == n * n && b.size() == n * n, "GEMM: matrix size mismatch");
+
+  const std::size_t m = cfg_.m;
+  const unsigned k = cfg_.k;
+  const std::size_t cpk = m / k;           // column groups per PE
+  const std::size_t blocks = n / m;        // blocks per matrix edge
+  const std::size_t out_cap =
+      cfg_.c_storage_words ? cfg_.c_storage_words : m * m;
+
+  mem::Channel channel(cfg_.mem_words_per_cycle, "mm.mem",
+                       /*burst_words=*/cfg_.mem_words_per_cycle * 4.0);
+
+  std::vector<MmPe> pes;
+  pes.reserve(k);
+  for (unsigned p = 0; p < k; ++p) {
+    pes.emplace_back(p, static_cast<unsigned>(m), k, cfg_.multiplier_stages,
+                     cfg_.adder_stages);
+  }
+  std::vector<OpCursor> cursors(k);
+
+  MmOutcome out;
+  out.c.assign(n * n, 0.0);
+
+  std::deque<u64> out_backlog;  // C words awaiting the memory write port
+  std::size_t peak_backlog = 0;
+  u64 input_words = 0, output_words = 0;
+  u64 input_stalls = 0, output_stalls = 0;
+  u64 cycle = 0, op_step = 0;
+
+  auto all_done = [&] {
+    for (unsigned p = 0; p < k; ++p) {
+      if (!cursors[p].done || pes[p].busy()) return false;
+    }
+    return out_backlog.empty();
+  };
+
+  const u64 budget = model_cycles(n) * 8 + 1'000'000;
+  while (!all_done()) {
+    ++cycle;
+    if (cycle > budget) throw SimError("GEMM array wedged (bandwidth too low?)");
+    channel.tick();
+
+    // Datapaths advance even while the input stream stalls (in-flight
+    // operations keep retiring); collect C words leaving on the backward path.
+    for (auto& pe : pes) {
+      pe.tick();
+      if (auto o = pe.take_output()) {
+        out.c.at(o->dest) = fp::from_bits(o->bits);
+        out_backlog.push_back(o->dest);
+      }
+    }
+    peak_backlog = std::max(peak_backlog, out_backlog.size());
+
+    // PE_0's memory write port: one C word per cycle when credit allows.
+    if (!out_backlog.empty() && channel.can_transfer(1.0)) {
+      channel.transfer(1.0);
+      out_backlog.pop_front();
+      ++output_words;
+    }
+
+    // Issue step: the whole array moves in lockstep. A new A element (and the
+    // prefetched B element) enters at PE_0 whenever PE_0 starts a c == 0 op;
+    // stall the array if the channel cannot deliver 2 words, or if the C
+    // storage backlog is full.
+    bool stall = false;
+    if (!cursors[0].done && cursors[0].c == 0) {
+      if (!channel.can_transfer(2.0)) {
+        stall = true;
+        ++input_stalls;
+      }
+    }
+    if (!stall && out_backlog.size() >= out_cap) {
+      stall = true;
+      ++output_stalls;
+    }
+    if (stall) continue;
+
+    for (unsigned p = 0; p < k; ++p) {
+      if (op_step < p || cursors[p].done) continue;
+      OpCursor& cur = cursors[p];
+      if (p == 0 && cur.c == 0) {
+        channel.transfer(2.0);
+        input_words += 2;
+      }
+      const std::size_t g = cur.gh / blocks;
+      const std::size_t h = cur.gh % blocks;
+      const std::size_t row = g * m + cur.i;
+      const std::size_t col = h * m + cur.c * k + p;
+      const std::size_t inner = cur.z * m + cur.q;
+      const bool final_ = (cur.z == blocks - 1 && cur.q == m - 1);
+      pes[p].issue_mac(fp::to_bits(a[row * n + inner]),
+                       fp::to_bits(b[inner * n + col]),
+                       cur.i * cpk + cur.c, final_, row * n + col);
+      cur.advance(blocks, m, cpk);
+    }
+    ++op_step;
+  }
+
+  out.report.design = cat("mm-array k=", k, " m=", m);
+  out.report.cycles = cycle;
+  out.report.compute_cycles = cycle;
+  out.report.flops = 2ull * n * n * n;
+  out.report.stall_cycles = input_stalls + output_stalls;
+  out.report.sram_words = static_cast<double>(input_words + output_words);
+  out.report.clock_mhz = cfg_.clock_mhz;
+  return out;
+}
+
+}  // namespace xd::blas3

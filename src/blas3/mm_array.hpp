@@ -1,0 +1,81 @@
+// Level 3 BLAS: dense matrix multiply on a linear array of k PEs (Sec 5.1).
+//
+// The design performs block matrix multiply with m x m blocks held on-chip
+// (total storage 2m^2 words). A streams in column-major order within a
+// block, B in row-major order; each outer product q broadcasts column q of
+// the A block through the array while the PEs hold their stripes of row q of
+// the B block. Every PE issues one multiply-accumulate per cycle, so a block
+// multiply takes m^3/k cycles and the full n x n product takes n^3/k
+// effective cycles. Two input words cross the memory port every m/k cycles
+// and m^2 result words leave per C block, for a total requirement of 3k/m
+// words/cycle — the engine throttles on a channel with the configured rate
+// and reports stalls when the requirement is not met (the I/O-vs-compute
+// crossover the paper's Sec 5 analyzes).
+//
+// z-blocks accumulate into the PEs' C' stores across block multiplies of the
+// same C block; the final outer product's write-backs stream out on the
+// backward path while the next C block's computation begins immediately —
+// no inter-block drain, exactly as in the hardware.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas3/pe.hpp"
+#include "host/report.hpp"
+
+namespace xd::blas3 {
+
+struct MmArrayConfig {
+  unsigned k = 8;  ///< PEs in the linear array
+  unsigned m = 8;  ///< on-chip block edge (m % k == 0)
+  /// Accumulation-adder depth. NOTE: the paper's own k = m = 8 configuration
+  /// updates each C' entry every m^2/k = 8 cycles, which its hazard condition
+  /// only permits with an adder of <= 8 stages — shallower than the 14-stage
+  /// core of Table 2. The PE runs at 130-155 MHz (well below the cores'
+  /// 170 MHz), consistent with a reduced-depth accumulation adder; we default
+  /// to 8 stages and the engine rejects any configuration violating
+  /// m^2/k >= depth.
+  unsigned adder_stages = 8;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  /// External memory rate in words/cycle; the design needs 3k/m sustained.
+  double mem_words_per_cycle = 4.0;
+  double clock_mhz = 130.0;  ///< Table 4 clock for k=8 on XD1
+  /// C-output backlog the array can buffer (the per-PE C storage). Defaults
+  /// to m^2 (k stores of m^2/k words each) when 0.
+  std::size_t c_storage_words = 0;
+};
+
+struct MmOutcome {
+  std::vector<double> c;  ///< row-major n x n result
+  host::PerfReport report;
+};
+
+class MmArrayEngine {
+ public:
+  explicit MmArrayEngine(const MmArrayConfig& cfg);
+
+  /// C = A * B for row-major n x n matrices; n must be a multiple of m.
+  MmOutcome run(const std::vector<double>& a, const std::vector<double>& b,
+                std::size_t n);
+
+  const MmArrayConfig& config() const { return cfg_; }
+
+  /// The design's effective-latency model: n^3 / k cycles (Sec 5.1).
+  u64 model_cycles(std::size_t n) const {
+    return static_cast<u64>(n) * n * n / cfg_.k;
+  }
+  /// Required memory bandwidth in words/cycle: 3k/m (Sec 5.1).
+  double required_words_per_cycle() const {
+    return 3.0 * static_cast<double>(cfg_.k) / static_cast<double>(cfg_.m);
+  }
+  /// Total on-chip storage used: 2 m^2 words (C' + C stores).
+  std::size_t storage_words() const {
+    return 2ull * cfg_.m * cfg_.m;
+  }
+
+ private:
+  MmArrayConfig cfg_;
+};
+
+}  // namespace xd::blas3

@@ -1,0 +1,104 @@
+#include "blas3/mm_hier.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "common/util.hpp"
+#include "fp/softfloat.hpp"
+
+namespace xd::blas3 {
+
+MmHierEngine::MmHierEngine(const MmHierConfig& cfg) : cfg_(cfg) {
+  require(cfg.l >= 1, "hierarchical GEMM needs l >= 1");
+  require(cfg.k >= 1 && cfg.m >= 1 && cfg.m % cfg.k == 0,
+          "hierarchical GEMM needs m divisible by k");
+  // b must tile into m x m blocks and give every FPGA at least one block
+  // column. (The paper's 12-chassis projection uses l = 72 with b = 2048,
+  // where b/(m l) is not integral — the last round-robin turn is simply
+  // short, so we do not require divisibility by m*l.)
+  require(cfg.b >= static_cast<std::size_t>(cfg.m) * cfg.l && cfg.b % cfg.m == 0,
+          "hierarchical GEMM needs b >= m*l and b a multiple of m");
+  require(cfg.dram_words_per_cycle > 0.0 && cfg.link_words_per_cycle > 0.0,
+          "bandwidths must be positive");
+  const std::size_t slots = static_cast<std::size_t>(cfg.m) * cfg.m / cfg.k;
+  require(slots >= cfg.adder_stages,
+          cat("hazard condition violated: m^2/k = ", slots, " < adder depth ",
+              cfg.adder_stages));
+}
+
+u64 MmHierEngine::model_cycles(std::size_t n) const {
+  const u64 compute = static_cast<u64>(n) * n * n / (cfg_.k * cfg_.l);
+  return compute + static_cast<u64>(cfg_.k) * cfg_.l;  // array traversal skew
+}
+
+void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t n) const {
+  const double dn = static_cast<double>(n);
+  const double db = static_cast<double>(cfg_.b);
+
+  // DRAM traffic (Sec 5.2): each of the (n/b)^3 panel multiplies reads two
+  // b x b panels; C leaves once (n^2 words).
+  const double dram_words = 2.0 * dn * dn * dn / db + dn * dn;
+  const u64 compute_cycles = model_cycles(n);
+  const double io_cycles = dram_words / std::min(cfg_.dram_words_per_cycle,
+                                                 cfg_.link_words_per_cycle);
+  const u64 cycles =
+      std::max<u64>(compute_cycles, static_cast<u64>(std::ceil(io_cycles)));
+
+  out.report.design = cat("mm-hier l=", cfg_.l, " k=", cfg_.k, " m=", cfg_.m,
+                          " b=", cfg_.b);
+  out.report.cycles = cycles;
+  out.report.compute_cycles = compute_cycles;
+  out.report.flops = 2ull * n * n * n;
+  out.report.stall_cycles = cycles - compute_cycles;
+  out.report.dram_words = dram_words;
+  // Per-FPGA C' traffic: one read + one write per cycle (Sec 6.3), plus the
+  // C-panel stream when l > 1 (one m x m block per m^2 b/(k l) cycles).
+  const double cpanel_rate =
+      cfg_.l > 1 ? 2.0 * static_cast<double>(cfg_.k) * cfg_.l / db : 0.0;
+  out.required_sram_words_per_cycle = 2.0 + cpanel_rate;
+  out.report.sram_words =
+      out.required_sram_words_per_cycle * static_cast<double>(compute_cycles);
+  out.report.clock_mhz = cfg_.clock_mhz;
+
+  out.required_dram_words_per_cycle =
+      3.0 * static_cast<double>(cfg_.k) * cfg_.l / db;
+  out.required_link_words_per_cycle = out.required_dram_words_per_cycle;
+  out.sram_panel_words = 2.0 * db * db;
+}
+
+MmHierOutcome MmHierEngine::project(std::size_t n) const {
+  require(n % cfg_.b == 0, "n must be a multiple of b");
+  MmHierOutcome out;
+  fill_model(out, n);
+  return out;
+}
+
+MmHierOutcome MmHierEngine::run(const std::vector<double>& a,
+                                const std::vector<double>& b, std::size_t n) {
+  require(n >= 1 && n % cfg_.b == 0, "n must be a positive multiple of b");
+  require(a.size() == n * n && b.size() == n * n, "GEMM: matrix size mismatch");
+
+  MmHierOutcome out;
+  out.c.assign(n * n, 0.0);
+
+  // Numerics: every C element accumulates its products in ascending inner
+  // index — the exact order the PE array produces (validated bit-for-bit
+  // against MmArrayEngine in tests), independent of the blocking.
+  parallel_for(0, n, [&](std::size_t row) {
+    for (std::size_t col = 0; col < n; ++col) {
+      u64 acc = fp::kPosZero;
+      for (std::size_t inner = 0; inner < n; ++inner) {
+        acc = fp::add(acc,
+                      fp::mul(fp::to_bits(a[row * n + inner]),
+                              fp::to_bits(b[inner * n + col])));
+      }
+      out.c[row * n + col] = fp::from_bits(acc);
+    }
+  });
+
+  fill_model(out, n);
+  return out;
+}
+
+}  // namespace xd::blas3

@@ -1,0 +1,76 @@
+// Level 3 BLAS on multiple FPGAs (Sec 5.2, Fig 8): the hierarchical GEMM.
+//
+// l FPGAs form a linear array; each runs the Sec 5.1 MM design (k PEs,
+// m x m on-chip blocks) plus one accumulation adder. Matrices are blocked
+// twice: b x b panels live in the SRAM attached to the FPGAs (total 2b^2
+// words across the array: C' and C panel stores), and m x m sub-blocks move
+// through the on-chip stores. Only FPGA_0 touches the DRAM of its host
+// processor; A/B blocks are forwarded along the RocketIO links and C results
+// flow back the same way.
+//
+// The element-level datapath timing of the inner MM is validated
+// cycle-accurately by MmArrayEngine (blas3/mm_array); this engine composes
+// it at block level: numerics are computed with the exact same softfloat
+// accumulation order the array produces, and timing uses the design's
+// latency/traffic model (n^3/(k l) effective cycles, 2 n^3/b + n^2 DRAM
+// words, 2 words/cycle of C' SRAM traffic per FPGA), throttled by the
+// configured DRAM/link rates — matching how the paper itself evaluates the
+// multi-FPGA configurations (Sec 6.4 computes them from the same formulas).
+// A test cross-checks this model against the cycle-accurate array at l = 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas3/mm_array.hpp"
+#include "host/report.hpp"
+
+namespace xd::blas3 {
+
+struct MmHierConfig {
+  unsigned l = 1;       ///< FPGAs in the linear array
+  unsigned k = 8;       ///< PEs per FPGA
+  unsigned m = 8;       ///< on-chip block edge (m % k == 0)
+  std::size_t b = 512;  ///< SRAM panel edge (b % (m*l) == 0)
+  /// See MmArrayConfig::adder_stages for why the GEMM PE uses a shallower
+  /// accumulation adder than the Table 2 core.
+  unsigned adder_stages = 8;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  double clock_mhz = 130.0;
+  double dram_words_per_cycle = 2.0;   ///< FPGA_0's RapidArray link
+  double link_words_per_cycle = 2.0;   ///< FPGA-to-FPGA RocketIO
+};
+
+struct MmHierOutcome {
+  std::vector<double> c;
+  host::PerfReport report;
+  double required_dram_words_per_cycle = 0.0;  ///< 3 k l / b (Sec 5.2)
+  double required_link_words_per_cycle = 0.0;  ///< equal to the DRAM rate
+  double required_sram_words_per_cycle = 0.0;  ///< 2 + C-panel traffic
+  double sram_panel_words = 0.0;               ///< 2 b^2 (storage used)
+};
+
+class MmHierEngine {
+ public:
+  explicit MmHierEngine(const MmHierConfig& cfg);
+
+  /// C = A * B for row-major n x n matrices; n must be a multiple of b.
+  MmHierOutcome run(const std::vector<double>& a, const std::vector<double>& b,
+                    std::size_t n);
+
+  /// Effective-latency model: n^3 / (k l) cycles plus the k*l array skew.
+  u64 model_cycles(std::size_t n) const;
+
+  /// Timing/traffic model only (no numerics) — lets benches project paper
+  /// Sec 6.4 configurations (chassis, 12 chassis) where n is far too large
+  /// to multiply.
+  MmHierOutcome project(std::size_t n) const;
+
+  const MmHierConfig& config() const { return cfg_; }
+
+ private:
+  void fill_model(MmHierOutcome& out, std::size_t n) const;
+  MmHierConfig cfg_;
+};
+
+}  // namespace xd::blas3

@@ -1,0 +1,75 @@
+// Cycle-accurate multi-FPGA GEMM (Sec 5.2) at block-event granularity.
+//
+// The hierarchical design moves m x m blocks: FPGA_0 reads A/B blocks from
+// DRAM and forwards them down the RocketIO chain; FPGA_f keeps the stripes
+// of each B block-row assigned to it (block-columns h with h mod l == f),
+// multiplies every incoming A block against them on its internal MM array
+// (m^3/k cycles per block product, validated cycle-exactly by
+// blas3::MmArrayEngine), accumulates C' panels in its SRAM, and streams
+// finished C blocks back toward FPGA_0.
+//
+// This engine simulates that pipeline cycle by cycle at the block level:
+//  - channels carry 2 m^2 words per A/B block pair and m^2 per C block, at
+//    the configured words/cycle rates (DRAM link at FPGA_0, inter-FPGA
+//    links elsewhere);
+//  - each FPGA's MM array is busy m^3/k cycles per assigned block product
+//    and its accumulation adder folds the result into the SRAM C' panel;
+//  - numerics use the exact softfloat accumulation order of the element-
+//    level array.
+// The element-level timing inside one FPGA is already validated by
+// MmArrayEngine; what this adds is the *inter-FPGA* pipeline: forwarding
+// latency, link contention, load balance across f, and the backward C path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "host/report.hpp"
+#include "common/util.hpp"
+
+namespace xd::blas3 {
+
+struct MmMultiConfig {
+  unsigned l = 2;       ///< FPGAs in the chain
+  unsigned k = 8;       ///< PEs per FPGA
+  unsigned m = 8;       ///< on-chip block edge
+  std::size_t b = 64;   ///< SRAM panel edge (b % m == 0, b >= m*l)
+  double dram_words_per_cycle = 2.0;  ///< FPGA_0 <-> DRAM
+  double link_words_per_cycle = 2.0;  ///< FPGA_f <-> FPGA_f+1
+  double clock_mhz = 130.0;
+};
+
+struct FpgaStats {
+  u64 busy_cycles = 0;       ///< MM array busy
+  u64 blocks_computed = 0;
+  u64 input_stall_cycles = 0;  ///< waiting for an A/B block
+};
+
+struct MmMultiOutcome {
+  std::vector<double> c;
+  host::PerfReport report;
+  std::vector<FpgaStats> per_fpga;
+  double dram_words = 0.0;
+  double link_words = 0.0;  ///< total across all inter-FPGA hops
+};
+
+class MmMultiEngine {
+ public:
+  explicit MmMultiEngine(const MmMultiConfig& cfg);
+
+  /// C = A * B, row-major n x n, n a multiple of b.
+  MmMultiOutcome run(const std::vector<double>& a, const std::vector<double>& b,
+                     std::size_t n);
+
+  /// Sec 5.2 model: n^3/(k l) cycles.
+  u64 model_cycles(std::size_t n) const {
+    return static_cast<u64>(n) * n * n / (static_cast<u64>(cfg_.k) * cfg_.l);
+  }
+
+  const MmMultiConfig& config() const { return cfg_; }
+
+ private:
+  MmMultiConfig cfg_;
+};
+
+}  // namespace xd::blas3

@@ -1,0 +1,41 @@
+// GEMM executed against a full simulated compute node (the Table 4 Level 3
+// experiment, end to end): the k-PE array computes m x m block products from
+// A/B blocks fetched over the RapidArray link, the dedicated accumulation
+// adder folds them into the C' panel held in two SRAM banks (one read and
+// one write port word per cycle — the paper's measured 2.1 GB/s), and the
+// finished C panel leaves through the C banks back to DRAM.
+//
+// Against blas3::MmArrayEngine (abstract channel) this engine moves every
+// C' word through real SramBank ports and every A/B/C word across the real
+// DRAM link, so the Table 4 bandwidth rows (2.1 GB/s SRAM, 24-49 MB/s DRAM,
+// 0.7% I/O fraction) are measured, not computed.
+#pragma once
+
+#include <vector>
+
+#include "blas3/mm_array.hpp"  // MmOutcome
+#include "machine/node.hpp"
+
+namespace xd::blas3 {
+
+struct MmOnNodeConfig {
+  unsigned k = 8;
+  unsigned m = 8;       ///< on-chip block edge (m % k == 0, m^2/k >= 8)
+  std::size_t b = 512;  ///< SRAM panel edge (b % m == 0)
+};
+
+class MmOnNodeEngine {
+ public:
+  MmOnNodeEngine(machine::ComputeNode& node, const MmOnNodeConfig& cfg = {});
+
+  /// C = A * B for row-major n x n (n a multiple of b); A and B start in the
+  /// node's DRAM, C' lives in SRAM banks 0/1, C in banks 2/3.
+  MmOutcome run(const std::vector<double>& a, const std::vector<double>& b,
+                std::size_t n);
+
+ private:
+  machine::ComputeNode& node_;
+  MmOnNodeConfig cfg_;
+};
+
+}  // namespace xd::blas3

@@ -1,0 +1,74 @@
+#include "blas3/pe.hpp"
+
+#include "common/util.hpp"
+#include "fp/softfloat.hpp"
+
+namespace xd::blas3 {
+
+namespace {
+constexpr unsigned kCidxBits = 24;
+constexpr u64 kCidxMask = (1ull << kCidxBits) - 1;
+constexpr u64 kFinalBit = 1ull << kCidxBits;
+constexpr unsigned kDestShift = kCidxBits + 1;
+}  // namespace
+
+u64 MmPe::pack_tag(std::size_t cidx, bool final_, u64 dest) {
+  return (dest << kDestShift) | (final_ ? kFinalBit : 0) | (cidx & kCidxMask);
+}
+
+MmPe::MmPe(unsigned id, unsigned m, unsigned k, unsigned mult_stages,
+           unsigned adder_stages)
+    : id_(id), mult_(mult_stages), adder_(adder_stages) {
+  require(k >= 1 && m >= 1 && m % k == 0, "PE needs m divisible by k");
+  const std::size_t slots = static_cast<std::size_t>(m) * m / k;
+  require(slots < (1ull << kCidxBits), "C' store exceeds tag encoding");
+  cprime_.assign(slots, CSlot{});
+}
+
+void MmPe::issue_mac(u64 a, u64 b, std::size_t cidx, bool final_, u64 dest) {
+  ++macs_;
+  mult_.issue(a, b, pack_tag(cidx, final_, dest));
+}
+
+void MmPe::tick() {
+  mult_.tick();
+  adder_.tick();
+
+  if (auto r = adder_.take_output()) {
+    const std::size_t cidx = static_cast<std::size_t>(r->tag & kCidxMask);
+    CSlot& slot = cprime_.at(cidx);
+    if (!slot.inflight) {
+      throw SimError(cat("PE", id_, ": adder write-back to idle C' slot"));
+    }
+    slot.inflight = false;
+    if (r->tag & kFinalBit) {
+      if (out_.has_value()) {
+        throw SimError(cat("PE", id_, ": C output port collision"));
+      }
+      out_ = COutput{r->bits, r->tag >> kDestShift};
+      slot.bits = fp::kPosZero;  // ready for the next C block
+    } else {
+      slot.bits = r->bits;
+    }
+  }
+
+  if (auto r = mult_.take_output()) {
+    const std::size_t cidx = static_cast<std::size_t>(r->tag & kCidxMask);
+    CSlot& slot = cprime_.at(cidx);
+    if (slot.inflight) {
+      // m^2/k < adder depth: the previous accumulation has not retired.
+      throw SimError(cat("PE", id_,
+                         ": C' read-after-write hazard (m^2/k < adder depth)"));
+    }
+    adder_.issue(r->bits, slot.bits, r->tag);
+    slot.inflight = true;
+  }
+}
+
+std::optional<COutput> MmPe::take_output() {
+  auto r = out_;
+  out_.reset();
+  return r;
+}
+
+}  // namespace xd::blas3

@@ -1,0 +1,75 @@
+// Processing element of the GEMM linear array (Sec 5.1, Fig 7).
+//
+// Each PE owns one pipelined multiplier, one pipelined adder, a register file
+// for its stripe of the current B row, and an m^2/k-entry C' store holding
+// the intermediate results of the C-block columns assigned to it
+// (columns p, k+p, 2k+p, ... for PE_p). A MAC takes the incoming A element
+// and a stored B element, multiplies them, and folds the product into a C'
+// entry; each C' entry is touched once per outer product, i.e. every m^2/k
+// cycles, so hazard freedom requires m^2/k >= adder depth — the PE detects
+// violations at simulation time.
+//
+// On the MAC of the *final* outer product for an entry, the write-back is
+// diverted to the C output stream (the linear array's backward path) and the
+// C' entry resets to zero, ready for the next C block — this is exactly how
+// the hardware streams C out while the next block multiply proceeds, which
+// is why the design needs the separate C storage (modeled as the engine's
+// output backlog).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fp/fpu.hpp"
+
+namespace xd::blas3 {
+
+/// A C element leaving a PE on the backward path.
+struct COutput {
+  u64 bits = 0;
+  u64 dest = 0;  ///< engine-assigned destination tag (global C index)
+};
+
+class MmPe {
+ public:
+  MmPe(unsigned id, unsigned m, unsigned k,
+       unsigned mult_stages = fp::kMultiplierStages,
+       unsigned adder_stages = fp::kAdderStages);
+
+  /// Advance one cycle: move multiplier output into the adder (with hazard
+  /// detection on the C' entry) and retire adder output into C' or the C
+  /// output stream.
+  void tick();
+
+  /// Issue one MAC: product a*b accumulates into C' slot `cidx`. When `final_`
+  /// is set, the result leaves on the C stream tagged `dest` and the slot
+  /// resets to +0.
+  void issue_mac(u64 a, u64 b, std::size_t cidx, bool final_, u64 dest);
+
+  /// C element (if any) that left the PE this cycle.
+  std::optional<COutput> take_output();
+
+  bool busy() const { return mult_.busy() || adder_.busy(); }
+  unsigned id() const { return id_; }
+  std::size_t cprime_words() const { return cprime_.size(); }
+  u64 macs_issued() const { return macs_; }
+
+ private:
+  struct CSlot {
+    u64 bits = fp::kPosZero;
+    bool inflight = false;
+  };
+  // Adder tag packs (cidx, final, dest); see mm_array.cpp for the encoding
+  // rationale (dest indexes the full C matrix).
+  static u64 pack_tag(std::size_t cidx, bool final_, u64 dest);
+
+  unsigned id_;
+  fp::PipelinedMultiplier mult_;
+  fp::PipelinedAdder adder_;
+  std::vector<CSlot> cprime_;
+  std::optional<COutput> out_;
+  u64 macs_ = 0;
+};
+
+}  // namespace xd::blas3

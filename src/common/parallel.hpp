@@ -1,0 +1,53 @@
+// Minimal shared-memory parallel-for for the host side of the simulator.
+//
+// The softfloat "golden numerics" loops (O(n^3) independent dot products in
+// the GEMM engines) are embarrassingly parallel; this helper fans a range
+// across std::thread workers with static chunking. Determinism is preserved:
+// every index computes the same value regardless of the thread that runs it,
+// and results land in caller-owned slots with no shared mutable state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace xd {
+
+/// Number of workers to use by default (hardware concurrency, at least 1).
+inline unsigned default_workers() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+/// Invoke fn(i) for i in [begin, end) across `workers` threads (static
+/// contiguous chunks). fn must be safe to call concurrently for distinct i.
+/// Exceptions thrown by fn terminate (document: workloads here are noexcept
+/// arithmetic); workers = 1 runs inline.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn,
+                         unsigned workers = default_workers()) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers == 0 ? 1 : workers, count));
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace xd

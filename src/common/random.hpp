@@ -1,0 +1,43 @@
+// Deterministic pseudo-random generators for workload construction.
+//
+// Every test and benchmark in this repository must be reproducible, so all
+// random data flows through this seeded generator rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xd {
+
+/// xoshiro256** — small, fast, high-quality PRNG; seeded deterministically.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5005u);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+  /// Standard normal via Box-Muller.
+  double normal();
+  /// Raw 64-bit pattern interpreted as double after masking to a finite value.
+  /// Used for bit-pattern fuzzing of the softfloat units.
+  std::uint64_t raw_bits();
+
+  /// Vector of uniform values in [lo, hi).
+  std::vector<double> vector(std::size_t n, double lo = -1.0, double hi = 1.0);
+  /// Row-major n x m matrix of uniform values in [lo, hi).
+  std::vector<double> matrix(std::size_t rows, std::size_t cols, double lo = -1.0,
+                             double hi = 1.0);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace xd

@@ -1,0 +1,68 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace xd {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  n_ += o.n_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::summary() const {
+  std::ostringstream os;
+  os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev() << " min=" << min()
+     << " max=" << max();
+  return os.str();
+}
+
+void Histogram::add(std::size_t value) {
+  const std::size_t bucket = std::min(value, counts_.size() - 1);
+  ++counts_[bucket];
+  ++total_;
+  sum_ += static_cast<double>(value);
+  max_ = std::max(max_, value);
+}
+
+std::size_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    seen += counts_[b];
+    if (static_cast<double>(seen) >= target) return b;
+  }
+  return counts_.size() - 1;
+}
+
+}  // namespace xd

@@ -1,0 +1,83 @@
+// Streaming statistics accumulators used by the cycle simulator to report
+// utilization, occupancy and latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xd {
+
+/// Welford-style streaming accumulator: count / mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  std::string summary() const;  ///< "n=... mean=... sd=... min=... max=..."
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram for small non-negative integer samples
+/// (e.g. buffer occupancy per cycle). Samples >= bucket count land in the
+/// overflow bucket and are still counted in max().
+class Histogram {
+ public:
+  explicit Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {}
+
+  void add(std::size_t value);
+  std::size_t buckets() const { return counts_.size() - 1; }
+  std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::uint64_t overflow() const { return counts_.back(); }
+  std::uint64_t total() const { return total_; }
+  std::size_t max_value() const { return max_; }
+  double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+  /// Smallest value v such that at least `q` (0..1) of samples are <= v.
+  std::size_t quantile(double q) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+  std::size_t max_ = 0;
+};
+
+/// Busy/idle utilization counter for a hardware resource.
+class Utilization {
+ public:
+  void tick(bool busy) {
+    ++cycles_;
+    if (busy) ++busy_;
+  }
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t busy_cycles() const { return busy_; }
+  double fraction() const {
+    return cycles_ ? static_cast<double>(busy_) / static_cast<double>(cycles_) : 0.0;
+  }
+  void reset() { cycles_ = busy_ = 0; }
+
+ private:
+  std::uint64_t cycles_ = 0;
+  std::uint64_t busy_ = 0;
+};
+
+}  // namespace xd

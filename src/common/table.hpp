@@ -1,0 +1,50 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every bench binary reproduces a table or figure from the paper; this helper
+// prints aligned rows in a form that is easy to diff against the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Add a row; it must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format any streamable values into a row.
+  template <typename... Ts>
+  void row(const Ts&... vs) {
+    add_row({to_cell(vs)...});
+  }
+
+  std::string render() const;
+
+  /// Format a double with `prec` significant decimals, trimming zeros.
+  static std::string num(double v, int prec = 3);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <typename T>
+std::string TextTable::to_cell(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return num(static_cast<double>(v));
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace xd

@@ -1,0 +1,87 @@
+// Small shared utilities for the xdblas simulator.
+//
+// Everything here is header-only and dependency-free; larger helpers live in
+// their own translation units (stats.cpp, random.cpp, table.cpp).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xd {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/// Thrown when a simulated design is configured inconsistently (e.g. a GEMM
+/// block size that does not divide the problem size, or a buffer depth that
+/// the target device cannot hold).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when the simulation itself detects a violated hardware invariant
+/// (a structural hazard, buffer overflow, etc.). These indicate bugs in a
+/// design description, not user error.
+class SimError : public std::logic_error {
+ public:
+  explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+/// Concatenate arbitrary streamable values into a std::string.
+template <typename... Args>
+std::string cat(const Args&... args) {
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  return os.str();
+}
+
+/// Require a configuration predicate; throws ConfigError with context.
+inline void require(bool ok, const std::string& msg) {
+  if (!ok) throw ConfigError(msg);
+}
+
+/// Ceiling division for non-negative integers.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// True when x is a power of two (x > 0).
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Integer log2 floor; log2_floor(1) == 0. Precondition: x > 0.
+constexpr u32 log2_floor(u64 x) {
+  u32 r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// Integer log2 ceiling; log2_ceil(1) == 0. Precondition: x > 0.
+constexpr u32 log2_ceil(u64 x) {
+  return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
+}
+
+/// Bytes-per-second pretty constant helpers (the paper quotes GB/s, MB/s).
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+/// The paper uses decimal GB/s for bandwidths; keep both explicit.
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+/// Size of one matrix/vector word in the paper's designs (binary64).
+constexpr unsigned kWordBytes = 8;
+
+}  // namespace xd

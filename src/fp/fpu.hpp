@@ -1,0 +1,141 @@
+// Cycle-accurate models of deeply pipelined floating-point units.
+//
+// The paper's 64-bit cores (Table 2): adder with 14 pipeline stages,
+// multiplier with 11 stages, both at 170 MHz on a Virtex-II Pro. What matters
+// for the architectures built on top (reduction circuit, GEMV column design,
+// GEMM PE array) is the *hazard structure*: a result issued at cycle t is
+// available at cycle t + stages, and one new operation can be issued every
+// cycle. These classes model exactly that, computing the numeric result
+// bit-exactly (fp/softfloat) at issue time and releasing it after the
+// configured latency.
+//
+// A `tag` travels with every operation so the surrounding architecture can
+// route results (e.g. which reduction-set or which C-element an addition
+// belongs to) without keeping side tables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/util.hpp"
+#include "fp/softfloat.hpp"
+
+namespace xd::fp {
+
+/// Default pipeline depths from Table 2 of the paper.
+inline constexpr unsigned kAdderStages = 14;
+inline constexpr unsigned kMultiplierStages = 11;
+
+/// Result emerging from a pipelined unit.
+struct FpResult {
+  u64 bits = 0;   ///< IEEE-754 binary64 pattern
+  u64 tag = 0;    ///< caller-supplied routing tag
+};
+
+/// A generic in-order, fully pipelined 2-operand FP unit.
+///
+/// Usage per simulated cycle:
+///   1. optionally call issue(a, b, tag)   (at most once — one issue port)
+///   2. call tick()                         (advances the pipeline one cycle)
+///   3. call take_output()                  (result issued `stages` ticks ago)
+///
+/// The unit never stalls internally; back-pressure is the caller's problem
+/// (exactly as for the real cores).
+class PipelinedUnit {
+ public:
+  using Op = u64 (*)(u64, u64);
+
+  PipelinedUnit(unsigned stages, Op op);
+
+  /// Issue one operation this cycle. Throws SimError on double issue within
+  /// the same cycle (a structural hazard in the surrounding design).
+  void issue(u64 a, u64 b, u64 tag = 0);
+
+  /// Advance one clock cycle.
+  void tick();
+
+  /// Result that completed this cycle, if any. Must be consumed before the
+  /// next tick(); unconsumed results indicate a design bug and throw.
+  std::optional<FpResult> take_output();
+
+  unsigned stages() const { return stages_; }
+  u64 cycles() const { return cycles_; }
+  u64 ops_issued() const { return issued_; }
+  /// Fraction of elapsed cycles with an issue (pipeline utilization).
+  double utilization() const {
+    return cycles_ ? static_cast<double>(issued_) / static_cast<double>(cycles_) : 0.0;
+  }
+  /// True if any operation is still in flight.
+  bool busy() const { return !pipe_.empty(); }
+
+  void reset();
+
+ private:
+  struct InFlight {
+    u64 bits;
+    u64 tag;
+    u64 ready_cycle;  // cycle count after whose tick() the result appears
+  };
+
+  unsigned stages_;
+  Op op_;
+  std::deque<InFlight> pipe_;
+  std::optional<FpResult> output_;
+  bool issued_this_cycle_ = false;
+  u64 cycles_ = 0;
+  u64 issued_ = 0;
+};
+
+/// Pipelined IEEE-754 binary64 adder (default 14 stages per Table 2).
+class PipelinedAdder : public PipelinedUnit {
+ public:
+  explicit PipelinedAdder(unsigned stages = kAdderStages)
+      : PipelinedUnit(stages, &fp::add) {}
+};
+
+/// Pipelined IEEE-754 binary64 multiplier (default 11 stages per Table 2).
+class PipelinedMultiplier : public PipelinedUnit {
+ public:
+  explicit PipelinedMultiplier(unsigned stages = kMultiplierStages)
+      : PipelinedUnit(stages, &fp::mul) {}
+};
+
+/// A balanced binary tree of k-1 pipelined adders reducing k inputs per cycle
+/// to one output per cycle (used by the dot-product and row-major GEMV
+/// architectures). k must be a power of two >= 2. Latency through the tree is
+/// lg(k) * stages cycles; the tree is fully pipelined.
+class AdderTree {
+ public:
+  AdderTree(unsigned k, unsigned stages = kAdderStages);
+
+  /// Feed one vector of k operands (bits) this cycle; `tag` travels through.
+  void issue(const std::vector<u64>& operands, u64 tag = 0);
+
+  void tick();
+  std::optional<FpResult> take_output();
+
+  unsigned fan_in() const { return k_; }
+  unsigned adders() const { return k_ - 1; }
+  unsigned levels() const { return levels_; }
+  unsigned latency() const { return levels_ * stages_; }
+  u64 cycles() const { return cycles_; }
+
+ private:
+  struct InFlight {
+    u64 bits;
+    u64 tag;
+    u64 ready_cycle;
+  };
+  unsigned k_;
+  unsigned stages_;
+  unsigned levels_;
+  std::deque<InFlight> pipe_;
+  std::optional<FpResult> output_;
+  bool issued_this_cycle_ = false;
+  u64 cycles_ = 0;
+};
+
+}  // namespace xd::fp

@@ -1,0 +1,194 @@
+#include "fp/softfloat.hpp"
+
+#include <utility>
+
+namespace xd::fp {
+namespace {
+
+// Unpacked finite value: magnitude = sig * 2^(exp - kBias - kFracBits), where
+// for normals the hidden bit (bit 52) is set in `sig` and `exp` is the biased
+// exponent; subnormals are represented with exp == 1 and bit 52 clear, which
+// makes the magnitude formula uniform across normal/subnormal.
+struct Unpacked {
+  bool sign;
+  int exp;  // biased, >= 1 for all finite nonzero values
+  u64 sig;  // 53-bit significand (hidden bit included for normals)
+};
+
+Unpacked unpack(u64 b) {
+  Unpacked u;
+  u.sign = sign_of(b);
+  const int e = exp_of(b);
+  const u64 f = frac_of(b);
+  if (e == 0) {
+    u.exp = 1;  // subnormal: same scale as exp == 1, no hidden bit
+    u.sig = f;
+  } else {
+    u.exp = e;
+    u.sig = f | kHiddenBit;
+  }
+  return u;
+}
+
+/// Shift right by `n` with "jamming": any bit shifted out keeps bit 0 set so
+/// sticky information is never lost.
+u64 shift_right_jam(u64 v, int n) {
+  if (n <= 0) return v;
+  if (n >= 64) return v != 0 ? 1 : 0;
+  const u64 lost = v & ((1ull << n) - 1);
+  return (v >> n) | (lost != 0 ? 1 : 0);
+}
+
+/// Round-to-nearest-even and pack. The extended significand `xsig` carries the
+/// hidden bit at position 55 for a normalized value and three
+/// guard/round/sticky bits in [2:0]. `exp` is the biased exponent; values that
+/// fell below the minimum are shifted into the subnormal range first.
+/// Handles exponent overflow to infinity.
+u64 round_pack(bool sign, int exp, u64 xsig) {
+  const u64 s = sign ? kSignMask : 0;
+  if (exp < 1) {
+    xsig = shift_right_jam(xsig, 1 - exp);
+    exp = 1;
+  }
+  const u64 grs = xsig & 0x7;
+  u64 sig = xsig >> 3;
+  if (grs > 0x4 || (grs == 0x4 && (sig & 1))) {
+    ++sig;
+    if (sig & (kHiddenBit << 1)) {  // rounding carried out of the significand
+      sig >>= 1;                    // exact: carry-out means low bits are zero
+      ++exp;
+    }
+  }
+  if (sig == 0) return s;           // underflowed to signed zero
+  if (exp >= 0x7FF) return s | kPosInf;
+  if (sig & kHiddenBit) {
+    return s | (static_cast<u64>(exp) << kFracBits) | (sig & kFracMask);
+  }
+  return s | sig;  // subnormal: exponent field 0, scale of exp == 1
+}
+
+// Working frame for add/sub: significands are shifted left by 7, putting the
+// hidden bit at position 59. The four extra bits below the GRS frame give the
+// subtract path headroom: after an alignment shift of d >= 2 the result needs
+// at most one renormalizing left shift, so a jammed sticky bit can move from
+// bit 0 to bit 1 and still be collapsed correctly when converting down to the
+// 3-bit GRS frame. For d <= 1 the alignment is exact and no sticky exists.
+constexpr int kFrameShift = 7;
+constexpr u64 kFrameHidden = kHiddenBit << kFrameShift;  // bit 59
+
+/// Collapse the 7-bit working frame to round_pack's 3-bit GRS frame.
+u64 frame_to_grs(u64 v) {
+  return (v >> 4) | ((v & 0xF) != 0 ? 1 : 0);
+}
+
+/// Magnitude addition of ordered operands (|big| >= |small|); result sign is
+/// `sign`.
+u64 add_magnitudes(bool sign, const Unpacked& big, const Unpacked& small) {
+  const u64 bs = big.sig << kFrameShift;
+  const u64 ss = shift_right_jam(small.sig << kFrameShift, big.exp - small.exp);
+  u64 sum = bs + ss;
+  int exp = big.exp;
+  if (sum & (kFrameHidden << 1)) {  // carry out: renormalize right with jam
+    sum = shift_right_jam(sum, 1);
+    ++exp;
+  }
+  return round_pack(sign, exp, frame_to_grs(sum));
+}
+
+/// Magnitude subtraction |big| - |small| with |big| >= |small| (by exponent,
+/// then significand); result takes `sign`.
+u64 sub_magnitudes(bool sign, const Unpacked& big, const Unpacked& small) {
+  u64 bs = big.sig << kFrameShift;
+  u64 ss = shift_right_jam(small.sig << kFrameShift, big.exp - small.exp);
+  if (bs == ss) return kPosZero;  // exact cancellation -> +0 under RNE
+  if (bs < ss) std::swap(bs, ss);  // only possible when exponents are equal
+  u64 diff = bs - ss;
+  int exp = big.exp;
+  // Renormalize left. When alignment lost bits (d >= 2) at most one shift is
+  // needed (see frame comment); otherwise the value is exact and arbitrary
+  // shifts are safe.
+  while (!(diff & kFrameHidden) && exp > 1) {
+    diff <<= 1;
+    --exp;
+  }
+  return round_pack(sign, exp, frame_to_grs(diff));
+}
+
+}  // namespace
+
+u64 add(u64 a, u64 b) {
+  // NaN propagation: prefer a's payload (x86 behaviour), quieting it.
+  if (is_nan(a)) return quiet(a);
+  if (is_nan(b)) return quiet(b);
+  if (is_inf(a)) {
+    if (is_inf(b) && sign_of(a) != sign_of(b)) return kDefaultNaN;  // inf - inf
+    return a;
+  }
+  if (is_inf(b)) return b;
+  if (is_zero(a) && is_zero(b)) {
+    // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed signs -> +0 under round-to-nearest.
+    return (sign_of(a) && sign_of(b)) ? kNegZero : kPosZero;
+  }
+  if (is_zero(a)) return b;
+  if (is_zero(b)) return a;
+
+  const Unpacked ua = unpack(a);
+  const Unpacked ub = unpack(b);
+  const bool a_ge_b = (ua.exp > ub.exp) || (ua.exp == ub.exp && ua.sig >= ub.sig);
+  const Unpacked& big = a_ge_b ? ua : ub;
+  const Unpacked& small = a_ge_b ? ub : ua;
+  const bool result_sign = big.sign;
+
+  if (ua.sign == ub.sign) return add_magnitudes(result_sign, big, small);
+  return sub_magnitudes(result_sign, big, small);
+}
+
+u64 sub(u64 a, u64 b) {
+  if (is_nan(b)) return quiet(b);  // preserve payload before negating
+  return add(a, neg(b));
+}
+
+u64 mul(u64 a, u64 b) {
+  if (is_nan(a)) return quiet(a);
+  if (is_nan(b)) return quiet(b);
+  const bool sign = sign_of(a) != sign_of(b);
+  const u64 s = sign ? kSignMask : 0;
+  if (is_inf(a) || is_inf(b)) {
+    if (is_zero(a) || is_zero(b)) return kDefaultNaN;  // 0 * inf
+    return s | kPosInf;
+  }
+  if (is_zero(a) || is_zero(b)) return s;  // signed zero
+
+  Unpacked ua = unpack(a);
+  Unpacked ub = unpack(b);
+  // Normalize subnormal inputs so both significands carry the hidden bit;
+  // compensate in the exponent. This pins the product's top bit to position
+  // 105 or 104 of the 128-bit product.
+  auto normalize = [](Unpacked& u) {
+    while (!(u.sig & kHiddenBit)) {
+      u.sig <<= 1;
+      --u.exp;
+    }
+  };
+  normalize(ua);
+  normalize(ub);
+
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(ua.sig) * static_cast<unsigned __int128>(ub.sig);
+  // Significands are in [2^52, 2^53), so prod is in [2^104, 2^106).
+  int exp = ua.exp + ub.exp - kBias + 1;
+  u64 xsig;  // round_pack frame: significand at [55:3], GRS at [2:0]
+  if (prod >> 105) {
+    const u64 kept = static_cast<u64>(prod >> 50);
+    const bool sticky = (static_cast<u64>(prod) & ((1ull << 50) - 1)) != 0;
+    xsig = kept | (sticky ? 1 : 0);
+  } else {
+    const u64 kept = static_cast<u64>(prod >> 49);
+    const bool sticky = (static_cast<u64>(prod) & ((1ull << 49) - 1)) != 0;
+    xsig = kept | (sticky ? 1 : 0);
+    --exp;
+  }
+  return round_pack(sign, exp, xsig);
+}
+
+}  // namespace xd::fp

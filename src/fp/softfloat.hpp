@@ -1,0 +1,79 @@
+// Bit-exact IEEE-754 binary64 (double precision) arithmetic, implemented from
+// scratch on 64-bit integer patterns.
+//
+// The paper's designs use the authors' own IEEE-754 double-precision
+// floating-point adder and multiplier cores [9]. We reproduce those cores'
+// *numerical* behaviour here: round-to-nearest-even, gradual underflow
+// (subnormals), signed zeros, infinities and quiet-NaN propagation. The
+// pipelined timing behaviour is modeled separately in fp/fpu.hpp.
+//
+// All operations take and return raw bit patterns (xd::u64) so that the
+// simulated datapath is explicit about being a 64-bit word machine; helpers
+// convert to/from native double for test comparison against the host FPU
+// (x86-64 SSE2 doubles are IEEE-754 RNE, so hardware serves as the oracle).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/util.hpp"
+
+namespace xd::fp {
+
+// ---- format constants -------------------------------------------------
+inline constexpr int kFracBits = 52;
+inline constexpr int kExpBits = 11;
+inline constexpr int kBias = 1023;
+inline constexpr u64 kSignMask = 0x8000'0000'0000'0000ull;
+inline constexpr u64 kExpMask = 0x7FF0'0000'0000'0000ull;
+inline constexpr u64 kFracMask = 0x000F'FFFF'FFFF'FFFFull;
+inline constexpr u64 kHiddenBit = 0x0010'0000'0000'0000ull;  // implicit 1.x bit
+inline constexpr u64 kQuietBit = 0x0008'0000'0000'0000ull;
+/// Canonical quiet NaN produced by invalid operations (matches x86 behaviour).
+inline constexpr u64 kDefaultNaN = 0xFFF8'0000'0000'0000ull;
+inline constexpr u64 kPosInf = 0x7FF0'0000'0000'0000ull;
+inline constexpr u64 kNegInf = 0xFFF0'0000'0000'0000ull;
+inline constexpr u64 kPosZero = 0x0000'0000'0000'0000ull;
+inline constexpr u64 kNegZero = 0x8000'0000'0000'0000ull;
+
+// ---- bit conversion ----------------------------------------------------
+inline u64 to_bits(double d) { return std::bit_cast<u64>(d); }
+inline double from_bits(u64 b) { return std::bit_cast<double>(b); }
+
+// ---- field extraction --------------------------------------------------
+inline bool sign_of(u64 b) { return (b & kSignMask) != 0; }
+inline int exp_of(u64 b) { return static_cast<int>((b & kExpMask) >> kFracBits); }
+inline u64 frac_of(u64 b) { return b & kFracMask; }
+
+// ---- classification ----------------------------------------------------
+inline bool is_nan(u64 b) { return exp_of(b) == 0x7FF && frac_of(b) != 0; }
+inline bool is_inf(u64 b) { return exp_of(b) == 0x7FF && frac_of(b) == 0; }
+inline bool is_zero(u64 b) { return (b & ~kSignMask) == 0; }
+inline bool is_subnormal(u64 b) { return exp_of(b) == 0 && frac_of(b) != 0; }
+inline bool is_finite(u64 b) { return exp_of(b) != 0x7FF; }
+
+/// Quiet a signalling NaN, preserving payload (x86 semantics).
+inline u64 quiet(u64 nan_bits) { return nan_bits | kQuietBit; }
+
+// ---- arithmetic (round-to-nearest-even) ---------------------------------
+/// a + b with IEEE-754 binary64 semantics.
+u64 add(u64 a, u64 b);
+/// a - b (implemented as a + (-b); IEEE-correct including zero signs).
+u64 sub(u64 a, u64 b);
+/// a * b with IEEE-754 binary64 semantics.
+u64 mul(u64 a, u64 b);
+/// -a (sign flip; NaN sign flips too, matching hardware negate).
+inline u64 neg(u64 a) { return a ^ kSignMask; }
+
+/// Fused compare for tests: equal bit patterns, or both NaN.
+inline bool same_value(u64 a, u64 b) {
+  if (is_nan(a) && is_nan(b)) return true;
+  return a == b;
+}
+
+// Convenience double-typed wrappers (used by examples and reference code).
+inline double addd(double a, double b) { return from_bits(add(to_bits(a), to_bits(b))); }
+inline double subd(double a, double b) { return from_bits(sub(to_bits(a), to_bits(b))); }
+inline double muld(double a, double b) { return from_bits(mul(to_bits(a), to_bits(b))); }
+
+}  // namespace xd::fp

@@ -1,0 +1,54 @@
+// CBLAS-style compatibility layer.
+//
+// Downstream code written against the standard BLAS signatures can run on
+// the simulated reconfigurable system by linking these wrappers: strides,
+// transposes and alpha/beta scaling are handled on the host (the processor
+// side of the node), while the O(n^2)/O(n^3) kernels execute on the
+// simulated FPGA engines. Shapes the hardware designs cannot take directly
+// (non-square GEMM, n not a multiple of the block edge) are zero-padded,
+// exactly how the paper proposes handling n > block multiples ("these blocks
+// are read by the design consecutively").
+//
+// Pass a Context to target a specific machine configuration, or use the
+// xd_* free functions for the default XD1 node. An optional PerfReport out
+// parameter returns the simulated timing of the accelerated part.
+#pragma once
+
+#include <cstddef>
+
+#include "host/context.hpp"
+
+namespace xd::host {
+
+enum class Transpose { No, Yes };
+
+/// dot <- x . y with strides (incx/incy may be negative, BLAS semantics).
+double compat_ddot(const Context& ctx, std::size_t n, const double* x, int incx,
+                   const double* y, int incy, PerfReport* report = nullptr);
+
+/// y <- alpha * op(A) x + beta * y, A row-major m x n, lda >= n.
+void compat_dgemv(const Context& ctx, Transpose trans, std::size_t m,
+                  std::size_t n, double alpha, const double* a, std::size_t lda,
+                  const double* x, int incx, double beta, double* y, int incy,
+                  PerfReport* report = nullptr);
+
+/// C <- alpha * op(A) op(B) + beta * C, row-major, op(A) m x k, op(B) k x n,
+/// C m x n. Internally padded to a square multiple of the GEMM block edge.
+void compat_dgemm(const Context& ctx, Transpose transa, Transpose transb,
+                  std::size_t m, std::size_t n, std::size_t k, double alpha,
+                  const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double beta, double* c, std::size_t ldc,
+                  PerfReport* report = nullptr);
+
+// Default-context conveniences (one XD1 node).
+double xd_ddot(std::size_t n, const double* x, int incx, const double* y,
+               int incy);
+void xd_dgemv(Transpose trans, std::size_t m, std::size_t n, double alpha,
+              const double* a, std::size_t lda, const double* x, int incx,
+              double beta, double* y, int incy);
+void xd_dgemm(Transpose transa, Transpose transb, std::size_t m, std::size_t n,
+              std::size_t k, double alpha, const double* a, std::size_t lda,
+              const double* b, std::size_t ldb, double beta, double* c,
+              std::size_t ldc);
+
+}  // namespace xd::host

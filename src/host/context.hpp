@@ -1,0 +1,162 @@
+// xdblas public API.
+//
+// A Context binds the BLAS engines to a machine description (device, clocks,
+// memory bandwidths — by default one Cray XD1 node as measured in the paper)
+// and exposes the three operations the library implements:
+//
+//   xd::host::Context ctx;                       // one XD1 node
+//   auto d = ctx.dot(u, v);                       // Level 1
+//   auto y = ctx.gemv(a, n, n, x);                // Level 2 (tree design)
+//   auto c = ctx.gemm(a, b, n);                   // Level 3 (PE array + SRAM)
+//
+// Every call returns the numeric result together with a PerfReport (cycles,
+// seconds at the design's post-P&R clock, sustained MFLOPS, achieved
+// bandwidths) — the same columns the paper's Tables 3/4 report.
+//
+// Source placement matters for the I/O-bound operations: Placement::Sram
+// streams operands from the FPGA's SRAM banks; Placement::Dram prepends the
+// DRAM->SRAM staging phase over the RapidArray link, reproducing the
+// 8.0 ms / 1.6 ms split of Table 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas1/dot_engine.hpp"
+#include "blas2/mxv_col.hpp"
+#include "blas2/mxv_tree.hpp"
+#include "blas2/spmxv.hpp"
+#include "blas3/mm_hier.hpp"
+#include "blas3/mm_multi.hpp"
+#include "machine/area.hpp"
+#include "machine/device.hpp"
+#include "mem/bram.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace xd::host {
+
+enum class Placement {
+  Sram,  ///< operands already in the FPGA-attached SRAM banks
+  Dram,  ///< operands start in processor DRAM (staging is simulated)
+};
+
+enum class GemvArch {
+  Tree,    ///< row-major, adder tree + reduction circuit (Sec 4.2 arch 1)
+  Column,  ///< column-major, interleaved accumulation (Sec 4.2 arch 2)
+};
+
+/// Machine/design parameters. Defaults describe one Cray XD1 node exactly as
+/// the paper configures it (Tables 3 and 4).
+struct ContextConfig {
+  machine::FpgaDevice device = machine::xc2vp50();
+
+  // Level 1 (dot): k = 2 multipliers at 170 MHz, 5.5 GB/s streaming.
+  unsigned dot_k = 2;
+  double dot_clock_mhz = 170.0;
+  double dot_mem_bytes_per_s = 5.5 * kGB;
+
+  // Level 2 (GEMV): k = 4 at 164 MHz, one word per SRAM bank per cycle.
+  unsigned gemv_k = 4;
+  double gemv_clock_mhz = 164.0;
+  double gemv_sram_bytes_per_s = 5.9 * kGB;
+  double gemv_dram_bytes_per_s = 1.3 * kGB;  ///< measured staging bandwidth
+
+  // Level 3 (GEMM): k = 8 PEs, m = 8, b = 512, 130 MHz.
+  unsigned mm_k = 8;
+  unsigned mm_m = 8;
+  std::size_t mm_b = 512;
+  unsigned mm_l = 1;  ///< FPGAs (hierarchical design)
+  double mm_clock_mhz = 130.0;
+  double mm_dram_bytes_per_s = 3.2 * kGB;
+  double mm_link_bytes_per_s = 2.0 * kGB;
+
+  unsigned adder_stages = fp::kAdderStages;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  /// GEMM PE accumulation-adder depth (see blas3::MmArrayConfig): must
+  /// satisfy m^2/k >= depth; the paper's k = m = 8 design implies <= 8.
+  unsigned mm_adder_stages = 8;
+};
+
+struct DotCall {
+  double value = 0.0;
+  PerfReport report;
+};
+
+class Context {
+ public:
+  Context() : Context(ContextConfig{}) {}
+  explicit Context(const ContextConfig& cfg);
+
+  /// Level 1 BLAS: u . v.
+  DotCall dot(const std::vector<double>& u, const std::vector<double>& v,
+              Placement src = Placement::Sram) const;
+
+  /// Batched dot products (one reduction set each, back to back).
+  blas1::DotOutcome dot_batch(const std::vector<std::vector<double>>& us,
+                              const std::vector<std::vector<double>>& vs) const;
+
+  /// Level 2 BLAS: y = A x (row-major A, rows x cols).
+  blas2::MxvOutcome gemv(const std::vector<double>& a, std::size_t rows,
+                         std::size_t cols, const std::vector<double>& x,
+                         Placement src = Placement::Sram,
+                         GemvArch arch = GemvArch::Tree) const;
+
+  /// Level 3 BLAS: C = A B (row-major, n x n). If n is not a multiple of the
+  /// configured SRAM panel edge, the largest compatible edge is chosen
+  /// automatically (see choose_panel_edge); n must still be a multiple of m.
+  blas3::MmHierOutcome gemm(const std::vector<double>& a,
+                            const std::vector<double>& b, std::size_t n) const;
+
+  /// Largest SRAM panel edge <= mm_b that tiles the given n (throws
+  /// ConfigError if none exists — use the compat layer's padding then).
+  std::size_t choose_panel_edge(std::size_t n) const;
+
+  /// Cycle-accurate single-FPGA GEMM (the Sec 5.1 array without SRAM
+  /// blocking); n must be a multiple of m.
+  blas3::MmOutcome gemm_array(const std::vector<double>& a,
+                              const std::vector<double>& b, std::size_t n) const;
+
+  /// Cycle-accurate multi-FPGA GEMM pipeline (block-event simulation of the
+  /// Sec 5.2 chain across mm_l FPGAs); n must be a multiple of b.
+  blas3::MmMultiOutcome gemm_multi(const std::vector<double>& a,
+                                   const std::vector<double>& b,
+                                   std::size_t n) const;
+
+  /// Sparse matrix-vector multiply (CRS) on the tree architecture — the
+  /// paper's SpMXV extension ([32], Sec 7). x must fit on chip.
+  blas2::MxvOutcome spmxv(const blas2::CrsMatrix& a,
+                          const std::vector<double>& x) const;
+
+  /// GEMV with automatic fallback to the blocked variant (Sec 4.2, last
+  /// paragraph) when x does not fit the device's on-chip memory alongside
+  /// the design's buffers.
+  blas2::MxvOutcome gemv_auto(const std::vector<double>& a, std::size_t rows,
+                              std::size_t cols,
+                              const std::vector<double>& x) const;
+
+  /// BRAM floorplan of the GEMV design for a cols-wide x; throws ConfigError
+  /// if the design cannot be built on the configured device.
+  mem::BramBudget gemv_bram_plan(std::size_t cols) const;
+  /// BRAM floorplan of the GEMM array (2 m^2 block stores + B registers).
+  mem::BramBudget gemm_bram_plan() const;
+  /// Words of x the GEMV design can keep on-chip next to its buffers.
+  std::size_t gemv_onchip_x_capacity() const;
+
+  const ContextConfig& config() const { return cfg_; }
+  const machine::AreaModel& area_model() const { return area_; }
+
+  /// Post-P&R characteristics of the configured designs (Tables 3 / 4).
+  machine::DesignArea dot_design_area() const;
+  machine::DesignArea gemv_design_area() const;
+  machine::DesignArea gemm_design_area() const;
+
+ private:
+  double words_per_cycle(double bytes_per_s, double clock_mhz) const {
+    return bytes_per_s / (kWordBytes * clock_mhz * 1e6);
+  }
+
+  ContextConfig cfg_;
+  machine::AreaModel area_;
+};
+
+}  // namespace xd::host

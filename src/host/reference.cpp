@@ -1,0 +1,94 @@
+#include "host/reference.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/util.hpp"
+
+namespace xd::host {
+
+double ref_dot(const std::vector<double>& u, const std::vector<double>& v) {
+  require(u.size() == v.size(), "ref_dot: length mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) s += u[i] * v[i];
+  return s;
+}
+
+std::vector<double> ref_gemv(const std::vector<double>& a, std::size_t rows,
+                             std::size_t cols, const std::vector<double>& x) {
+  require(a.size() == rows * cols && x.size() == cols, "ref_gemv: size mismatch");
+  std::vector<double> y(rows, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) s += a[i * cols + j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> ref_gemm(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t n) {
+  require(a.size() == n * n && b.size() == n * n, "ref_gemm: size mismatch");
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t q = 0; q < n; ++q) {
+      const double aiq = a[i * n + q];
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aiq * b[q * n + j];
+    }
+  }
+  return c;
+}
+
+std::vector<double> blocked_gemm(const std::vector<double>& a,
+                                 const std::vector<double>& b, std::size_t n,
+                                 std::size_t block) {
+  require(a.size() == n * n && b.size() == n * n, "blocked_gemm: size mismatch");
+  require(block >= 1, "blocked_gemm: block must be positive");
+  std::vector<double> c(n * n, 0.0);
+  for (std::size_t ii = 0; ii < n; ii += block) {
+    const std::size_t iend = std::min(ii + block, n);
+    for (std::size_t qq = 0; qq < n; qq += block) {
+      const std::size_t qend = std::min(qq + block, n);
+      for (std::size_t jj = 0; jj < n; jj += block) {
+        const std::size_t jend = std::min(jj + block, n);
+        for (std::size_t i = ii; i < iend; ++i) {
+          for (std::size_t q = qq; q < qend; ++q) {
+            const double aiq = a[i * n + q];
+            double* crow = &c[i * n];
+            const double* brow = &b[q * n];
+            for (std::size_t j = jj; j < jend; ++j) crow[j] += aiq * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "max_abs_diff: length mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, std::fabs(x[i] - y[i]));
+  return m;
+}
+
+double measure_cpu_gemm_gflops(std::size_t n, int reps, std::size_t block) {
+  Rng rng(0xc9u);
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  double best_s = 1e30;
+  volatile double sink = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto c = blocked_gemm(a, b, n, block);
+    const auto t1 = std::chrono::steady_clock::now();
+    sink = sink + c[n / 2];  // keep the optimizer honest
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  return flops / best_s / 1e9;
+}
+
+}  // namespace xd::host

@@ -1,0 +1,38 @@
+// Software reference BLAS.
+//
+// Two roles:
+//  1. Correctness oracle for the simulated FPGA engines (naive double-loop
+//     implementations in plain double arithmetic).
+//  2. The CPU comparator of Sec 6.3: the paper quotes ACML/MKL dgemm numbers
+//     on Opteron/Xeon/P4; we provide a register- and cache-blocked dgemm and
+//     a timing harness so bench_cpu_comparison can print measured host-CPU
+//     GFLOPS next to the simulated FPGA design's GFLOPS.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xd::host {
+
+/// Naive reference implementations (row-major).
+double ref_dot(const std::vector<double>& u, const std::vector<double>& v);
+std::vector<double> ref_gemv(const std::vector<double>& a, std::size_t rows,
+                             std::size_t cols, const std::vector<double>& x);
+std::vector<double> ref_gemm(const std::vector<double>& a,
+                             const std::vector<double>& b, std::size_t n);
+
+/// Cache-blocked, ikj-ordered dgemm (the optimized CPU baseline).
+/// `block` is the cache tile edge; 64 works well for L1-sized tiles.
+std::vector<double> blocked_gemm(const std::vector<double>& a,
+                                 const std::vector<double>& b, std::size_t n,
+                                 std::size_t block = 64);
+
+/// Maximum absolute elementwise difference.
+double max_abs_diff(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Wall-clock GFLOPS of `blocked_gemm` on this machine for an n x n problem,
+/// best of `reps` runs (Sec 6.3 comparator).
+double measure_cpu_gemm_gflops(std::size_t n, int reps = 3,
+                               std::size_t block = 64);
+
+}  // namespace xd::host

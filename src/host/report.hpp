@@ -1,0 +1,51 @@
+// Performance report attached to every simulated BLAS run.
+//
+// The simulator counts cycles and memory traffic; converting to seconds,
+// MFLOPS and GB/s requires the design's achievable clock (from the area
+// model). Reports carry both the raw counts and the derived figures so
+// benches can print paper-style rows.
+#pragma once
+
+#include <string>
+
+#include "common/util.hpp"
+
+namespace xd::host {
+
+struct PerfReport {
+  std::string design;         ///< e.g. "dot k=2", "gemv-tree k=4", "mm k=8 m=8"
+  u64 cycles = 0;             ///< total cycles of the run
+  u64 compute_cycles = 0;     ///< cycles of the compute phase (excl. staging)
+  u64 staging_cycles = 0;     ///< DRAM<->SRAM staging cycles (Table 4 split)
+  u64 flops = 0;              ///< useful floating-point operations performed
+  u64 stall_cycles = 0;       ///< cycles the datapath waited for memory/hazards
+  double sram_words = 0.0;    ///< words moved to/from SRAM during compute
+  double dram_words = 0.0;    ///< words moved across the DRAM link
+  double clock_mhz = 0.0;     ///< achievable clock of the configured design
+
+  double seconds() const {
+    return clock_mhz > 0 ? static_cast<double>(cycles) / (clock_mhz * 1e6) : 0.0;
+  }
+  double sustained_mflops() const {
+    const double s = seconds();
+    return s > 0 ? static_cast<double>(flops) / s / 1e6 : 0.0;
+  }
+  double sustained_gflops() const { return sustained_mflops() / 1e3; }
+  /// Achieved SRAM bandwidth during the compute phase, bytes/s.
+  double sram_bytes_per_s() const {
+    const u64 cc = compute_cycles ? compute_cycles : cycles;
+    return cc ? sram_words * kWordBytes * clock_mhz * 1e6 / static_cast<double>(cc)
+              : 0.0;
+  }
+  /// Achieved DRAM bandwidth averaged over the phase that used it.
+  double dram_bytes_per_s() const {
+    const u64 cc = cycles;
+    return cc ? dram_words * kWordBytes * clock_mhz * 1e6 / static_cast<double>(cc)
+              : 0.0;
+  }
+  double flops_per_cycle() const {
+    return cycles ? static_cast<double>(flops) / static_cast<double>(cycles) : 0.0;
+  }
+};
+
+}  // namespace xd::host

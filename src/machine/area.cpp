@@ -1,0 +1,106 @@
+#include "machine/area.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xd::machine {
+namespace {
+// Calibrated control/steering overheads (see header comment). Each is chosen
+// so the configuration the paper measured reproduces its reported slice count
+// exactly; the per-lane terms extrapolate to other k.
+constexpr unsigned kDotControlBase = 570;       // k=2 -> 5210 total
+constexpr unsigned kDotControlPerLane = 210;
+constexpr unsigned kMxvControlBase = 995;       // k=4 -> 9669 total
+constexpr unsigned kMxvControlPerLane = 250;
+constexpr unsigned kMxvXd1Extra = 1103;         // k=4 + glue -> 13772 total
+// Glue for the XD1 GEMM design (RT core, SRAM controllers, status registers,
+// block-sequencing control): k=8 PEs + 1 adder + glue -> 21029 total.
+constexpr unsigned kMmXd1Glue = 2873;
+
+// Routing headroom: fraction of device slices place & route can actually
+// fill for this design family (beyond it, routing fails or the clock
+// collapses). Calibrated to "at most 10 PEs" standalone and "at most 8 PEs"
+// with the XD1 interface on XC2VP50.
+constexpr double kRouteFracStandalone = 0.95;
+constexpr double kRouteFracXd1 = 0.90;
+}  // namespace
+
+DesignArea AreaModel::dot_design(unsigned k) const {
+  require(k >= 1, "dot design needs k >= 1");
+  const unsigned tree_adders = k - 1;
+  const unsigned slices = k * cores_.multiplier_slices +
+                          tree_adders * cores_.adder_slices +
+                          reduction_circuit_slices() + kDotControlBase +
+                          k * kDotControlPerLane;
+  return DesignArea{slices, cores_.clock_mhz};
+}
+
+DesignArea AreaModel::mxv_tree_design(unsigned k) const {
+  require(k >= 1, "GEMV tree design needs k >= 1");
+  const unsigned tree_adders = k - 1;
+  const unsigned slices = k * cores_.multiplier_slices +
+                          tree_adders * cores_.adder_slices +
+                          reduction_circuit_slices() + kMxvControlBase +
+                          k * kMxvControlPerLane;
+  return DesignArea{slices, cores_.clock_mhz};
+}
+
+DesignArea AreaModel::mxv_col_design(unsigned k) const {
+  require(k >= 1, "GEMV column design needs k >= 1");
+  // k multiplier/adder pairs, no reduction circuit (interleaved accumulation
+  // into local y storage), similar steering overhead per lane.
+  const unsigned slices = k * (cores_.multiplier_slices + cores_.adder_slices) +
+                          kMxvControlBase + k * kMxvControlPerLane;
+  return DesignArea{slices, cores_.clock_mhz};
+}
+
+double AreaModel::mm_clock_mhz(unsigned k) const {
+  // Fig 9: 155 MHz for one PE, ~125 MHz at ten PEs; degradation is linear in
+  // the number of PEs (routing complexity).
+  const double clock = 155.0 - (30.0 / 9.0) * (static_cast<double>(k) - 1.0);
+  return std::max(clock, 100.0);
+}
+
+DesignArea AreaModel::mm_design(unsigned k) const {
+  require(k >= 1, "GEMM design needs k >= 1");
+  return DesignArea{k * mm_pe_slices(), mm_clock_mhz(k)};
+}
+
+DesignArea AreaModel::mm_design_xd1(unsigned k) const {
+  require(k >= 1, "GEMM design needs k >= 1");
+  // k PEs + the hierarchical design's accumulation adder + XD1 glue. XD1
+  // integration costs ~2 MHz over the standalone clock (Table 4: 130 MHz at
+  // k=8 vs Fig 9's ~132 MHz).
+  const unsigned slices = k * mm_pe_slices() + cores_.adder_slices + kMmXd1Glue;
+  const double clock = static_cast<double>(std::lround(mm_clock_mhz(k) - 1.7));
+  return DesignArea{slices, clock};
+}
+
+DesignArea AreaModel::mxv_design_xd1(unsigned k) const {
+  const DesignArea base = mxv_tree_design(k);
+  // Table 4: 164 MHz after integrating the RT core and memory controllers.
+  return DesignArea{base.slices + xd1_interface_slices() + kMxvXd1Extra, 164.0};
+}
+
+unsigned AreaModel::max_mm_pes(const FpgaDevice& dev, bool with_xd1_interface) const {
+  const double frac = with_xd1_interface ? kRouteFracXd1 : kRouteFracStandalone;
+  double budget = frac * static_cast<double>(dev.slices);
+  if (with_xd1_interface) {
+    budget -= static_cast<double>(kMmXd1Glue + cores_.adder_slices);
+  }
+  if (budget <= 0.0) return 0;
+  return static_cast<unsigned>(budget / static_cast<double>(mm_pe_slices()));
+}
+
+unsigned AreaModel::projected_pes(const FpgaDevice& dev, unsigned pe_slices) const {
+  require(pe_slices > 0, "PE slice count must be positive");
+  // Sec 6.4.1 computes chassis GFLOPS from device capacity / PE area and then
+  // deducts 25% for routing; the PE counts implied by the quoted numbers
+  // (27 GFLOPS on XC2VP50, ~50 on XC2VP100 with a 1600-slice PE) correspond
+  // to rounding to the nearest integer.
+  const double ratio =
+      static_cast<double>(dev.slices) / static_cast<double>(pe_slices);
+  return static_cast<unsigned>(std::lround(ratio));
+}
+
+}  // namespace xd::machine

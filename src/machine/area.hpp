@@ -1,0 +1,98 @@
+// Area and clock model for the paper's designs.
+//
+// We have no synthesis tool chain, so place & route results are modeled from
+// the constants the paper reports and simple composition rules, calibrated so
+// the exact configurations the paper measured come out at the paper's
+// numbers:
+//   Table 2: adder 892 slices / 14 stages, multiplier 835 / 11, both 170 MHz;
+//            reduction circuit 1658 slices at 170 MHz.
+//   Table 3: dot (k=2) 5210 slices @170; GEMV tree (k=4) 9669 @170.
+//   Table 4: GEMV on XD1 13772 slices @164; GEMM on XD1 (k=8) 21029 @130.
+//   Fig 9:   GEMM PE 2158 slices; clock 155 MHz at k=1 degrading to
+//            125 MHz at k=10 (routing pressure); max 10 PEs standalone,
+//            max 8 PEs with the XD1 interface (RT core + SRAM controllers,
+//            ~3000 slices).
+// Composition rule: design area = sum of FP cores + reduction circuit (where
+// used) + a calibrated control/steering overhead; clock = base clock minus a
+// routing degradation that grows with the number of parallel lanes.
+#pragma once
+
+#include "common/util.hpp"
+#include "machine/device.hpp"
+
+namespace xd::machine {
+
+/// Slice counts / stage depths / clock of the FP cores (paper Table 2).
+struct FpCoreSpec {
+  unsigned adder_slices = 892;
+  unsigned multiplier_slices = 835;
+  unsigned adder_stages = 14;
+  unsigned multiplier_stages = 11;
+  double clock_mhz = 170.0;
+};
+
+/// One row of a design-characteristics report (Tables 3 / 4 / Fig 9).
+struct DesignArea {
+  unsigned slices = 0;
+  double clock_mhz = 0.0;
+  double fraction_of(const FpgaDevice& dev) const {
+    return static_cast<double>(slices) / static_cast<double>(dev.slices);
+  }
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(FpCoreSpec cores = {}) : cores_(cores) {}
+
+  const FpCoreSpec& cores() const { return cores_; }
+
+  /// Reduction circuit: one adder plus buffer/control logic (Table 2).
+  unsigned reduction_circuit_slices() const { return 1658; }
+
+  /// Tree-based dot-product design with k multipliers (Sec 4.1):
+  /// k multipliers, k-1 tree adders, the reduction circuit, and control.
+  DesignArea dot_design(unsigned k) const;
+
+  /// Tree-based GEMV design with k multipliers (Sec 4.2, row-major).
+  DesignArea mxv_tree_design(unsigned k) const;
+
+  /// Column-major GEMV design with k adder/multiplier pairs (Sec 4.2).
+  DesignArea mxv_col_design(unsigned k) const;
+
+  /// GEMM linear-array PE (Sec 5.1): one adder + one multiplier + registers,
+  /// local storage steering and the three I/O ports. 2158 slices measured.
+  unsigned mm_pe_slices() const { return 2158; }
+
+  /// GEMM design of k PEs standalone (Fig 9) and its achievable clock.
+  DesignArea mm_design(unsigned k) const;
+
+  /// GEMM design of k PEs with the XD1 interface and the extra accumulation
+  /// adder of the hierarchical design (Table 4 row: 21029 slices, 130 MHz).
+  DesignArea mm_design_xd1(unsigned k) const;
+
+  /// GEMV tree design with XD1 interface (Table 4 row: 13772 slices, 164 MHz).
+  DesignArea mxv_design_xd1(unsigned k) const;
+
+  /// Slices consumed by the XD1 glue (RT core, four SRAM controllers,
+  /// status-register logic): "approximately 3000 slices".
+  unsigned xd1_interface_slices() const { return 3000; }
+
+  /// Maximum number of GEMM PEs that place & route succeeds with.
+  /// `with_xd1_interface` reserves the glue slices and tightens the routing
+  /// headroom (paper: 10 standalone, 8 on XD1, both on XC2VP50).
+  unsigned max_mm_pes(const FpgaDevice& dev, bool with_xd1_interface) const;
+
+  /// Maximum PEs for a hypothetical improved PE of `pe_slices` (Figs 11/12).
+  /// The paper computes chassis projections from device slices / PE slices
+  /// (rounded to nearest); we follow it exactly.
+  unsigned projected_pes(const FpgaDevice& dev, unsigned pe_slices) const;
+
+  /// Achievable clock of a k-PE GEMM design: 155 MHz at k=1, linear routing
+  /// degradation to 125 MHz at k=10 (Fig 9).
+  double mm_clock_mhz(unsigned k) const;
+
+ private:
+  FpCoreSpec cores_;
+};
+
+}  // namespace xd::machine

@@ -1,0 +1,28 @@
+#include "machine/chassis.hpp"
+
+namespace xd::machine {
+
+Chassis::Chassis(const ChassisConfig& cfg, unsigned index)
+    : cfg_(cfg), index_(index) {
+  require(cfg.nodes >= 1, "chassis needs at least one node");
+  const double clock_hz = cfg.node.clock_mhz * 1e6;
+  const double words_per_cycle =
+      mem::Channel::words_per_cycle_for(cfg.link_bytes_per_s, clock_hz);
+  for (unsigned i = 0; i < cfg.nodes; ++i) {
+    nodes_.push_back(std::make_unique<ComputeNode>(cfg.node, index * cfg.nodes + i));
+  }
+  for (unsigned i = 0; i + 1 < cfg.nodes; ++i) {
+    fwd_.push_back(std::make_unique<mem::Channel>(
+        words_per_cycle, cat("chassis", index_, ".fwd", i)));
+    bwd_.push_back(std::make_unique<mem::Channel>(
+        words_per_cycle, cat("chassis", index_, ".bwd", i)));
+  }
+}
+
+void Chassis::tick() {
+  for (auto& n : nodes_) n->tick();
+  for (auto& c : fwd_) c->tick();
+  for (auto& c : bwd_) c->tick();
+}
+
+}  // namespace xd::machine

@@ -1,0 +1,22 @@
+#include "machine/device.hpp"
+
+namespace xd::machine {
+
+FpgaDevice xc2vp50() {
+  // "contains 23616 slices, about 4 Mb of on-chip memory and 852 I/O pins"
+  return FpgaDevice{"XC2VP50", 23616, 4ull * 1024 * 1024, 852};
+}
+
+FpgaDevice xc2vp100() {
+  // "XC2VP100 contains 44096 slices, about 8 Mb of on-chip memory and 1164
+  // I/O pins"
+  return FpgaDevice{"XC2VP100", 44096, 8ull * 1024 * 1024, 1164};
+}
+
+FpgaDevice device_by_name(const std::string& name) {
+  if (name == "XC2VP50") return xc2vp50();
+  if (name == "XC2VP100") return xc2vp100();
+  throw ConfigError(cat("unknown FPGA device: ", name));
+}
+
+}  // namespace xd::machine

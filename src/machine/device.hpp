@@ -1,0 +1,33 @@
+// FPGA device catalog.
+//
+// The paper targets the Xilinx Virtex-II Pro XC2VP50 (the device in Cray
+// XD1 compute blades) and projects to the larger XC2VP100 (Figure 12).
+// Capacities here are the figures the paper quotes (Sec 4.4, 6.4.1).
+#pragma once
+
+#include <string>
+
+#include "common/util.hpp"
+
+namespace xd::machine {
+
+struct FpgaDevice {
+  std::string name;
+  unsigned slices;        ///< logic capacity
+  u64 bram_bits;          ///< on-chip Block RAM capacity
+  unsigned io_pins;
+
+  /// On-chip memory capacity in 64-bit words.
+  u64 bram_words() const { return bram_bits / 64; }
+};
+
+/// Xilinx Virtex-II Pro XC2VP50: 23616 slices, ~4 Mb BRAM, 852 I/O pins.
+FpgaDevice xc2vp50();
+
+/// Xilinx Virtex-II Pro XC2VP100: 44096 slices, ~8 Mb BRAM, 1164 I/O pins.
+FpgaDevice xc2vp100();
+
+/// Lookup by name ("XC2VP50" / "XC2VP100"); throws ConfigError if unknown.
+FpgaDevice device_by_name(const std::string& name);
+
+}  // namespace xd::machine

@@ -1,0 +1,41 @@
+#include "machine/node.hpp"
+
+namespace xd::machine {
+
+ComputeNode::ComputeNode(const NodeConfig& cfg, unsigned index)
+    : cfg_(cfg), index_(index) {
+  require(cfg.sram_banks >= 1, "node needs at least one SRAM bank");
+  banks_.reserve(cfg.sram_banks);
+  for (unsigned b = 0; b < cfg.sram_banks; ++b) {
+    banks_.push_back(std::make_unique<mem::SramBank>(
+        cfg.sram_bank_words, cat("node", index_, ".sram", b)));
+  }
+  const double words_per_cycle =
+      mem::Channel::words_per_cycle_for(cfg.dram_bytes_per_s, clock_hz());
+  dram_ = std::make_unique<mem::Dram>(cfg.dram_words, words_per_cycle,
+                                      cat("node", index_, ".dram"));
+  dma_ = std::make_unique<mem::DmaEngine>(dram_->link(), cfg.sram_banks);
+}
+
+void ComputeNode::tick() {
+  ++cycles_;
+  for (auto& b : banks_) b->tick();
+  dram_->tick();
+  dma_->tick();
+}
+
+std::size_t ComputeNode::sram_total_words() const {
+  return banks_.size() * cfg_.sram_bank_words;
+}
+
+double ComputeNode::sram_achieved_bytes_per_s() const {
+  double total = 0.0;
+  for (const auto& b : banks_) total += b->achieved_bytes_per_s(clock_hz());
+  return total;
+}
+
+double ComputeNode::dram_achieved_bytes_per_s() const {
+  return dram_->link().achieved_bytes_per_s(clock_hz());
+}
+
+}  // namespace xd::machine

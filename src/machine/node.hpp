@@ -1,0 +1,64 @@
+// Compute-node model (one XD1 blade as seen by an FPGA design).
+//
+// A node is one FPGA plus its four QDR-II SRAM banks and the Opteron DRAM
+// reached over the RapidArray transport (Sec 3.1.2 / Fig 2 of the paper).
+// The simulated BLAS architectures run "on" a node: they pull operands from
+// the node's memories through its bandwidth-modeled ports and the node
+// accounts all traffic so benches can report achieved bandwidths per level.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/area.hpp"
+#include "machine/device.hpp"
+#include "mem/dma.hpp"
+#include "mem/dram.hpp"
+#include "mem/sram_bank.hpp"
+
+namespace xd::machine {
+
+struct NodeConfig {
+  FpgaDevice device = xc2vp50();
+  double clock_mhz = 170.0;          ///< design clock the node runs at
+  unsigned sram_banks = 4;           ///< XD1: four QDR-II banks
+  std::size_t sram_bank_words = 4ull * 1024 * 1024 / kWordBytes;  ///< 4 MB each
+  std::size_t dram_words = 64ull * 1024 * 1024 / kWordBytes;  ///< modeled slice of the 8 GB
+  double dram_bytes_per_s = 3.2 * kGB;  ///< RapidArray link, Table 1 Level C
+};
+
+class ComputeNode {
+ public:
+  explicit ComputeNode(const NodeConfig& cfg, unsigned index = 0);
+
+  /// Advance one design-clock cycle (ports reopen, link credit accrues, DMA
+  /// progresses).
+  void tick();
+
+  mem::SramBank& sram(unsigned bank) { return *banks_.at(bank); }
+  unsigned sram_bank_count() const { return static_cast<unsigned>(banks_.size()); }
+  std::size_t sram_total_words() const;
+  mem::Dram& dram() { return *dram_; }
+  mem::DmaEngine& dma() { return *dma_; }
+
+  const FpgaDevice& device() const { return cfg_.device; }
+  double clock_hz() const { return cfg_.clock_mhz * 1e6; }
+  double clock_mhz() const { return cfg_.clock_mhz; }
+  unsigned index() const { return index_; }
+  u64 cycles() const { return cycles_; }
+
+  /// Aggregate achieved SRAM bandwidth across banks at the node clock.
+  double sram_achieved_bytes_per_s() const;
+  /// Achieved DRAM-link bandwidth at the node clock.
+  double dram_achieved_bytes_per_s() const;
+
+ private:
+  NodeConfig cfg_;
+  unsigned index_;
+  std::vector<std::unique_ptr<mem::SramBank>> banks_;
+  std::unique_ptr<mem::Dram> dram_;
+  std::unique_ptr<mem::DmaEngine> dma_;
+  u64 cycles_ = 0;
+};
+
+}  // namespace xd::machine

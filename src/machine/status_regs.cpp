@@ -1,0 +1,56 @@
+#include "machine/status_regs.hpp"
+
+namespace xd::machine {
+
+StatusRegisters::StatusRegisters(ComputeNode& node, unsigned round_trip_cycles)
+    : node_(node), round_trip_cycles_(round_trip_cycles) {
+  require(round_trip_cycles >= 1, "status registers need a positive round trip");
+}
+
+u64 StatusRegisters::round_trip() {
+  // One word crosses the RT link; wait for credit, then pay the transport
+  // latency in node cycles.
+  u64 cycles = 0;
+  while (!node_.dram().link().can_transfer(1.0)) {
+    node_.tick();
+    ++cycles;
+  }
+  node_.dram().link().transfer(1.0);
+  for (unsigned i = 0; i < round_trip_cycles_; ++i) {
+    node_.tick();
+    ++cycles;
+  }
+  ++accesses_;
+  return cycles;
+}
+
+u64 StatusRegisters::host_write(Reg r, u64 value) {
+  const u64 cycles = round_trip();
+  regs_.at(idx(r)) = value;
+  return cycles;
+}
+
+u64 StatusRegisters::host_read(Reg r, u64& value) {
+  const u64 cycles = round_trip();
+  value = regs_.at(idx(r));
+  return cycles;
+}
+
+u64 StatusRegisters::host_poll_until(u64 target, unsigned poll_interval,
+                                     u64 max_cycles) {
+  u64 total = 0;
+  while (true) {
+    u64 v = 0;
+    total += host_read(Reg::Status, v);
+    if (v == target) return total;
+    for (unsigned i = 0; i < poll_interval; ++i) {
+      node_.tick();
+      ++total;
+    }
+    if (total > max_cycles) {
+      throw SimError("status-register poll exceeded its cycle budget");
+    }
+  }
+}
+
+}  // namespace xd::machine

@@ -1,0 +1,76 @@
+// Processor <-> FPGA control protocol (Sec 6.1/6.2).
+//
+// The paper's XD1 designs carry an Rt_Client with "several status registers
+// for communication between the processor and the FPGA": the host writes the
+// problem size, signals initialization, polls for completion. Each register
+// access crosses the RapidArray transport, so the handshake costs real link
+// round trips — a small but genuine overhead this model makes visible.
+//
+// The register file lives on the FPGA; host-side reads/writes consume link
+// credit and a fixed round-trip latency. A typical session:
+//
+//   regs.host_write(Reg::ProblemSize, n);        // config
+//   regs.host_write(Reg::Command, kCmdInit);
+//   ... FPGA design raises InitDone ...
+//   regs.host_write(Reg::Command, kCmdStart);
+//   while (regs.host_read(Reg::Status) != kStatusDone) { /* poll */ }
+//
+// host_* calls advance the node's clock internally by the round-trip cost
+// and return the cycle count consumed, so engines can add the handshake to
+// their reports.
+#pragma once
+
+#include <array>
+
+#include "common/util.hpp"
+#include "machine/node.hpp"
+
+namespace xd::machine {
+
+class StatusRegisters {
+ public:
+  enum class Reg : unsigned {
+    ProblemSize = 0,
+    Command = 1,
+    Status = 2,
+    InitDone = 3,
+    Scratch0 = 4,
+    Scratch1 = 5,
+    Count = 6,
+  };
+  static constexpr u64 kCmdInit = 1;
+  static constexpr u64 kCmdStart = 2;
+  static constexpr u64 kStatusIdle = 0;
+  static constexpr u64 kStatusBusy = 1;
+  static constexpr u64 kStatusDone = 2;
+
+  /// `round_trip_cycles`: host-side access latency over the RT link in FPGA
+  /// clock cycles (tens of cycles on XD1-class transports).
+  explicit StatusRegisters(ComputeNode& node, unsigned round_trip_cycles = 40);
+
+  /// Host-side access: advances the node by the round trip and consumes one
+  /// link word of credit. Returns cycles consumed.
+  u64 host_write(Reg r, u64 value);
+  u64 host_read(Reg r, u64& value);
+
+  /// FPGA-side access: same-cycle, free (the registers live on the fabric).
+  void fpga_write(Reg r, u64 value) { regs_.at(idx(r)) = value; }
+  u64 fpga_read(Reg r) const { return regs_.at(idx(r)); }
+
+  /// Host polls Status until `target`, advancing the node between polls;
+  /// returns total cycles consumed. `poll_interval` models host loop pacing.
+  u64 host_poll_until(u64 target, unsigned poll_interval, u64 max_cycles);
+
+  u64 host_accesses() const { return accesses_; }
+
+ private:
+  static std::size_t idx(Reg r) { return static_cast<std::size_t>(r); }
+  u64 round_trip();
+
+  ComputeNode& node_;
+  unsigned round_trip_cycles_;
+  std::array<u64, static_cast<std::size_t>(Reg::Count)> regs_{};
+  u64 accesses_ = 0;
+};
+
+}  // namespace xd::machine

@@ -1,0 +1,43 @@
+// Full reconfigurable-system model: multiple chassis connected by RapidArray
+// external switches (Sec 6.4.2: a typical XD1 installation has 12 chassis,
+// 4 GB/s between chassis). Used by the multi-chassis GEMM projection bench
+// and the chassis-scaling example.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "machine/chassis.hpp"
+
+namespace xd::machine {
+
+struct SystemConfig {
+  ChassisConfig chassis;
+  unsigned chassis_count = 12;
+  double interchassis_bytes_per_s = 4.0 * kGB;  ///< Sec 6.4.2
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& cfg);
+
+  void tick();
+
+  unsigned chassis_count() const { return static_cast<unsigned>(chassis_.size()); }
+  Chassis& chassis(unsigned i) { return *chassis_.at(i); }
+
+  /// Total FPGAs across the installation (the `l` of Sec 5.2 at full scale).
+  unsigned total_fpgas() const;
+
+  /// Link between chassis i and i+1.
+  mem::Channel& chassis_link(unsigned i) { return *links_.at(i); }
+
+  const SystemConfig& config() const { return cfg_; }
+
+ private:
+  SystemConfig cfg_;
+  std::vector<std::unique_ptr<Chassis>> chassis_;
+  std::vector<std::unique_ptr<mem::Channel>> links_;
+};
+
+}  // namespace xd::machine

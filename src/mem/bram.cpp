@@ -1,0 +1,54 @@
+#include "mem/bram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace xd::mem {
+
+BramBudget::BramBudget(u64 capacity_words, std::string owner)
+    : capacity_(capacity_words), owner_(std::move(owner)) {
+  require(capacity_words > 0, "BRAM budget needs positive capacity");
+}
+
+void BramBudget::allocate(const std::string& name, u64 words) {
+  if (!try_allocate(name, words)) {
+    throw ConfigError(cat("BRAM of ", owner_, " cannot hold '", name, "' (",
+                          words, " words): ", used_, "/", capacity_,
+                          " already used"));
+  }
+}
+
+bool BramBudget::try_allocate(const std::string& name, u64 words) {
+  for (const auto& r : regions_) {
+    require(r.name != name, cat("BRAM region '", name, "' allocated twice"));
+  }
+  if (!fits(words)) return false;
+  regions_.push_back(Region{name, words});
+  used_ += words;
+  return true;
+}
+
+void BramBudget::release(const std::string& name) {
+  const auto it = std::find_if(regions_.begin(), regions_.end(),
+                               [&](const Region& r) { return r.name == name; });
+  require(it != regions_.end(), cat("BRAM region '", name, "' not allocated"));
+  used_ -= it->words;
+  regions_.erase(it);
+}
+
+u64 BramBudget::max_square_block_edge() const {
+  return static_cast<u64>(
+      std::floor(std::sqrt(static_cast<double>(free_words()) / 2.0)));
+}
+
+std::string BramBudget::report() const {
+  std::ostringstream os;
+  os << "BRAM(" << owner_ << "): " << used_ << "/" << capacity_ << " words\n";
+  for (const auto& r : regions_) {
+    os << "  " << r.name << ": " << r.words << " words\n";
+  }
+  return os.str();
+}
+
+}  // namespace xd::mem

@@ -1,0 +1,56 @@
+// On-chip Block RAM model (Level A of Table 1).
+//
+// BRAM is the fastest, smallest level of the hierarchy: the XC2VP50 carries
+// ~4 Mb (65536 64-bit words). Designs allocate named regions out of it —
+// x storage for GEMV, the 2 m^2 C'/B stores of the GEMM array, the 2 alpha^2
+// reduction buffers — and a design that does not fit simply cannot be built
+// (the paper's m = 128 choice for Fig 9 and n <= 2048 for GEMV come from
+// exactly this constraint). BramBudget tracks allocations against a device's
+// capacity and renders a floorplan-style report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/util.hpp"
+#include "machine/device.hpp"
+
+namespace xd::mem {
+
+class BramBudget {
+ public:
+  explicit BramBudget(u64 capacity_words, std::string owner = "fpga");
+  /// Budget for a device's full BRAM capacity.
+  explicit BramBudget(const machine::FpgaDevice& dev)
+      : BramBudget(dev.bram_words(), dev.name) {}
+
+  /// Reserve `words` under `name`; throws ConfigError when over capacity.
+  void allocate(const std::string& name, u64 words);
+  /// Reserve only if it fits; returns success.
+  bool try_allocate(const std::string& name, u64 words);
+  void release(const std::string& name);
+
+  u64 capacity_words() const { return capacity_; }
+  u64 used_words() const { return used_; }
+  u64 free_words() const { return capacity_ - used_; }
+  bool fits(u64 words) const { return words <= free_words(); }
+
+  /// Largest square block edge m such that 2 m^2 words fit in the free
+  /// space (the GEMM array's storage need) — how Fig 9's m is chosen.
+  u64 max_square_block_edge() const;
+
+  std::string report() const;
+
+ private:
+  struct Region {
+    std::string name;
+    u64 words;
+  };
+  u64 capacity_;
+  u64 used_ = 0;
+  std::string owner_;
+  std::vector<Region> regions_;
+};
+
+}  // namespace xd::mem

@@ -1,0 +1,50 @@
+#include "mem/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xd::mem {
+
+Channel::Channel(double words_per_cycle, std::string name, double burst_words)
+    : rate_(words_per_cycle),
+      // Default burst: one cycle's rate plus a two-word staging FIFO. The +2
+      // keeps fractional rates lossless for integer-word consumers and lets
+      // designs assemble small atomic groups (e.g. a lane group plus a
+      // broadcast word) without banking idle bandwidth indefinitely.
+      burst_(burst_words > 0.0 ? burst_words : words_per_cycle + 2.0),
+      name_(std::move(name)) {
+  require(words_per_cycle > 0.0, cat("channel ", name_, " needs positive rate"));
+}
+
+void Channel::tick() {
+  ++cycles_;
+  credit_ = std::min(credit_ + rate_, burst_);
+}
+
+void Channel::transfer(double words) {
+  if (credit_ < words) {
+    throw SimError(cat("channel ", name_, " over-subscribed: need ", words,
+                       " credits, have ", credit_));
+  }
+  credit_ -= words;
+  transferred_ += words;
+}
+
+double Channel::utilization() const {
+  const double offered = rate_ * static_cast<double>(cycles_);
+  return offered > 0.0 ? transferred_ / offered : 0.0;
+}
+
+double Channel::achieved_bytes_per_s(double clock_hz) const {
+  if (cycles_ == 0) return 0.0;
+  const double words_per_cycle = transferred_ / static_cast<double>(cycles_);
+  return words_per_cycle * static_cast<double>(kWordBytes) * clock_hz;
+}
+
+void Channel::reset_counters() {
+  cycles_ = 0;
+  transferred_ = 0.0;
+  credit_ = 0.0;
+}
+
+}  // namespace xd::mem

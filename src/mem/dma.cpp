@@ -1,0 +1,30 @@
+#include "mem/dma.hpp"
+
+namespace xd::mem {
+
+void DmaEngine::start(WordMemory& src, std::size_t src_addr, WordMemory& dst,
+                      std::size_t dst_addr, std::size_t words) {
+  if (active()) throw SimError("DMA engine already has an active transfer");
+  src_ = &src;
+  dst_ = &dst;
+  src_addr_ = src_addr;
+  dst_addr_ = dst_addr;
+  remaining_ = words;
+}
+
+void DmaEngine::tick() {
+  if (!active()) return;
+  ++busy_cycles_;
+  std::size_t budget = remaining_;
+  if (port_cap_ > 0) budget = std::min<std::size_t>(budget, port_cap_);
+  std::size_t moved = 0;
+  while (moved < budget && link_.can_transfer(1.0)) {
+    link_.transfer(1.0);
+    dst_->write(dst_addr_++, src_->read(src_addr_++));
+    ++moved;
+  }
+  remaining_ -= moved;
+  moved_ += moved;
+}
+
+}  // namespace xd::mem

@@ -1,0 +1,18 @@
+#include "mem/dram.hpp"
+
+namespace xd::mem {
+
+Dram::Dram(std::size_t words, double words_per_cycle, std::string name)
+    : mem_(words, name + ".array"), link_(words_per_cycle, name + ".link") {}
+
+u64 Dram::read(std::size_t addr) {
+  link_.transfer(1.0);
+  return mem_.read(addr);
+}
+
+void Dram::write(std::size_t addr, u64 value) {
+  link_.transfer(1.0);
+  mem_.write(addr, value);
+}
+
+}  // namespace xd::mem

@@ -1,0 +1,39 @@
+// DRAM model (XD1 Level C memory, reached over the RapidArray transport).
+//
+// The FPGA reaches the Opteron's DRAM through the RapidArray Processor; the
+// paper measures 1.3 GB/s achieved for the GEMV data staging and uses at most
+// ~0.9 GB/s for GEMM projections against a 3.2 GB/s nominal link. We model
+// the link as a bandwidth-throttled Channel in front of a WordMemory.
+#pragma once
+
+#include <string>
+
+#include "mem/channel.hpp"
+#include "mem/memory.hpp"
+
+namespace xd::mem {
+
+class Dram {
+ public:
+  /// `words` capacity, `words_per_cycle` sustained link rate at the design
+  /// clock (see Channel::words_per_cycle_for to derive from GB/s).
+  Dram(std::size_t words, double words_per_cycle, std::string name);
+
+  void tick() { link_.tick(); }
+
+  bool can_read() const { return link_.can_transfer(1.0); }
+  bool can_write() const { return link_.can_transfer(1.0); }
+  u64 read(std::size_t addr);
+  void write(std::size_t addr, u64 value);
+
+  WordMemory& storage() { return mem_; }
+  const WordMemory& storage() const { return mem_; }
+  Channel& link() { return link_; }
+  const Channel& link() const { return link_; }
+
+ private:
+  WordMemory mem_;
+  Channel link_;
+};
+
+}  // namespace xd::mem

@@ -1,0 +1,55 @@
+// Memory-hierarchy descriptors (Table 1 of the paper).
+//
+// Each compute node exposes three levels to the FPGA design:
+//   Level A: on-chip BRAM         (hundreds of KB, >100 GB/s aggregate)
+//   Level B: on-board SRAM        (tens of MB, a few to ~13 GB/s)
+//   Level C: processor DRAM       (GBs, <5 GB/s over the system interconnect)
+// The constants below are the paper's Table 1 rows for the SRC MAPstation
+// and the Cray XD1, used by bench_table1_memory and by machine/node to size
+// default systems.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/util.hpp"
+
+namespace xd::mem {
+
+enum class Level { A, B, C };
+
+struct LevelSpec {
+  Level level;
+  std::string name;
+  double bytes;            ///< capacity available to one FPGA
+  double bytes_per_s;      ///< peak bandwidth to the FPGA design
+};
+
+struct HierarchySpec {
+  std::string system;
+  std::array<LevelSpec, 3> levels;
+
+  const LevelSpec& level(Level l) const {
+    return levels[static_cast<std::size_t>(l)];
+  }
+};
+
+/// SRC MAPstation column of Table 1.
+inline HierarchySpec src_mapstation() {
+  return HierarchySpec{
+      "SRC MAPstation",
+      {LevelSpec{Level::A, "BRAM", 648 * kKiB, 260 * kGB},
+       LevelSpec{Level::B, "SRAM", 24 * kMiB, 4.8 * kGB},
+       LevelSpec{Level::C, "DRAM", 8 * kGiB, 1.4 * kGB}}};
+}
+
+/// Cray XD1 column of Table 1.
+inline HierarchySpec cray_xd1() {
+  return HierarchySpec{
+      "Cray XD1",
+      {LevelSpec{Level::A, "BRAM", 522 * kKiB, 209 * kGB},
+       LevelSpec{Level::B, "SRAM", 16 * kMiB, 12.8 * kGB},
+       LevelSpec{Level::C, "DRAM", 8 * kGiB, 3.2 * kGB}}};
+}
+
+}  // namespace xd::mem

@@ -1,0 +1,45 @@
+#include "mem/memory.hpp"
+
+#include <algorithm>
+
+namespace xd::mem {
+
+WordMemory::WordMemory(std::size_t words, std::string name)
+    : data_(words, 0), name_(std::move(name)) {}
+
+void WordMemory::check(std::size_t addr) const {
+  if (addr >= data_.size()) {
+    throw SimError(cat("out-of-bounds access to ", name_, ": addr ", addr, " of ",
+                       data_.size(), " words"));
+  }
+}
+
+u64 WordMemory::read(std::size_t addr) {
+  check(addr);
+  ++reads_;
+  return data_[addr];
+}
+
+void WordMemory::write(std::size_t addr, u64 value) {
+  check(addr);
+  ++writes_;
+  data_[addr] = value;
+}
+
+void WordMemory::load(std::size_t addr, const std::vector<u64>& data) {
+  require(addr + data.size() <= data_.size(),
+          cat("load overruns ", name_, ": ", addr, "+", data.size(), " > ",
+              data_.size()));
+  std::copy(data.begin(), data.end(), data_.begin() + static_cast<long>(addr));
+}
+
+std::vector<u64> WordMemory::dump(std::size_t addr, std::size_t count) const {
+  require(addr + count <= data_.size(),
+          cat("dump overruns ", name_, ": ", addr, "+", count, " > ", data_.size()));
+  return {data_.begin() + static_cast<long>(addr),
+          data_.begin() + static_cast<long>(addr + count)};
+}
+
+void WordMemory::fill(u64 value) { std::fill(data_.begin(), data_.end(), value); }
+
+}  // namespace xd::mem

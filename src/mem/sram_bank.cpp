@@ -1,0 +1,39 @@
+#include "mem/sram_bank.hpp"
+
+namespace xd::mem {
+
+SramBank::SramBank(std::size_t words, std::string name)
+    : mem_(words, std::move(name)) {}
+
+void SramBank::tick() {
+  ++cycles_;
+  read_used_ = false;
+  write_used_ = false;
+}
+
+u64 SramBank::read(std::size_t addr) {
+  if (read_used_) {
+    throw SimError(cat("SRAM bank ", mem_.name(), ": two reads in one cycle"));
+  }
+  read_used_ = true;
+  ++reads_;
+  return mem_.read(addr);
+}
+
+void SramBank::write(std::size_t addr, u64 value) {
+  if (write_used_) {
+    throw SimError(cat("SRAM bank ", mem_.name(), ": two writes in one cycle"));
+  }
+  write_used_ = true;
+  ++writes_;
+  mem_.write(addr, value);
+}
+
+double SramBank::achieved_bytes_per_s(double clock_hz) const {
+  if (cycles_ == 0) return 0.0;
+  const double words_per_cycle =
+      static_cast<double>(reads_ + writes_) / static_cast<double>(cycles_);
+  return words_per_cycle * kWordBytes * clock_hz;
+}
+
+}  // namespace xd::mem

@@ -1,0 +1,52 @@
+// QDR-II SRAM bank model (XD1 Level B memory).
+//
+// Each FPGA in the XD1 is attached to four QDR-II SRAM banks of 4 MB each
+// (16 MB total). QDR ("quad data rate") SRAM has *independent* read and write
+// ports, each able to move one 64-bit word (plus parity) per design clock.
+// The paper's GEMV design reads one word from each of the four banks every
+// cycle (5.9 GB/s at 164 MHz); the GEMM design streams C' through one read
+// and one write port every cycle (2.1 GB/s at 130 MHz).
+#pragma once
+
+#include <string>
+
+#include "mem/memory.hpp"
+
+namespace xd::mem {
+
+class SramBank {
+ public:
+  SramBank(std::size_t words, std::string name);
+
+  /// Advance one clock cycle (reopens the read and write ports).
+  void tick();
+
+  bool can_read() const { return !read_used_; }
+  bool can_write() const { return !write_used_; }
+
+  /// One read per cycle; throws SimError on a port conflict.
+  u64 read(std::size_t addr);
+  /// One write per cycle; throws SimError on a port conflict.
+  void write(std::size_t addr, u64 value);
+
+  WordMemory& storage() { return mem_; }
+  const WordMemory& storage() const { return mem_; }
+
+  u64 cycles() const { return cycles_; }
+  /// Achieved bandwidth (both ports) in bytes/s at the given design clock.
+  double achieved_bytes_per_s(double clock_hz) const;
+  /// Peak bandwidth (both ports busy every cycle).
+  static double peak_bytes_per_s(double clock_hz) {
+    return 2.0 * kWordBytes * clock_hz;
+  }
+
+ private:
+  WordMemory mem_;
+  bool read_used_ = false;
+  bool write_used_ = false;
+  u64 cycles_ = 0;
+  u64 reads_ = 0;
+  u64 writes_ = 0;
+};
+
+}  // namespace xd::mem

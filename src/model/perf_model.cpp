@@ -1,0 +1,81 @@
+#include "model/perf_model.hpp"
+
+namespace xd::model {
+
+double mm_device_peak_flops(const machine::FpgaDevice& dev,
+                            const machine::FpCoreSpec& cores) {
+  const unsigned pair_slices = cores.adder_slices + cores.multiplier_slices;
+  const unsigned pairs = dev.slices / pair_slices;
+  return 2.0 * static_cast<double>(pairs) * cores.clock_mhz * 1e6;
+}
+
+u64 dot_model_cycles(std::size_t n, unsigned k, unsigned adder_stages,
+                     unsigned mult_stages) {
+  // Stream n/k groups, then drain: multiplier, adder tree (lg k levels), and
+  // the reduction of the final alpha partials (~lg(alpha) passes of alpha).
+  const u64 stream = ceil_div(n, k);
+  const u64 tree = static_cast<u64>(k > 1 ? log2_ceil(k) : 0) * adder_stages;
+  const u64 reduction_tail =
+      static_cast<u64>(log2_ceil(adder_stages) + 1) * adder_stages;
+  return stream + mult_stages + tree + reduction_tail;
+}
+
+u64 gemv_model_cycles(std::size_t rows, std::size_t cols, unsigned k) {
+  return ceil_div(static_cast<u64>(rows) * cols, k);
+}
+
+u64 mm_model_cycles(std::size_t n, unsigned k) {
+  return static_cast<u64>(n) * n * n / k;
+}
+
+u64 mm_hier_model_cycles(std::size_t n, unsigned k, unsigned l) {
+  return static_cast<u64>(n) * n * n / (static_cast<u64>(k) * l);
+}
+
+GemmDesignPoint gemm_zhuo04(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  // [30]: n PEs, Theta(n^2) storage, Theta(n^2) effective latency; the whole
+  // operand set streams once (1 word/cycle per matrix).
+  return GemmDesignPoint{"Zhuo04 [30] (n PEs)", dn, 2.0 * dn * dn, dn * dn, 2.0};
+}
+
+GemmDesignPoint gemm_dou05(std::size_t n, unsigned j, unsigned s) {
+  const double dn = static_cast<double>(n);
+  const double ds = static_cast<double>(s);
+  // [8]: j pipelined MACs, S^2-word local block stores, latency ~ n^3/j,
+  // bandwidth ~ 3/(2 S) words/cycle (their Eq. for block reuse).
+  return GemmDesignPoint{cat("Dou05 [8] (", j, " MACs, S=", s, ")"),
+                         static_cast<double>(j), 2.0 * ds * ds,
+                         dn * dn * dn / static_cast<double>(j), 1.5 / ds};
+}
+
+GemmDesignPoint gemm_sc05(std::size_t n, unsigned k, unsigned m) {
+  const double dn = static_cast<double>(n);
+  return GemmDesignPoint{cat("this paper (k=", k, ", m=", m, ")"),
+                         static_cast<double>(k),
+                         2.0 * static_cast<double>(m) * m, dn * dn * dn / k,
+                         mm_required_words_per_cycle(k, m)};
+}
+
+GemmDesignPoint gemm_naive_multi(std::size_t n, unsigned k, unsigned l,
+                                 unsigned m) {
+  const double dn = static_cast<double>(n);
+  const double kl = static_cast<double>(k) * l;
+  return GemmDesignPoint{cat("naive array x", l, " FPGAs (K=", k * l, ")"),
+                         kl, 2.0 * static_cast<double>(m) * m,
+                         dn * dn * dn / kl,
+                         3.0 * kl / static_cast<double>(m)};
+}
+
+GemmDesignPoint gemm_hier_multi(std::size_t n, unsigned k, unsigned l,
+                                unsigned m, std::size_t b) {
+  const double dn = static_cast<double>(n);
+  const double kl = static_cast<double>(k) * l;
+  return GemmDesignPoint{
+      cat("hierarchical x", l, " FPGAs (b=", b, ")"), kl,
+      2.0 * static_cast<double>(m) * m +
+          2.0 * static_cast<double>(b) * b / l,  // on-chip + SRAM panel share
+      dn * dn * dn / kl, mm_hier_dram_words_per_cycle(k, l, b)};
+}
+
+}  // namespace xd::model

@@ -1,0 +1,125 @@
+// Analytical performance model (Secs 4.4, 5.1, 5.2, 6.3).
+//
+// The paper evaluates its designs with closed-form peak/latency/bandwidth
+// formulas and compares measured results against them; this module implements
+// those formulas so benches can print both columns and tests can check the
+// cycle-accurate engines against the model.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/util.hpp"
+#include "machine/area.hpp"
+#include "machine/device.hpp"
+
+namespace xd::model {
+
+// ---- Level 1 / 2: I/O-bound peaks (Sec 4.4) -------------------------------
+
+/// Dot product moves 2n words for 2n flops: peak FLOPS equals the memory
+/// bandwidth in words/s.
+inline double dot_peak_flops(double mem_bytes_per_s) {
+  return mem_bytes_per_s / kWordBytes;
+}
+
+/// GEMV moves ~n^2 words for 2n^2 flops: peak FLOPS is twice the bandwidth
+/// in words/s.
+inline double gemv_peak_flops(double mem_bytes_per_s) {
+  return 2.0 * mem_bytes_per_s / kWordBytes;
+}
+
+// ---- Level 3: compute-bound peak (Sec 6.3) --------------------------------
+
+/// Device peak: 2 x (max adder/multiplier pairs that fit) x unit clock.
+/// XC2VP50 with the paper's cores: 2 * 13 * 170 MHz = 4.42 GFLOPS.
+double mm_device_peak_flops(const machine::FpgaDevice& dev,
+                            const machine::FpCoreSpec& cores);
+
+// ---- Latency models --------------------------------------------------------
+
+/// Dot: n elements through k lanes, plus pipeline and reduction tails.
+u64 dot_model_cycles(std::size_t n, unsigned k, unsigned adder_stages,
+                     unsigned mult_stages);
+
+/// GEMV (either architecture): n rows x n cols through k lanes.
+u64 gemv_model_cycles(std::size_t rows, std::size_t cols, unsigned k);
+
+/// GEMM linear array: n^3 / k effective cycles (Sec 5.1).
+u64 mm_model_cycles(std::size_t n, unsigned k);
+
+/// GEMM hierarchical: n^3 / (k l) effective cycles (Sec 5.2).
+u64 mm_hier_model_cycles(std::size_t n, unsigned k, unsigned l);
+
+// ---- Bandwidth requirements -------------------------------------------------
+
+/// GEMM array external-memory requirement: 3k/m words/cycle (Sec 5.1).
+inline double mm_required_words_per_cycle(unsigned k, unsigned m) {
+  return 3.0 * static_cast<double>(k) / static_cast<double>(m);
+}
+
+/// Hierarchical GEMM DRAM requirement: 3 k l / b words/cycle (Sec 5.2); the
+/// FPGA-to-FPGA links carry the same stream.
+inline double mm_hier_dram_words_per_cycle(unsigned k, unsigned l, std::size_t b) {
+  return 3.0 * static_cast<double>(k) * static_cast<double>(l) /
+         static_cast<double>(b);
+}
+
+/// Hierarchical GEMM SRAM requirement per FPGA: C' read + write every cycle
+/// plus the C-panel stream (one m x m block in and out every m^2 b /(k l)
+/// cycles) when l > 1 (Sec 6.3).
+inline double mm_hier_sram_words_per_cycle(unsigned k, unsigned l, std::size_t b) {
+  const double cpanel = l > 1 ? 2.0 * static_cast<double>(k) *
+                                    static_cast<double>(l) /
+                                    static_cast<double>(b)
+                              : 2.0 * static_cast<double>(k) /
+                                    static_cast<double>(b);
+  return 2.0 + cpanel;
+}
+
+// ---- Related-work design points (Sec 2.2) ----------------------------------
+// The paper positions its GEMM design against its own precursor [30] and the
+// MAC design of Dou et al. [8]; these model structs make the storage/latency/
+// bandwidth trade-off table printable (bench_mm_scaling).
+
+struct GemmDesignPoint {
+  std::string name;
+  double pes = 0;             ///< processing elements / MACs
+  double storage_words = 0;   ///< on-chip storage
+  double latency_cycles = 0;  ///< effective latency for n x n
+  double words_per_cycle = 0; ///< external bandwidth requirement
+};
+
+/// Zhuo & Prasanna IPDPS'04 [30]: n PEs, Theta(n^2) storage, Theta(n^2)
+/// latency — fast but storage grows with the problem.
+GemmDesignPoint gemm_zhuo04(std::size_t n);
+
+/// Dou et al. FPGA'05 [8]: j MAC units with block size s (their S^2-word
+/// local stores); latency ~ n^3/j, bandwidth ~ 3/(2s) words/cycle.
+GemmDesignPoint gemm_dou05(std::size_t n, unsigned j, unsigned s);
+
+/// This paper (Sec 5.1): k PEs, 2m^2 storage, n^3/k latency, 3k/m words/cycle.
+GemmDesignPoint gemm_sc05(std::size_t n, unsigned k, unsigned m);
+
+/// The naive multi-FPGA mapping Sec 5.2 argues AGAINST: the Sec 5.1 linear
+/// array simply stretched across l FPGAs (K = k*l PEs, one shared on-chip
+/// block of edge m). Latency improves to n^3/(k l) but the DRAM requirement
+/// grows as 3 k l / m words/cycle because the SRAM level is unused.
+GemmDesignPoint gemm_naive_multi(std::size_t n, unsigned k, unsigned l,
+                                 unsigned m);
+
+/// The hierarchical Sec 5.2 design: same n^3/(k l) latency, but the b x b
+/// SRAM panels cut the DRAM requirement to 3 k l / b words/cycle.
+GemmDesignPoint gemm_hier_multi(std::size_t n, unsigned k, unsigned l,
+                                unsigned m, std::size_t b);
+
+// ---- I/O complexity (Hong & Kung lower bound, Sec 5) -----------------------
+
+/// Words moved to/from external memory by the blocked GEMM: Theta(n^3 / m)
+/// with on-chip storage 2 m^2 (matches the red-blue pebble lower bound).
+inline double mm_io_words(std::size_t n, unsigned m) {
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn / static_cast<double>(m) + dn * dn;
+}
+
+}  // namespace xd::model

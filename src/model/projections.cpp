@@ -1,0 +1,77 @@
+#include "model/projections.hpp"
+
+#include "mem/hierarchy.hpp"
+#include "model/perf_model.hpp"
+
+namespace xd::model {
+
+std::vector<Fig9Point> figure9(const machine::AreaModel& area,
+                               const machine::FpgaDevice& dev) {
+  std::vector<Fig9Point> points;
+  const unsigned kmax = area.max_mm_pes(dev, /*with_xd1_interface=*/false);
+  for (unsigned k = 1; k <= kmax; ++k) {
+    const machine::DesignArea d = area.mm_design(k);
+    Fig9Point p;
+    p.k = k;
+    p.slices = d.slices;
+    p.clock_mhz = d.clock_mhz;
+    // Sustained = 2 flops/PE/cycle x k PEs x clock (Sec 5.3).
+    p.gflops = 2.0 * k * d.clock_mhz * 1e6 / 1e9;
+    points.push_back(p);
+  }
+  return points;
+}
+
+ChassisProjection project_chassis(const machine::AreaModel& area,
+                                  const machine::FpgaDevice& dev,
+                                  unsigned pe_slices, double pe_clock_mhz,
+                                  unsigned fpgas, std::size_t b) {
+  ChassisProjection p;
+  p.pe_slices = pe_slices;
+  p.pe_clock_mhz = pe_clock_mhz;
+  p.pes_per_fpga = area.projected_pes(dev, pe_slices);
+  // Sec 6.4.1: 2 x PEs x clock x 6, minus 25% for routing degradation.
+  p.gflops =
+      2.0 * p.pes_per_fpga * pe_clock_mhz * 1e6 * fpgas * 0.75 / 1e9;
+  // Bandwidth requirements with k = m (the paper's simplification).
+  const unsigned k = p.pes_per_fpga;
+  const double clock_hz = pe_clock_mhz * 1e6;
+  p.sram_bytes_per_s =
+      mm_hier_sram_words_per_cycle(k, fpgas, b) * kWordBytes * clock_hz;
+  p.dram_bytes_per_s =
+      mm_hier_dram_words_per_cycle(k, fpgas, b) * kWordBytes * clock_hz;
+  return p;
+}
+
+std::vector<ChassisProjection> figure11_grid(const machine::AreaModel& area,
+                                             const machine::FpgaDevice& dev) {
+  std::vector<ChassisProjection> grid;
+  for (unsigned slices = 1600; slices <= 2000; slices += 100) {
+    for (unsigned clock = 160; clock <= 200; clock += 10) {
+      grid.push_back(project_chassis(area, dev, slices, clock));
+    }
+  }
+  return grid;
+}
+
+SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
+                                double clock_mhz, double per_fpga_gflops) {
+  SystemProjection s;
+  s.chassis = chassis;
+  s.total_fpgas = chassis * 6;
+  s.gflops = per_fpga_gflops * s.total_fpgas;
+  const double clock_hz = clock_mhz * 1e6;
+  const unsigned l = s.total_fpgas;
+  s.sram_bytes_per_s = mm_hier_sram_words_per_cycle(k, l, b) * kWordBytes * clock_hz;
+  s.dram_bytes_per_s = mm_hier_dram_words_per_cycle(k, l, b) * kWordBytes * clock_hz;
+  // Sec 6.4.2: the stream crossing a chassis boundary equals the DRAM stream.
+  s.interchassis_bytes_per_s = s.dram_bytes_per_s;
+
+  const mem::HierarchySpec xd1 = mem::cray_xd1();
+  s.bandwidth_met = s.sram_bytes_per_s <= xd1.level(mem::Level::B).bytes_per_s &&
+                    s.dram_bytes_per_s <= xd1.level(mem::Level::C).bytes_per_s &&
+                    s.interchassis_bytes_per_s <= 4.0 * kGB;
+  return s;
+}
+
+}  // namespace xd::model

@@ -1,0 +1,71 @@
+// Projection engine for the paper's Sec 6.4 figures:
+//   Figure 9  — area & clock of the GEMM design vs number of PEs (XC2VP50),
+//   Figure 11 — projected chassis GFLOPS vs PE area x clock (XC2VP50),
+//   Figure 12 — the same on XC2VP100,
+//   Sec 6.4.2 — 12-chassis installation (148.3 GFLOPS projection).
+//
+// The paper computes these from the per-component constants of Table 2 /
+// Fig 9 and simple composition formulas; machine::AreaModel carries the
+// constants, and this module evaluates the formulas (including the 25%
+// routing deduction the paper applies to chassis projections).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "machine/area.hpp"
+#include "machine/device.hpp"
+
+namespace xd::model {
+
+/// One point of Figure 9.
+struct Fig9Point {
+  unsigned k = 0;          ///< PEs
+  unsigned slices = 0;
+  double clock_mhz = 0.0;
+  double gflops = 0.0;     ///< sustained 2 * k * clock
+};
+
+/// Figure 9 sweep: k = 1 .. max PEs on the device (10 on XC2VP50).
+std::vector<Fig9Point> figure9(const machine::AreaModel& area,
+                               const machine::FpgaDevice& dev);
+
+/// One cell of Figures 11 / 12.
+struct ChassisProjection {
+  unsigned pe_slices = 0;
+  double pe_clock_mhz = 0.0;
+  unsigned pes_per_fpga = 0;
+  double gflops = 0.0;                  ///< chassis sustained (6 FPGAs, -25%)
+  double sram_bytes_per_s = 0.0;        ///< required, per FPGA
+  double dram_bytes_per_s = 0.0;        ///< required, at FPGA_0
+};
+
+/// Project one chassis configuration (Sec 6.4.1). `fpgas` is 6 for an XD1
+/// chassis; `b` is the SRAM panel edge (2048 in the paper).
+ChassisProjection project_chassis(const machine::AreaModel& area,
+                                  const machine::FpgaDevice& dev,
+                                  unsigned pe_slices, double pe_clock_mhz,
+                                  unsigned fpgas = 6, std::size_t b = 2048);
+
+/// Full Figure 11 / 12 grid: PE area 1600..2000 step 100, clock 160..200
+/// step 10, on the given device.
+std::vector<ChassisProjection> figure11_grid(const machine::AreaModel& area,
+                                             const machine::FpgaDevice& dev);
+
+/// Multi-chassis projection (Sec 6.4.2).
+struct SystemProjection {
+  unsigned chassis = 0;
+  unsigned total_fpgas = 0;
+  double gflops = 0.0;
+  double sram_bytes_per_s = 0.0;        ///< required, per FPGA
+  double dram_bytes_per_s = 0.0;        ///< required, at FPGA_0
+  double interchassis_bytes_per_s = 0.0;
+  bool bandwidth_met = false;           ///< against XD1's available bandwidth
+};
+
+/// Project `chassis` XD1 chassis running the measured k-PE design at
+/// `per_fpga_gflops` (the paper uses the measured 2.06 GFLOPS).
+SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
+                                double clock_mhz, double per_fpga_gflops);
+
+}  // namespace xd::model

@@ -1,0 +1,327 @@
+#include "reduce/baselines.hpp"
+
+#include <algorithm>
+
+namespace xd::reduce {
+
+// ---------------------------------------------------------------- stalling --
+
+StallingAccumulator::StallingAccumulator(unsigned adder_stages)
+    : adder_(adder_stages) {}
+
+bool StallingAccumulator::cycle(std::optional<Input> in) {
+  ++cycles_;
+  adder_.tick();
+  if (auto r = adder_.take_output()) {
+    acc_ = r->bits;
+    inflight_ = false;
+    if (inflight_last_) {
+      out_.push_back(SetResult{cur_set_++, acc_});
+      have_acc_ = false;
+      inflight_last_ = false;
+    } else {
+      have_acc_ = true;
+    }
+  }
+
+  bool consumed = false;
+  if (in.has_value()) {
+    if (inflight_) {
+      ++stalls_;  // dependent addition: wait for the pipeline to drain
+    } else if (!have_acc_) {
+      if (in->last) {
+        out_.push_back(SetResult{cur_set_++, in->bits});  // single-element set
+      } else {
+        acc_ = in->bits;
+        have_acc_ = true;
+      }
+      consumed = true;
+    } else {
+      adder_.issue(acc_, in->bits);
+      inflight_ = true;
+      inflight_last_ = in->last;
+      have_acc_ = false;  // accumulator invalid until write-back
+      consumed = true;
+    }
+  }
+  return consumed;
+}
+
+std::optional<SetResult> StallingAccumulator::take_result() {
+  if (out_.empty()) return std::nullopt;
+  SetResult r = out_.front();
+  out_.erase(out_.begin());
+  return r;
+}
+
+bool StallingAccumulator::busy() const {
+  return inflight_ || have_acc_ || !out_.empty();
+}
+
+// ------------------------------------------------------------------- kogge --
+
+KoggeTree::KoggeTree(unsigned levels, unsigned adder_stages)
+    : levels_(levels), stages_(adder_stages) {
+  require(levels >= 1, "Kogge tree needs at least one level");
+  lvls_.reserve(levels);
+  for (unsigned l = 0; l < levels; ++l) lvls_.emplace_back(adder_stages);
+}
+
+void KoggeTree::feed(unsigned level, u64 set_id, u64 bits) {
+  if (level >= levels_) {
+    // Virtual output stage: a correctly-sized tree delivers exactly one value
+    // per set here.
+    auto [it, inserted] = finals_.emplace(set_id, bits);
+    if (!inserted) {
+      throw ConfigError(
+          cat("KoggeTree undersized: set ", set_id,
+              " produced more than one value at the output (need more levels)"));
+    }
+    return;
+  }
+  lvls_[level].inbox.emplace_back(set_id, bits);
+}
+
+void KoggeTree::finish_set(unsigned level, u64 set_id) {
+  if (level >= levels_) {
+    auto it = finals_.find(set_id);
+    if (it == finals_.end()) {
+      throw SimError(cat("KoggeTree: set ", set_id, " finished with no value"));
+    }
+    out_.push_back(SetResult{set_id, it->second});
+    finals_.erase(it);
+    return;
+  }
+  lvls_[level].sets[set_id].upstream_done = true;
+}
+
+void KoggeTree::step_level(unsigned level) {
+  Level& L = lvls_[level];
+  bool issued = false;
+
+  // Consume the inbox: hold the first value of a pair, fire the adder on the
+  // second. One adder issue per level per cycle.
+  std::size_t guard = L.inbox.size();
+  while (!L.inbox.empty() && guard-- > 0) {
+    auto [set_id, bits] = L.inbox.front();
+    SetState& s = L.sets[set_id];
+    if (s.hold.has_value()) {
+      if (issued) break;  // adder already used this cycle; retry next cycle
+      L.adder.issue(*s.hold, bits, set_id);
+      s.hold.reset();
+      ++s.inflight;
+      issued = true;
+    } else {
+      s.hold = bits;
+    }
+    L.inbox.pop_front();
+  }
+
+  // Flush finished sets downward: when nothing of the set remains at this
+  // level, pass the odd leftover (if any) and the done token to level + 1.
+  for (auto it = L.sets.begin(); it != L.sets.end();) {
+    SetState& s = it->second;
+    bool inbox_has_set = false;
+    for (const auto& [sid, b] : L.inbox) {
+      (void)b;
+      if (sid == it->first) {
+        inbox_has_set = true;
+        break;
+      }
+    }
+    if (s.upstream_done && s.inflight == 0 && !inbox_has_set) {
+      if (s.hold.has_value()) feed(level + 1, it->first, *s.hold);
+      finish_set(level + 1, it->first);
+      it = L.sets.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool KoggeTree::cycle(std::optional<Input> in) {
+  ++cycles_;
+  // Write-backs first: adder results re-enter the next level's inbox.
+  for (unsigned l = 0; l < levels_; ++l) {
+    Level& L = lvls_[l];
+    L.adder.tick();
+    if (auto r = L.adder.take_output()) {
+      --L.sets[r->tag].inflight;
+      feed(l + 1, r->tag, r->bits);
+    }
+  }
+
+  bool consumed = false;
+  if (in.has_value()) {
+    feed(0, next_set_id_, in->bits);
+    if (in->last) finish_set(0, next_set_id_++);
+    consumed = true;  // the tree never stalls the input
+  }
+
+  for (unsigned l = 0; l < levels_; ++l) step_level(l);
+
+  std::size_t occupancy = finals_.size();
+  for (const auto& L : lvls_) {
+    occupancy += L.inbox.size();
+    for (const auto& [sid, s] : L.sets) {
+      (void)sid;
+      occupancy += s.hold.has_value() ? 1 : 0;
+    }
+  }
+  peak_buffer_ = std::max(peak_buffer_, occupancy);
+  return consumed;
+}
+
+std::optional<SetResult> KoggeTree::take_result() {
+  if (out_.empty()) return std::nullopt;
+  SetResult r = out_.front();
+  out_.erase(out_.begin());
+  return r;
+}
+
+bool KoggeTree::busy() const {
+  if (!out_.empty() || !finals_.empty()) return true;
+  for (const auto& L : lvls_) {
+    if (L.adder.busy() || !L.inbox.empty() || !L.sets.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t KoggeTree::buffer_words() const { return peak_buffer_; }
+
+double KoggeTree::adder_utilization() const {
+  double sum = 0.0;
+  for (const auto& L : lvls_) sum += L.adder.utilization();
+  return lvls_.empty() ? 0.0 : sum / static_cast<double>(lvls_.size());
+}
+
+// ---------------------------------------------------------------- ni-hwang --
+
+NiHwangReducer::NiHwangReducer(unsigned adder_stages) : adder_(adder_stages) {}
+
+bool NiHwangReducer::cycle(std::optional<Input> in) {
+  ++cycles_;
+  adder_.tick();
+  if (auto r = adder_.take_output()) {
+    avail_.push_back(r->bits);
+    --inflight_;
+  }
+
+  bool consumed = false;
+  if (in.has_value()) {
+    // A new set must wait for the previous one to drain completely.
+    if (set_done_) {
+      ++stalls_;
+    } else {
+      set_open_ = true;
+      avail_.push_back(in->bits);
+      if (in->last) {
+        set_done_ = true;
+        set_open_ = false;
+      }
+      consumed = true;
+    }
+  }
+
+  // Fold one available pair per cycle.
+  if (avail_.size() >= 2) {
+    const u64 a = avail_.back();
+    avail_.pop_back();
+    const u64 b = avail_.back();
+    avail_.pop_back();
+    adder_.issue(a, b);
+    ++inflight_;
+  }
+
+  // Set complete: exactly one value left and nothing in flight.
+  if (set_done_ && inflight_ == 0 && avail_.size() == 1) {
+    out_.push_back(SetResult{cur_set_++, avail_.front()});
+    avail_.clear();
+    set_done_ = false;
+  }
+
+  peak_buffer_ = std::max(peak_buffer_, avail_.size());
+  return consumed;
+}
+
+std::optional<SetResult> NiHwangReducer::take_result() {
+  if (out_.empty()) return std::nullopt;
+  SetResult r = out_.front();
+  out_.erase(out_.begin());
+  return r;
+}
+
+bool NiHwangReducer::busy() const {
+  return set_open_ || set_done_ || adder_.busy() || !avail_.empty() ||
+         !out_.empty();
+}
+
+// ------------------------------------------------------------------ greedy --
+
+SingleAdderGreedy::SingleAdderGreedy(unsigned adder_stages)
+    : adder_(adder_stages) {}
+
+bool SingleAdderGreedy::cycle(std::optional<Input> in) {
+  ++cycles_;
+  adder_.tick();
+  if (auto r = adder_.take_output()) {
+    SetState& s = sets_[r->tag];
+    s.avail.push_back(r->bits);
+    --s.inflight;
+  }
+
+  bool consumed = false;
+  if (in.has_value()) {
+    SetState& s = sets_[next_set_id_];
+    s.avail.push_back(in->bits);
+    if (in->last) {
+      s.done = true;
+      ++next_set_id_;
+    }
+    consumed = true;  // unbounded buffer: never stalls
+  }
+
+  // Issue one addition from the oldest set holding a pair of values.
+  for (auto& [sid, s] : sets_) {
+    if (s.avail.size() >= 2) {
+      const u64 a = s.avail.back();
+      s.avail.pop_back();
+      const u64 b = s.avail.back();
+      s.avail.pop_back();
+      adder_.issue(a, b, sid);
+      ++s.inflight;
+      break;
+    }
+  }
+
+  // Emit at most one finished set per cycle (single memory write port).
+  for (auto it = sets_.begin(); it != sets_.end(); ++it) {
+    SetState& s = it->second;
+    if (s.done && s.inflight == 0 && s.avail.size() == 1) {
+      out_.push_back(SetResult{it->first, s.avail.front()});
+      sets_.erase(it);
+      break;
+    }
+  }
+
+  std::size_t occupancy = 0;
+  for (const auto& [sid, s] : sets_) {
+    (void)sid;
+    occupancy += s.avail.size();
+  }
+  peak_buffer_ = std::max(peak_buffer_, occupancy);
+  return consumed;
+}
+
+std::optional<SetResult> SingleAdderGreedy::take_result() {
+  if (out_.empty()) return std::nullopt;
+  SetResult r = out_.front();
+  out_.erase(out_.begin());
+  return r;
+}
+
+bool SingleAdderGreedy::busy() const {
+  return adder_.busy() || !sets_.empty() || !out_.empty();
+}
+
+}  // namespace xd::reduce

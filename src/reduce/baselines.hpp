@@ -1,0 +1,178 @@
+// Baseline reduction circuits for comparison against the proposed design
+// (Sec 2.3 of the paper surveys exactly these approaches):
+//
+//  - StallingAccumulator: the naive solution — one pipelined adder, one
+//    accumulator register, dependent additions wait for the pipeline to
+//    drain. Cheap but ~alpha cycles per input.
+//  - KoggeTree: Kogge's method [15] — lg(s) cascaded adders; one input per
+//    cycle with no stalls, but adder count grows with the set size.
+//  - SingleAdderGreedy: a fully-compacted-binary-tree style single-adder
+//    reducer (cf. [28]): every pair of available partial values of a set is
+//    eligible; one add issues per cycle from the oldest eligible set. One
+//    input per cycle with (almost) no stalls, but the partial-value buffer
+//    is unbounded and its peak occupancy is the interesting metric — for
+//    many small sets it grows well past the proposed circuit's alpha^2.
+//  - The two-adder variant of the proposed circuit lives in
+//    ReductionCircuit(stages, /*dedicated_drain_adder=*/true) (cf. [19]).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fp/fpu.hpp"
+#include "reduce/reduction_iface.hpp"
+
+namespace xd::reduce {
+
+/// Naive single-adder accumulator that stalls on every dependent addition.
+class StallingAccumulator final : public ReductionCircuitBase {
+ public:
+  explicit StallingAccumulator(unsigned adder_stages = fp::kAdderStages);
+
+  bool cycle(std::optional<Input> in) override;
+  std::optional<SetResult> take_result() override;
+  bool busy() const override;
+
+  std::string name() const override { return "stalling-accumulator"; }
+  unsigned adders_used() const override { return 1; }
+  std::size_t buffer_words() const override { return 1; }
+  u64 cycles() const override { return cycles_; }
+  u64 stall_cycles() const override { return stalls_; }
+  double adder_utilization() const override { return adder_.utilization(); }
+
+ private:
+  fp::PipelinedAdder adder_;
+  bool have_acc_ = false;
+  u64 acc_ = 0;
+  bool inflight_ = false;
+  bool inflight_last_ = false;
+  u64 cur_set_ = 0;
+  std::vector<SetResult> out_;
+  u64 cycles_ = 0;
+  u64 stalls_ = 0;
+};
+
+/// Kogge's cascaded-tree method: `levels` adders; level l pairs the stream
+/// emerging from level l-1. Handles arbitrary set sizes by forwarding odd
+/// leftovers to the next level when a set finishes at a level. The
+/// configuration must satisfy 2^levels >= max set size, or the final level
+/// emits more than one value per set (reported as a ConfigError).
+class KoggeTree final : public ReductionCircuitBase {
+ public:
+  KoggeTree(unsigned levels, unsigned adder_stages = fp::kAdderStages);
+
+  bool cycle(std::optional<Input> in) override;
+  std::optional<SetResult> take_result() override;
+  bool busy() const override;
+
+  std::string name() const override { return "kogge-tree"; }
+  unsigned adders_used() const override { return levels_; }
+  std::size_t buffer_words() const override;
+  u64 cycles() const override { return cycles_; }
+  u64 stall_cycles() const override { return 0; }
+  double adder_utilization() const override;
+
+ private:
+  // Per-level, per-set bookkeeping. A level receives values of a set, pairs
+  // them, and forwards sums; when the set is done upstream and nothing is in
+  // flight, a leftover held value (odd count) and the done token move down.
+  struct SetState {
+    std::optional<u64> hold;
+    unsigned inflight = 0;
+    bool upstream_done = false;
+  };
+  struct Level {
+    fp::PipelinedAdder adder;
+    std::map<u64, SetState> sets;
+    std::deque<std::pair<u64, u64>> inbox;  // (set_id, bits)
+
+    explicit Level(unsigned stages) : adder(stages) {}
+  };
+
+  void feed(unsigned level, u64 set_id, u64 bits);
+  void finish_set(unsigned level, u64 set_id);
+  void step_level(unsigned level);
+
+  unsigned levels_;
+  unsigned stages_;
+  std::vector<Level> lvls_;
+  std::map<u64, u64> finals_;  ///< per-set value waiting at the virtual output
+  u64 next_set_id_ = 0;
+  std::vector<SetResult> out_;
+  u64 cycles_ = 0;
+  std::size_t peak_buffer_ = 0;
+};
+
+/// Ni-Hwang-style single-adder vector reducer [21]: engineered for ONE input
+/// vector at a time — pairs of available partials fold through the adder with
+/// a small fixed buffer, but a new set may not begin until the previous set
+/// has fully drained, so multi-set streams stall between sets (the exact
+/// weakness the paper's Sec 2.3 calls out: "for multiple input vectors, the
+/// method has to interleave the sets; otherwise, the buffer ... will
+/// overflow" — we stall instead of overflowing).
+class NiHwangReducer final : public ReductionCircuitBase {
+ public:
+  explicit NiHwangReducer(unsigned adder_stages = fp::kAdderStages);
+
+  bool cycle(std::optional<Input> in) override;
+  std::optional<SetResult> take_result() override;
+  bool busy() const override;
+
+  std::string name() const override { return "ni-hwang-single-set"; }
+  unsigned adders_used() const override { return 1; }
+  std::size_t buffer_words() const override { return peak_buffer_; }
+  u64 cycles() const override { return cycles_; }
+  u64 stall_cycles() const override { return stalls_; }
+  double adder_utilization() const override { return adder_.utilization(); }
+
+ private:
+  fp::PipelinedAdder adder_;
+  std::vector<u64> avail_;
+  unsigned inflight_ = 0;
+  bool set_open_ = false;   ///< currently accepting this set's elements
+  bool set_done_ = false;   ///< last element seen, draining
+  u64 cur_set_ = 0;
+  std::vector<SetResult> out_;
+  u64 cycles_ = 0;
+  u64 stalls_ = 0;
+  std::size_t peak_buffer_ = 0;
+};
+
+/// Single-adder, availability-driven reducer with an unbounded partial
+/// buffer (fully-compacted-binary-tree style, cf. [28]).
+class SingleAdderGreedy final : public ReductionCircuitBase {
+ public:
+  explicit SingleAdderGreedy(unsigned adder_stages = fp::kAdderStages);
+
+  bool cycle(std::optional<Input> in) override;
+  std::optional<SetResult> take_result() override;
+  bool busy() const override;
+
+  std::string name() const override { return "single-adder-greedy"; }
+  unsigned adders_used() const override { return 1; }
+  /// Reported as the observed peak (the design provides no a-priori bound).
+  std::size_t buffer_words() const override { return peak_buffer_; }
+  u64 cycles() const override { return cycles_; }
+  u64 stall_cycles() const override { return 0; }
+  double adder_utilization() const override { return adder_.utilization(); }
+
+  std::size_t peak_buffer_words() const { return peak_buffer_; }
+
+ private:
+  struct SetState {
+    std::vector<u64> avail;
+    unsigned inflight = 0;
+    bool done = false;
+  };
+
+  fp::PipelinedAdder adder_;
+  std::map<u64, SetState> sets_;  // ordered: oldest set first
+  u64 next_set_id_ = 0;
+  std::vector<SetResult> out_;
+  u64 cycles_ = 0;
+  std::size_t peak_buffer_ = 0;
+};
+
+}  // namespace xd::reduce

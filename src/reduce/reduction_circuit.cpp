@@ -1,0 +1,256 @@
+#include "reduce/reduction_circuit.hpp"
+
+#include <algorithm>
+
+namespace xd::reduce {
+
+// --- Row/Buffer helpers --------------------------------------------------
+
+bool ReductionCircuit::Buffer::fully_drained() const {
+  for (const auto& r : rows) {
+    if (r.in_use) return false;  // a used row is only released by emission
+  }
+  return true;
+}
+
+std::size_t ReductionCircuit::Buffer::occupied_words() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) n += r.occupied_count();
+  return n;
+}
+
+// --- tags -----------------------------------------------------------------
+
+u64 ReductionCircuit::make_tag(unsigned buf, unsigned row, unsigned slot) {
+  return (static_cast<u64>(buf) << 32) | (static_cast<u64>(row) << 16) |
+         static_cast<u64>(slot);
+}
+
+void ReductionCircuit::split_tag(u64 tag, unsigned& buf, unsigned& row,
+                                 unsigned& slot) {
+  buf = static_cast<unsigned>(tag >> 32);
+  row = static_cast<unsigned>((tag >> 16) & 0xFFFF);
+  slot = static_cast<unsigned>(tag & 0xFFFF);
+}
+
+// --- construction ----------------------------------------------------------
+
+ReductionCircuit::ReductionCircuit(unsigned adder_stages, bool dedicated_drain_adder)
+    : alpha_(adder_stages), adder_(adder_stages) {
+  require(adder_stages >= 2, "reduction circuit assumes a pipelined adder (alpha >= 2)");
+  if (dedicated_drain_adder) {
+    drain_adder_ = std::make_unique<fp::PipelinedAdder>(adder_stages);
+  }
+  for (auto& b : bufs_) {
+    b.rows.resize(alpha_);
+    for (auto& r : b.rows) r.slots.resize(alpha_);
+  }
+}
+
+double ReductionCircuit::adder_utilization() const {
+  if (!drain_adder_) return adder_.utilization();
+  return (adder_.utilization() + drain_adder_->utilization()) / 2.0;
+}
+
+// --- per-cycle operation -----------------------------------------------------
+
+bool ReductionCircuit::cycle(std::optional<Input> in) {
+  ++cycles_;
+  adder_issued_ = false;
+
+  adder_.tick();
+  if (auto r = adder_.take_output()) handle_writeback(*r);
+  if (drain_adder_) {
+    drain_adder_->tick();
+    if (auto r = drain_adder_->take_output()) handle_writeback(*r);
+  }
+
+  bool consumed = false;
+  if (in.has_value()) {
+    consumed = accept_input(*in);
+    if (!consumed) {
+      ++stats_.stall_cycles;
+      if (trace_) trace_->emit(cycles_, "reduction", "stall: Buf_red draining");
+    }
+  } else if (!cur_row_open_ && bufs_[in_idx_].rows_used > 0) {
+    // Stream pause / flush: if the previous batch has fully drained, rotate
+    // the partially-filled Buf_in into the drain role so trailing sets finish
+    // without waiting for the buffer to fill.
+    try_swap();
+  }
+
+  issue_drain_if_free();
+  scan_for_finals();
+
+  stats_.peak_buffer_words =
+      std::max({stats_.peak_buffer_words, bufs_[0].occupied_words(),
+                bufs_[1].occupied_words()});
+  stats_.peak_out_queue = std::max(stats_.peak_out_queue, out_queue_.size());
+  return consumed;
+}
+
+void ReductionCircuit::handle_writeback(const fp::FpResult& r) {
+  unsigned buf, row, slot;
+  split_tag(r.tag, buf, row, slot);
+  Row& target = bufs_[buf].rows[row];
+  Slot& s = target.slots[slot];
+  if (!s.inflight) {
+    throw SimError("reduction circuit: write-back to a slot that is not in flight");
+  }
+  s.bits = r.bits;
+  s.inflight = false;
+  s.occupied = true;
+  --target.inflight_n;
+}
+
+bool ReductionCircuit::try_swap() {
+  Buffer& red = bufs_[1 - in_idx_];
+  if (!red.fully_drained()) return false;
+  // The outgoing Buf_in may still have fold write-backs in flight; they are
+  // tagged with the physical buffer index and land correctly after the swap.
+  if (trace_) {
+    trace_->emit(cycles_, "reduction",
+                 cat("swap: buffer ", in_idx_, " -> Buf_red (",
+                     bufs_[in_idx_].rows_used, " rows)"));
+  }
+  in_idx_ = 1 - in_idx_;
+  Buffer& fresh_in = bufs_[in_idx_];
+  for (auto& row : fresh_in.rows) {
+    row = Row{};
+    row.slots.resize(alpha_);
+  }
+  fresh_in.rows_used = 0;
+  drain_rr_ = 0;
+  ++stats_.swaps;
+  return true;
+}
+
+bool ReductionCircuit::accept_input(const Input& in) {
+  Buffer* bin = &bufs_[in_idx_];
+  if (!cur_row_open_) {
+    if (bin->rows_used == alpha_) {
+      if (!try_swap()) return false;  // stall: previous batch still draining
+      bin = &bufs_[in_idx_];
+    }
+    cur_row_ = bin->rows_used++;
+    Row& row = bin->rows[cur_row_];
+    row.in_use = true;
+    row.set_id = next_set_id_++;
+    row.complete = false;
+    row.direct_fill = 0;
+    row.merge_ptr = 0;
+    cur_row_open_ = true;
+  }
+
+  Row& row = bin->rows[cur_row_];
+  if (row.direct_fill < alpha_) {
+    // Direct write; the adder stays free for the drain path this cycle.
+    Slot& s = row.slots[row.direct_fill++];
+    s.bits = in.bits;
+    s.occupied = true;
+    s.inflight = false;
+    ++row.occupied_n;
+  } else {
+    // Fold path: combine the new element with slot (merge_ptr mod alpha).
+    // The slot was last targeted alpha inputs (= alpha cycles) ago, so its
+    // write-back has completed; anything else is a genuine RAW hazard.
+    Slot& s = row.slots[row.merge_ptr];
+    if (s.inflight || !s.occupied) {
+      throw SimError("reduction circuit: fold path read-after-write hazard");
+    }
+    adder_.issue(in.bits, s.bits, make_tag(in_idx_, cur_row_, row.merge_ptr));
+    s.inflight = true;
+    ++row.inflight_n;
+    adder_issued_ = true;
+    row.merge_ptr = (row.merge_ptr + 1) % alpha_;
+  }
+  if (in.last) {
+    row.complete = true;
+    cur_row_open_ = false;
+  }
+  ++stats_.inputs;
+  return true;
+}
+
+void ReductionCircuit::issue_drain_if_free() {
+  // In two-adder mode the drain path owns its adder and never contends with
+  // the input fold path.
+  if (!drain_adder_ && adder_issued_) return;
+  fp::PipelinedAdder& drain = drain_adder_ ? *drain_adder_ : adder_;
+  Buffer& red = bufs_[1 - in_idx_];
+  for (unsigned probe = 0; probe < alpha_; ++probe) {
+    const unsigned ri = (drain_rr_ + probe) % alpha_;
+    Row& row = red.rows[ri];
+    if (!row.in_use || row.available_count() < 2) continue;
+    // Find two available values (occupied, not awaiting a write-back).
+    int first = -1, second = -1;
+    for (unsigned si = 0; si < alpha_; ++si) {
+      const Slot& s = row.slots[si];
+      if (s.occupied && !s.inflight) {
+        if (first < 0) {
+          first = static_cast<int>(si);
+        } else {
+          second = static_cast<int>(si);
+          break;
+        }
+      }
+    }
+    // A row still filling via fold write-backs or down to its final value is
+    // skipped; rows with pending elements of an incomplete set cannot exist
+    // in Buf_red (a set spans exactly one row and rows move at swap).
+    if (second < 0) continue;
+    Slot& a = row.slots[static_cast<unsigned>(first)];
+    Slot& b = row.slots[static_cast<unsigned>(second)];
+    drain.issue(a.bits, b.bits, make_tag(1 - in_idx_, ri, static_cast<unsigned>(first)));
+    a.inflight = true;  // result lands back in `first`
+    b.occupied = false;
+    ++row.inflight_n;
+    --row.occupied_n;
+    if (!drain_adder_) adder_issued_ = true;
+    drain_rr_ = (ri + 1) % alpha_;
+    return;
+  }
+}
+
+void ReductionCircuit::scan_for_finals() {
+  // One memory write port: emit at most one completed set per cycle.
+  Buffer& red = bufs_[1 - in_idx_];
+  for (auto& row : red.rows) {
+    if (!row.in_use || !row.complete) continue;
+    if (row.inflight_count() != 0 || row.occupied_count() != 1) continue;
+    for (auto& s : row.slots) {
+      if (s.occupied) {
+        out_queue_.push_back(SetResult{row.set_id, s.bits});
+        s.occupied = false;
+        --row.occupied_n;
+        break;
+      }
+    }
+    row.in_use = false;
+    ++stats_.sets_completed;
+    if (trace_) {
+      trace_->emit(cycles_, "reduction", cat("emit: set ", row.set_id));
+    }
+    return;
+  }
+}
+
+std::optional<SetResult> ReductionCircuit::take_result() {
+  if (out_queue_.empty()) return std::nullopt;
+  SetResult r = out_queue_.front();
+  out_queue_.erase(out_queue_.begin());
+  return r;
+}
+
+bool ReductionCircuit::busy() const {
+  if (adder_.busy() || !out_queue_.empty()) return true;
+  if (drain_adder_ && drain_adder_->busy()) return true;
+  for (const auto& b : bufs_) {
+    for (const auto& r : b.rows) {
+      if (r.in_use) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace xd::reduce

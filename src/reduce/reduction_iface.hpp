@@ -1,0 +1,56 @@
+// Common interface for reduction circuits.
+//
+// A reduction circuit accepts one floating-point input per cycle, where the
+// input stream is partitioned into sets (each input carries a last-of-set
+// marker), and produces one sum per set. Implementations differ in adder
+// count, buffer size, and stall behaviour — exactly the trade-off space the
+// paper's Section 2.3/4.3 discusses. The proposed circuit
+// (reduction_circuit.hpp) and the baselines (baselines.hpp) all implement
+// this interface so benches can compare them head-to-head.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/util.hpp"
+
+namespace xd::reduce {
+
+/// One element of the input stream.
+struct Input {
+  u64 bits = 0;        ///< IEEE-754 binary64 pattern
+  bool last = false;   ///< true on the final element of a set
+};
+
+/// A completed reduction.
+struct SetResult {
+  u64 set_id = 0;  ///< 0-based arrival index of the set
+  u64 bits = 0;    ///< IEEE-754 binary64 sum
+};
+
+class ReductionCircuitBase {
+ public:
+  virtual ~ReductionCircuitBase() = default;
+
+  /// Advance one clock cycle, optionally offering one input element.
+  /// Returns true if the input was consumed; false means the circuit stalled
+  /// this cycle and the caller must re-offer the same element next cycle.
+  virtual bool cycle(std::optional<Input> in) = 0;
+
+  /// At most one completed set per cycle (the single memory write port).
+  virtual std::optional<SetResult> take_result() = 0;
+
+  /// True while any reduction work is still in flight.
+  virtual bool busy() const = 0;
+
+  // --- characteristics for comparison benches ---
+  virtual std::string name() const = 0;
+  virtual unsigned adders_used() const = 0;       ///< FP adders in the design
+  virtual std::size_t buffer_words() const = 0;   ///< total buffer capacity
+  virtual u64 cycles() const = 0;
+  virtual u64 stall_cycles() const = 0;           ///< cycles an input was refused
+  virtual double adder_utilization() const = 0;   ///< issues / (adders * cycles)
+};
+
+}  // namespace xd::reduce

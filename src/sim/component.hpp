@@ -1,0 +1,125 @@
+// Synchronous cycle-simulation primitives.
+//
+// The simulated hardware in this repository is synchronous: every component
+// sees the same clock and advances one cycle at a time. Components implement
+// `cycle()` and are stepped by sim::Engine in registration order. Register
+// semantics (value written this cycle visible next cycle) are provided by
+// sim::Reg; bounded queues between components by sim::Fifo.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/util.hpp"
+
+namespace xd::sim {
+
+using Cycle = u64;
+
+/// Base class for clocked hardware components.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Advance one clock cycle. `now` is the cycle index being executed
+  /// (0-based); all components see the same `now` within a step.
+  virtual void cycle(Cycle now) = 0;
+
+  /// True while the component still has in-flight work. The engine's
+  /// run_until_idle() stops when every component reports idle.
+  virtual bool busy() const { return false; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// A clocked register: writes made during a cycle become visible after
+/// commit() (called by the engine at the end of each step). Models flip-flop
+/// semantics so component evaluation order within a cycle cannot leak
+/// combinational values.
+template <typename T>
+class Reg {
+ public:
+  explicit Reg(T initial = T{}) : current_(initial), next_(initial) {}
+
+  const T& read() const { return current_; }
+  void write(const T& v) {
+    next_ = v;
+    written_ = true;
+  }
+  bool written_this_cycle() const { return written_; }
+
+  void commit() {
+    if (written_) current_ = next_;
+    written_ = false;
+  }
+
+ private:
+  T current_;
+  T next_;
+  bool written_ = false;
+};
+
+/// Bounded FIFO channel between components with registered (one-cycle
+/// visibility) semantics: an element pushed during cycle t can be popped at
+/// cycle t+1 or later. Capacity 0 means unbounded.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity = 0, std::string name = "fifo")
+      : capacity_(capacity), name_(std::move(name)) {}
+
+  bool can_push() const {
+    return capacity_ == 0 || committed_ + staged_.size() < capacity_;
+  }
+  void push(const T& v) {
+    if (!can_push()) throw SimError(cat("fifo overflow: ", name_));
+    staged_.push_back(v);
+  }
+
+  bool can_pop() const { return committed_ > 0; }
+  T pop() {
+    if (!can_pop()) throw SimError(cat("fifo underflow: ", name_));
+    T v = std::move(data_.front());
+    data_.pop_front();
+    --committed_;
+    return v;
+  }
+  const T& front() const {
+    if (!can_pop()) throw SimError(cat("fifo underflow (front): ", name_));
+    return data_.front();
+  }
+
+  /// Elements visible to consumers this cycle.
+  std::size_t size() const { return committed_; }
+  /// Total occupancy including elements staged this cycle.
+  std::size_t occupancy() const { return committed_ + staged_.size(); }
+  bool empty() const { return occupancy() == 0; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t peak_occupancy() const { return peak_; }
+
+  void commit() {
+    for (auto& v : staged_) data_.push_back(std::move(v));
+    committed_ = data_.size();
+    staged_.clear();
+    peak_ = std::max(peak_, data_.size());
+  }
+
+ private:
+  std::size_t capacity_;
+  std::string name_;
+  std::deque<T> data_;
+  std::deque<T> staged_;
+  std::size_t committed_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace xd::sim

@@ -1,0 +1,37 @@
+#include "sim/engine.hpp"
+
+namespace xd::sim {
+
+void Engine::step() {
+  for (Component* c : components_) c->cycle(now_);
+  for (auto& fn : commits_) fn();
+  ++now_;
+}
+
+void Engine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+Cycle Engine::run_until(const std::function<bool()>& done, Cycle max_cycles) {
+  const Cycle start = now_;
+  while (!done()) {
+    if (now_ - start >= max_cycles) {
+      throw SimError(cat("simulation exceeded cycle budget of ", max_cycles));
+    }
+    step();
+  }
+  return now_ - start;
+}
+
+Cycle Engine::run_until_idle(Cycle max_cycles) {
+  return run_until(
+      [this] {
+        for (Component* c : components_) {
+          if (c->busy()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+}
+
+}  // namespace xd::sim

@@ -1,0 +1,44 @@
+// The cycle-simulation engine: steps a set of components in lockstep and
+// provides run-to-completion helpers with cycle budgets (so a wedged design
+// fails loudly instead of spinning forever).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/component.hpp"
+
+namespace xd::sim {
+
+class Engine {
+ public:
+  /// Components are owned by the caller (typically members of an
+  /// architecture object) and must outlive the engine.
+  void add(Component& c) { components_.push_back(&c); }
+
+  /// Register a commit action (e.g. Reg/Fifo commit) run at the end of each
+  /// step, after all components have evaluated.
+  void add_commit(std::function<void()> fn) { commits_.push_back(std::move(fn)); }
+
+  /// Execute exactly one clock cycle.
+  void step();
+
+  /// Run for `cycles` clock cycles.
+  void run(Cycle cycles);
+
+  /// Run until `done()` returns true; throws SimError if `max_cycles` elapse
+  /// first. Returns the number of cycles executed by this call.
+  Cycle run_until(const std::function<bool()>& done, Cycle max_cycles);
+
+  /// Run until every component reports !busy(); same budget behaviour.
+  Cycle run_until_idle(Cycle max_cycles);
+
+  Cycle now() const { return now_; }
+
+ private:
+  std::vector<Component*> components_;
+  std::vector<std::function<void()>> commits_;
+  Cycle now_ = 0;
+};
+
+}  // namespace xd::sim

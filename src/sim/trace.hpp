@@ -1,0 +1,80 @@
+// Cycle-level event tracing.
+//
+// The paper's design flow debugs the VHDL in ModelSim; the simulator's
+// equivalent observability is this trace: components emit timestamped events
+// (buffer swaps, stalls, result emissions, hazards) into a bounded ring
+// buffer that tests and tools can filter and render. Tracing is off by
+// default and costs one branch per emit site when disabled.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace xd::sim {
+
+struct TraceEvent {
+  u64 cycle = 0;
+  std::string source;
+  std::string what;
+};
+
+class Trace {
+ public:
+  /// Keep at most `capacity` most-recent events (ring buffer).
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void emit(u64 cycle, std::string_view source, std::string what) {
+    events_.push_back(TraceEvent{cycle, std::string(source), std::move(what)});
+    ++total_;
+    if (events_.size() > capacity_) events_.pop_front();
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  u64 total_emitted() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events whose source contains `needle`.
+  std::vector<TraceEvent> filter(std::string_view needle) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (e.source.find(needle) != std::string::npos) out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Count of retained events whose text contains `needle`.
+  std::size_t count_containing(std::string_view needle) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) {
+      if (e.what.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+
+  /// "cycle  source  what" lines for the last `n` events.
+  std::string render(std::size_t n = 64) const {
+    std::string out;
+    const std::size_t start = events_.size() > n ? events_.size() - n : 0;
+    for (std::size_t i = start; i < events_.size(); ++i) {
+      const auto& e = events_[i];
+      out += cat(e.cycle, "  ", e.source, "  ", e.what, "\n");
+    }
+    return out;
+  }
+
+  void clear() {
+    events_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  u64 total_ = 0;
+};
+
+}  // namespace xd::sim

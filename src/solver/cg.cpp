@@ -1,0 +1,72 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+
+namespace xd::solver {
+
+SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
+                     std::size_t n, const std::vector<double>& b,
+                     const SolveOptions& opts, bool jacobi_precondition) {
+  require(a.size() == n * n && b.size() == n, "cg_dense: size mismatch");
+
+  std::vector<double> dinv(n, 1.0);
+  if (jacobi_precondition) {
+    for (std::size_t i = 0; i < n; ++i) {
+      require(a[i * n + i] != 0.0, "cg_dense: zero diagonal for preconditioner");
+      dinv[i] = 1.0 / a[i * n + i];
+    }
+  }
+
+  SolveResult res;
+  res.x.assign(n, 0.0);
+  res.clock_mhz = ctx.config().gemv_clock_mhz;
+
+  auto fpga_gemv = [&](const std::vector<double>& v) {
+    auto out = ctx.gemv(a, n, n, v);
+    res.fpga_cycles += out.report.cycles;
+    res.fpga_flops += out.report.flops;
+    return out.y;
+  };
+  auto fpga_dot = [&](const std::vector<double>& u, const std::vector<double>& v) {
+    auto out = ctx.dot(u, v);
+    // Normalize the dot design's cycles (its own clock) into GEMV-clock
+    // cycles so the aggregate uses one clock domain.
+    res.fpga_cycles += static_cast<u64>(
+        static_cast<double>(out.report.cycles) * res.clock_mhz /
+        out.report.clock_mhz);
+    res.fpga_flops += out.report.flops;
+    return out.value;
+  };
+
+  std::vector<double> r = b;  // x0 = 0
+  std::vector<double> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
+  std::vector<double> p = z;
+  double rz_old = fpga_dot(r, z);
+  res.residual_norm = std::sqrt(fpga_dot(r, r));
+
+  for (res.iterations = 0; res.iterations < opts.max_iterations;
+       ++res.iterations) {
+    if (res.residual_norm <= opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+    const auto ap = fpga_gemv(p);
+    const double p_ap = fpga_dot(p, ap);
+    require(p_ap != 0.0, "cg_dense: breakdown (A not SPD?)");
+    const double alpha = rz_old / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      res.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
+    const double rz_new = fpga_dot(r, z);
+    res.residual_norm = std::sqrt(fpga_dot(r, r));
+    const double beta = rz_new / rz_old;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    rz_old = rz_new;
+  }
+  return res;
+}
+
+}  // namespace xd::solver

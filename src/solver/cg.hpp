@@ -1,0 +1,23 @@
+// Conjugate-gradient solver on the simulated FPGA BLAS (the iterative method
+// the paper's Sec 7 positions its building blocks under). Each iteration runs
+// one GEMV and three dot products on the FPGA engines; vector updates stay on
+// the host processor. Optionally Jacobi-preconditioned (diagonal scaling),
+// the exact pairing the paper describes for its Jacobi design.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "host/context.hpp"
+#include "solver/jacobi.hpp"  // SolveOptions / SolveResult
+
+namespace xd::solver {
+
+/// Dense CG for symmetric positive definite A (row-major n x n).
+/// `jacobi_precondition` applies the D^{-1} preconditioner.
+SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
+                     std::size_t n, const std::vector<double>& b,
+                     const SolveOptions& opts = {},
+                     bool jacobi_precondition = false);
+
+}  // namespace xd::solver

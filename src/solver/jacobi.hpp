@@ -1,0 +1,55 @@
+// FPGA-accelerated Jacobi iterative solver (the paper's companion design
+// [18], built on the GEMV/SpMXV architectures; Sec 7 positions it as the
+// preconditioner building block for methods like conjugate gradient).
+//
+// Iteration: x_{k+1} = D^{-1} (b - R x_k). The R x products run on the
+// simulated FPGA engines (dense tree GEMV, or SpMXV for CRS matrices — the
+// irregular-structure case where the paper reports large speedups); the
+// diagonal scale runs on the host processor, matching the reconfigurable-
+// system work split.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas2/spmxv.hpp"
+#include "host/context.hpp"
+
+namespace xd::solver {
+
+struct SolveOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-10;  ///< on ||b - A x||_2
+};
+
+struct SolveResult {
+  std::vector<double> x;
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+  u64 fpga_cycles = 0;   ///< simulated cycles spent in BLAS calls
+  u64 fpga_flops = 0;
+  double clock_mhz = 0.0;
+
+  double fpga_seconds() const {
+    return clock_mhz > 0 ? static_cast<double>(fpga_cycles) / (clock_mhz * 1e6)
+                         : 0.0;
+  }
+  double sustained_mflops() const {
+    const double s = fpga_seconds();
+    return s > 0 ? static_cast<double>(fpga_flops) / s / 1e6 : 0.0;
+  }
+};
+
+/// Dense Jacobi: A is row-major n x n with a nonzero diagonal.
+SolveResult jacobi_dense(const host::Context& ctx, const std::vector<double>& a,
+                         std::size_t n, const std::vector<double>& b,
+                         const SolveOptions& opts = {});
+
+/// Sparse Jacobi: `a` in CRS with a full nonzero diagonal; the off-diagonal
+/// products run on the SpMXV engine.
+SolveResult jacobi_sparse(const blas2::CrsMatrix& a, const std::vector<double>& b,
+                          const SolveOptions& opts = {},
+                          const blas2::SpmxvConfig& cfg = {});
+
+}  // namespace xd::solver

@@ -1,0 +1,160 @@
+// Level 1 BLAS (dot product) engine tests: numerics against the reference,
+// I/O-bound timing behaviour, and bandwidth sensitivity (Sec 4.1 / 4.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas1/dot_engine.hpp"
+#include "common/random.hpp"
+#include "host/reference.hpp"
+#include "model/perf_model.hpp"
+
+using namespace xd;
+using blas1::DotConfig;
+using blas1::DotEngine;
+
+namespace {
+
+double tol_for(const std::vector<double>& u, const std::vector<double>& v) {
+  double mag = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) mag += std::fabs(u[i] * v[i]);
+  return std::max(1e-15, mag * 1e-12);
+}
+
+}  // namespace
+
+class DotSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DotSizes, MatchesReference) {
+  const std::size_t n = GetParam();
+  Rng rng(100 + n);
+  const auto u = rng.vector(n);
+  const auto v = rng.vector(n);
+  DotEngine engine(DotConfig{});
+  const auto out = engine.run({u}, {v});
+  EXPECT_NEAR(out.results[0], host::ref_dot(u, v), tol_for(u, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DotSizes,
+                         ::testing::Values(1, 2, 3, 5, 16, 17, 100, 1000, 2048,
+                                           4097));
+
+class DotLanes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DotLanes, AllLaneCountsCorrect) {
+  const unsigned k = GetParam();
+  Rng rng(200 + k);
+  DotConfig cfg;
+  cfg.k = k;
+  cfg.mem_words_per_cycle = 2.0 * k;  // bandwidth-matched
+  DotEngine engine(cfg);
+  const auto u = rng.vector(777);
+  const auto v = rng.vector(777);
+  const auto out = engine.run({u}, {v});
+  EXPECT_NEAR(out.results[0], host::ref_dot(u, v), tol_for(u, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, DotLanes, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(DotEngine, NonPowerOfTwoLanesRejected) {
+  DotConfig cfg;
+  cfg.k = 3;
+  EXPECT_THROW(DotEngine{cfg}, ConfigError);
+}
+
+TEST(DotEngine, BatchOfDots) {
+  Rng rng(42);
+  std::vector<std::vector<double>> us, vs;
+  for (std::size_t n : {5u, 100u, 1u, 64u, 33u, 256u}) {
+    us.push_back(rng.vector(n));
+    vs.push_back(rng.vector(n));
+  }
+  DotEngine engine(DotConfig{});
+  const auto out = engine.run(us, vs);
+  ASSERT_EQ(out.results.size(), us.size());
+  for (std::size_t i = 0; i < us.size(); ++i) {
+    EXPECT_NEAR(out.results[i], host::ref_dot(us[i], vs[i]), tol_for(us[i], vs[i]))
+        << "pair " << i;
+  }
+}
+
+TEST(DotEngine, CyclesNearIoLowerBoundWhenBandwidthMatched) {
+  Rng rng(43);
+  const std::size_t n = 4096;
+  DotConfig cfg;  // k=2, 4 words/cycle: exactly the streaming rate
+  DotEngine engine(cfg);
+  const auto out = engine.run({rng.vector(n)}, {rng.vector(n)});
+  const u64 lb = engine.io_lower_bound_cycles(n);
+  EXPECT_GE(out.report.cycles, lb);
+  // Overhead is the pipeline + reduction tail, a few hundred cycles.
+  EXPECT_LT(out.report.cycles, lb + 600);
+  // Sustained efficiency matches the >=80%-of-peak claim (Table 3).
+  const double efficiency = static_cast<double>(lb) /
+                            static_cast<double>(out.report.cycles);
+  EXPECT_GT(efficiency, 0.80);
+}
+
+TEST(DotEngine, HalvingBandwidthDoublesTime) {
+  Rng rng(44);
+  const std::size_t n = 2048;
+  const auto u = rng.vector(n);
+  const auto v = rng.vector(n);
+
+  DotConfig fast;
+  fast.mem_words_per_cycle = 4.0;
+  DotConfig slow = fast;
+  slow.mem_words_per_cycle = 2.0;
+
+  const auto rf = DotEngine(fast).run({u}, {v});
+  const auto rs = DotEngine(slow).run({u}, {v});
+  EXPECT_EQ(rf.results[0], rs.results[0]);  // numerics independent of timing
+  const double ratio = static_cast<double>(rs.report.cycles) /
+                       static_cast<double>(rf.report.cycles);
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+TEST(DotEngine, FlopsAccounting) {
+  Rng rng(45);
+  DotEngine engine(DotConfig{});
+  const auto out = engine.run({rng.vector(100)}, {rng.vector(100)});
+  EXPECT_EQ(out.report.flops, 200u);
+  EXPECT_EQ(out.report.sram_words, 200.0);
+  EXPECT_GT(out.report.sustained_mflops(), 0.0);
+}
+
+TEST(DotEngine, MismatchedVectorsRejected) {
+  DotEngine engine(DotConfig{});
+  EXPECT_THROW(engine.run({{1.0, 2.0}}, {{1.0}}), ConfigError);
+  EXPECT_THROW(engine.run({{}}, {{}}), ConfigError);
+  EXPECT_THROW(engine.run({{1.0}}, {}), ConfigError);
+}
+
+TEST(DotEngine, DeterministicAcrossRuns) {
+  Rng rng(46);
+  const auto u = rng.vector(500);
+  const auto v = rng.vector(500);
+  DotEngine engine(DotConfig{});
+  const auto r1 = engine.run({u}, {v});
+  const auto r2 = engine.run({u}, {v});
+  EXPECT_EQ(r1.results[0], r2.results[0]);
+  EXPECT_EQ(r1.report.cycles, r2.report.cycles);
+}
+
+TEST(DotEngine, MeasuredCyclesMatchAnalyticModel) {
+  // model/perf_model predicts stream + pipeline + reduction-tail cycles; the
+  // cycle-accurate engine must land within the tail's slack.
+  Rng rng(47);
+  for (std::size_t n : {256ul, 1024ul, 4096ul}) {
+    DotConfig cfg;
+    cfg.k = 2;
+    cfg.mem_words_per_cycle = 4.0;
+    DotEngine engine(cfg);
+    const auto out = engine.run({rng.vector(n)}, {rng.vector(n)});
+    const u64 model = xd::model::dot_model_cycles(n, cfg.k, cfg.adder_stages,
+                                                  cfg.multiplier_stages);
+    EXPECT_GT(out.report.cycles, n / cfg.k);
+    EXPECT_NEAR(static_cast<double>(out.report.cycles),
+                static_cast<double>(model), 0.25 * static_cast<double>(model))
+        << "n=" << n;
+  }
+}

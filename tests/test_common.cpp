@@ -1,0 +1,189 @@
+// Tests for the common utilities: streaming statistics, histogram,
+// deterministic RNG, table rendering, and the integer helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/util.hpp"
+
+using namespace xd;
+
+TEST(Util, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(1023, 512), 2u);
+}
+
+TEST(Util, Pow2AndLogs) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(7), 2u);
+  EXPECT_EQ(log2_floor(8), 3u);
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(7), 3u);
+  EXPECT_EQ(log2_ceil(8), 3u);
+  EXPECT_EQ(log2_ceil(9), 4u);
+}
+
+TEST(Util, CatAndRequire) {
+  EXPECT_EQ(cat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), ConfigError);
+}
+
+TEST(RunningStats, MomentsAndExtremes) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic textbook set
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(1);
+  RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, BucketsQuantilesOverflow) {
+  Histogram h(10);
+  for (std::size_t v = 0; v < 20; ++v) h.add(v);  // 10..19 overflow
+  EXPECT_EQ(h.total(), 20u);
+  EXPECT_EQ(h.overflow(), 10u);
+  EXPECT_EQ(h.max_value(), 19u);
+  EXPECT_DOUBLE_EQ(h.mean(), 9.5);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_LE(h.quantile(0.25), 5u);
+  EXPECT_EQ(h.quantile(1.0), 10u);  // overflow bucket
+}
+
+TEST(Utilization, Fraction) {
+  Utilization u;
+  for (int i = 0; i < 10; ++i) u.tick(i % 4 == 0);
+  EXPECT_EQ(u.cycles(), 10u);
+  EXPECT_EQ(u.busy_cycles(), 3u);
+  EXPECT_NEAR(u.fraction(), 0.3, 1e-12);
+  u.reset();
+  EXPECT_EQ(u.cycles(), 0u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next_u64();
+    all_equal &= (va == b.next_u64());
+    any_diff |= (va != c.next_u64());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBoundsAndMoments) {
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(x, -2.0);
+    ASSERT_LT(x, 3.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+  EXPECT_NEAR(s.variance(), 25.0 / 12.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const u64 v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(TextTable, RendersAlignedMarkdown) {
+  TextTable t({"a", "bee"});
+  t.row("x", 1);
+  t.row("longer", 2.5);
+  const auto s = t.render();
+  EXPECT_NE(s.find("| a      | bee |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2.5 |"), std::string::npos);
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(1.0), "1");
+  EXPECT_EQ(TextTable::num(2.5), "2.5");
+  EXPECT_EQ(TextTable::num(0.125, 3), "0.125");
+  EXPECT_EQ(TextTable::num(0.0), "0");
+  // Very large/small switch to scientific.
+  EXPECT_NE(TextTable::num(1.5e9).find("e"), std::string::npos);
+  EXPECT_NE(TextTable::num(1.5e-9).find("e"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+#include "common/parallel.hpp"
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; }, 7);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyAndSingleWorker) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::vector<int> hits(10, 0);
+  parallel_for(0, 10, [&](std::size_t i) { hits[i]++; }, 1);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, DeterministicResults) {
+  // Same per-index computation regardless of worker count.
+  auto run = [](unsigned workers) {
+    std::vector<double> v(256);
+    parallel_for(0, 256, [&](std::size_t i) {
+      v[i] = std::sin(static_cast<double>(i)) * 3.0;
+    }, workers);
+    return v;
+  };
+  EXPECT_EQ(run(1), run(8));
+}

@@ -1,0 +1,191 @@
+// CBLAS-compatibility layer tests: strides, transposes, alpha/beta,
+// non-square shapes and the zero-padding path into the GEMM engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "host/blas_compat.hpp"
+#include "host/reference.hpp"
+
+using namespace xd;
+using host::compat_ddot;
+using host::compat_dgemm;
+using host::compat_dgemv;
+using host::Context;
+using host::Transpose;
+
+namespace {
+const Context& ctx() {
+  static Context c;
+  return c;
+}
+}  // namespace
+
+TEST(CompatDot, UnitStrides) {
+  Rng rng(1);
+  const auto x = rng.vector(100);
+  const auto y = rng.vector(100);
+  EXPECT_NEAR(compat_ddot(ctx(), 100, x.data(), 1, y.data(), 1),
+              host::ref_dot(x, y), 1e-12);
+}
+
+TEST(CompatDot, PositiveStrides) {
+  Rng rng(2);
+  const auto x = rng.vector(300);
+  const auto y = rng.vector(200);
+  // x stride 3, y stride 2, n = 100.
+  double expect = 0.0;
+  for (int i = 0; i < 100; ++i) expect += x[3 * i] * y[2 * i];
+  EXPECT_NEAR(compat_ddot(ctx(), 100, x.data(), 3, y.data(), 2), expect, 1e-12);
+}
+
+TEST(CompatDot, NegativeStrideWalksBackwards) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {10.0, 20.0, 30.0};
+  // BLAS: incx = -1 pairs x[2] with y[0], x[1] with y[1], x[0] with y[2].
+  const double got = compat_ddot(ctx(), 3, x.data(), -1, y.data(), 1);
+  EXPECT_NEAR(got, 3.0 * 10 + 2.0 * 20 + 1.0 * 30, 1e-12);
+}
+
+TEST(CompatDot, ZeroLength) {
+  EXPECT_EQ(compat_ddot(ctx(), 0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(CompatGemv, PlainAndScaled) {
+  Rng rng(3);
+  const std::size_t m = 40, n = 56;
+  const auto a = rng.matrix(m, n);
+  const auto x = rng.vector(n);
+  auto y = rng.vector(m);
+  const auto y0 = y;
+  compat_dgemv(ctx(), Transpose::No, m, n, 2.0, a.data(), n, x.data(), 1, 0.5,
+               y.data(), 1);
+  const auto ax = host::ref_gemv(a, m, n, x);
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_NEAR(y[i], 2.0 * ax[i] + 0.5 * y0[i], 1e-9) << i;
+  }
+}
+
+TEST(CompatGemv, TransposedOperand) {
+  Rng rng(4);
+  const std::size_t m = 32, n = 48;
+  const auto a = rng.matrix(m, n);
+  const auto x = rng.vector(m);
+  std::vector<double> y(n, 0.0);
+  compat_dgemv(ctx(), Transpose::Yes, m, n, 1.0, a.data(), n, x.data(), 1, 0.0,
+               y.data(), 1);
+  // Reference A^T x.
+  for (std::size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < m; ++i) s += a[i * n + j] * x[i];
+    EXPECT_NEAR(y[j], s, 1e-9) << j;
+  }
+}
+
+TEST(CompatGemv, LeadingDimensionSubmatrix) {
+  Rng rng(5);
+  const std::size_t lda = 64, m = 20, n = 30;
+  const auto big = rng.matrix(m, lda);
+  const auto x = rng.vector(n);
+  std::vector<double> y(m, 0.0);
+  compat_dgemv(ctx(), Transpose::No, m, n, 1.0, big.data(), lda, x.data(), 1,
+               0.0, y.data(), 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += big[i * lda + j] * x[j];
+    EXPECT_NEAR(y[i], s, 1e-9) << i;
+  }
+}
+
+TEST(CompatGemv, AlphaZeroSkipsCompute) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y = {5.0, 7.0};
+  compat_dgemv(ctx(), Transpose::No, 2, 2, 0.0, a.data(), 2, x.data(), 1, 3.0,
+               y.data(), 1);
+  EXPECT_EQ(y[0], 15.0);
+  EXPECT_EQ(y[1], 21.0);
+}
+
+TEST(CompatGemm, SquareMultipleOfBlock) {
+  Rng rng(6);
+  const std::size_t n = 32;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  std::vector<double> c(n * n, 0.0);
+  compat_dgemm(ctx(), Transpose::No, Transpose::No, n, n, n, 1.0, a.data(), n,
+               b.data(), n, 0.0, c.data(), n);
+  EXPECT_LT(host::max_abs_diff(c, host::ref_gemm(a, b, n)), 1e-9);
+}
+
+TEST(CompatGemm, NonSquarePaddedShapes) {
+  Rng rng(7);
+  const std::size_t m = 13, n = 21, k = 17;
+  const auto a = rng.matrix(m, k);
+  const auto b = rng.matrix(k, n);
+  std::vector<double> c(m * n, 0.0);
+  compat_dgemm(ctx(), Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), k,
+               b.data(), n, 0.0, c.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t q = 0; q < k; ++q) s += a[i * k + q] * b[q * n + j];
+      ASSERT_NEAR(c[i * n + j], s, 1e-10) << i << "," << j;
+    }
+  }
+}
+
+TEST(CompatGemm, TransposesAndScaling) {
+  Rng rng(8);
+  const std::size_t m = 16, n = 12, k = 20;
+  const auto a = rng.matrix(k, m);  // op(A) = A^T: m x k
+  const auto b = rng.matrix(n, k);  // op(B) = B^T: k x n
+  auto c = rng.matrix(m, n);
+  const auto c0 = c;
+  compat_dgemm(ctx(), Transpose::Yes, Transpose::Yes, m, n, k, -1.5, a.data(),
+               m, b.data(), k, 2.0, c.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t q = 0; q < k; ++q) s += a[q * m + i] * b[j * k + q];
+      ASSERT_NEAR(c[i * n + j], -1.5 * s + 2.0 * c0[i * n + j], 1e-9)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(CompatGemm, KZeroScalesCOnly) {
+  std::vector<double> c = {1.0, 2.0, 3.0, 4.0};
+  compat_dgemm(ctx(), Transpose::No, Transpose::No, 2, 2, 0, 1.0, nullptr, 1,
+               nullptr, 1, 0.5, c.data(), 2);
+  EXPECT_EQ(c, (std::vector<double>{0.5, 1.0, 1.5, 2.0}));
+}
+
+TEST(CompatFreeFunctions, DefaultContext) {
+  Rng rng(9);
+  const auto x = rng.vector(64);
+  const auto y = rng.vector(64);
+  EXPECT_NEAR(host::xd_ddot(64, x.data(), 1, y.data(), 1), host::ref_dot(x, y),
+              1e-12);
+}
+
+TEST(CompatGemm, StridedCLeavesPaddingUntouched) {
+  Rng rng(10);
+  const std::size_t m = 8, n = 6, k = 8, ldc = 10;
+  const auto a = rng.matrix(m, k);
+  const auto b = rng.matrix(k, n);
+  std::vector<double> c(m * ldc, -7.0);  // sentinel in the gutter columns
+  compat_dgemm(ctx(), Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), k,
+               b.data(), n, 0.0, c.data(), ldc);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t q = 0; q < k; ++q) s += a[i * k + q] * b[q * n + j];
+      ASSERT_NEAR(c[i * ldc + j], s, 1e-10);
+    }
+    for (std::size_t j = n; j < ldc; ++j) {
+      ASSERT_EQ(c[i * ldc + j], -7.0) << "gutter corrupted at " << i << "," << j;
+    }
+  }
+}

@@ -1,0 +1,159 @@
+// Timing-model tests for the pipelined FP units: latency is exactly the
+// stage count, throughput is one issue per cycle, and structural hazards
+// (double issue, unconsumed output) are detected.
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "fp/fpu.hpp"
+#include "fp/softfloat.hpp"
+
+using namespace xd;
+using fp::AdderTree;
+using fp::PipelinedAdder;
+using fp::PipelinedMultiplier;
+
+TEST(PipelinedUnit, LatencyIsExactlyStages) {
+  for (unsigned stages : {1u, 2u, 5u, fp::kAdderStages}) {
+    PipelinedAdder add(stages);
+    add.issue(fp::to_bits(1.0), fp::to_bits(2.0), 42);
+    for (unsigned c = 0; c + 1 < stages; ++c) {
+      add.tick();
+      EXPECT_FALSE(add.take_output().has_value()) << "stage " << c;
+    }
+    add.tick();
+    auto r = add.take_output();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(fp::from_bits(r->bits), 3.0);
+    EXPECT_EQ(r->tag, 42u);
+  }
+}
+
+TEST(PipelinedUnit, OneResultPerCycleAtFullThroughput) {
+  PipelinedAdder add(5);
+  const int n = 100;
+  int results = 0;
+  for (int c = 0; c < n + 5; ++c) {
+    if (c < n) add.issue(fp::to_bits(double(c)), fp::to_bits(1.0), u64(c));
+    add.tick();
+    if (auto r = add.take_output()) {
+      EXPECT_EQ(fp::from_bits(r->bits), double(results) + 1.0);
+      EXPECT_EQ(r->tag, u64(results));
+      ++results;
+    }
+  }
+  EXPECT_EQ(results, n);
+  EXPECT_DOUBLE_EQ(add.utilization(), double(n) / double(n + 5));
+}
+
+TEST(PipelinedUnit, DoubleIssueThrows) {
+  PipelinedAdder add;
+  add.issue(0, 0);
+  EXPECT_THROW(add.issue(0, 0), SimError);
+}
+
+TEST(PipelinedUnit, UnconsumedOutputThrows) {
+  PipelinedAdder add(1);
+  add.issue(fp::to_bits(1.0), fp::to_bits(1.0));
+  add.tick();  // result available now
+  EXPECT_THROW(add.tick(), SimError);
+}
+
+TEST(PipelinedUnit, MultiplierComputesBitExactProducts) {
+  Rng rng(7);
+  PipelinedMultiplier mul;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-100, 100);
+    const double b = rng.uniform(-100, 100);
+    mul.issue(fp::to_bits(a), fp::to_bits(b));
+    for (unsigned c = 0; c < fp::kMultiplierStages; ++c) mul.tick();
+    auto r = mul.take_output();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->bits, fp::to_bits(a * b));
+  }
+}
+
+TEST(PipelinedUnit, ResetClearsState) {
+  PipelinedAdder add(3);
+  add.issue(fp::to_bits(1.0), fp::to_bits(1.0));
+  add.tick();
+  add.reset();
+  EXPECT_FALSE(add.busy());
+  EXPECT_EQ(add.cycles(), 0u);
+  EXPECT_EQ(add.ops_issued(), 0u);
+  for (int c = 0; c < 10; ++c) {
+    add.tick();
+    EXPECT_FALSE(add.take_output().has_value());
+  }
+}
+
+TEST(AdderTree, RequiresPowerOfTwoFanIn) {
+  EXPECT_THROW(AdderTree(3), ConfigError);
+  EXPECT_THROW(AdderTree(0), ConfigError);
+  EXPECT_THROW(AdderTree(1), ConfigError);
+  EXPECT_NO_THROW(AdderTree(2));
+  EXPECT_NO_THROW(AdderTree(16));
+}
+
+TEST(AdderTree, LatencyIsLevelsTimesStages) {
+  AdderTree tree(4, 10);
+  EXPECT_EQ(tree.levels(), 2u);
+  EXPECT_EQ(tree.latency(), 20u);
+  EXPECT_EQ(tree.adders(), 3u);
+  tree.issue({fp::to_bits(1.0), fp::to_bits(2.0), fp::to_bits(3.0),
+              fp::to_bits(4.0)},
+             9);
+  for (unsigned c = 0; c + 1 < 20; ++c) {
+    tree.tick();
+    EXPECT_FALSE(tree.take_output().has_value());
+  }
+  tree.tick();
+  auto r = tree.take_output();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(fp::from_bits(r->bits), 10.0);
+  EXPECT_EQ(r->tag, 9u);
+}
+
+TEST(AdderTree, PairwiseAssociationMatchesHardwareWiring) {
+  // ((a+b)+(c+d)) — not ((a+b)+c)+d.
+  AdderTree tree(4, 1);
+  const double a = 1e16, b = 1.0, c = -1e16, d = 1.0;
+  tree.issue({fp::to_bits(a), fp::to_bits(b), fp::to_bits(c), fp::to_bits(d)});
+  tree.tick();
+  tree.tick();
+  auto r = tree.take_output();
+  ASSERT_TRUE(r.has_value());
+  const double expect = fp::addd(fp::addd(a, b), fp::addd(c, d));
+  EXPECT_EQ(fp::from_bits(r->bits), expect);
+}
+
+TEST(AdderTree, FullThroughput) {
+  Rng rng(8);
+  AdderTree tree(8);
+  const int n = 500;
+  int results = 0;
+  double expect_sum = 0;
+  double got_sum = 0;
+  for (int c = 0; c < n + 200; ++c) {
+    if (c < n) {
+      std::vector<u64> ops(8);
+      for (auto& o : ops) {
+        const double v = rng.uniform(-1, 1);
+        expect_sum += v;
+        o = fp::to_bits(v);
+      }
+      tree.issue(ops);
+    }
+    tree.tick();
+    if (auto r = tree.take_output()) {
+      got_sum += fp::from_bits(r->bits);
+      ++results;
+    }
+  }
+  EXPECT_EQ(results, n);
+  EXPECT_NEAR(got_sum, expect_sum, 1e-9);
+}
+
+TEST(AdderTree, WrongOperandCountThrows) {
+  AdderTree tree(4);
+  EXPECT_THROW(tree.issue({0, 0}), ConfigError);
+}

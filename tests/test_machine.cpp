@@ -1,0 +1,213 @@
+// Machine-model tests: the area/clock model must reproduce the paper's
+// reported configurations exactly (Tables 2/3/4, Fig 9) and extrapolate
+// sensibly.
+#include <gtest/gtest.h>
+
+#include "machine/area.hpp"
+#include "machine/chassis.hpp"
+#include "machine/device.hpp"
+#include "machine/node.hpp"
+#include "machine/system.hpp"
+
+using namespace xd;
+using machine::AreaModel;
+using machine::ComputeNode;
+using machine::NodeConfig;
+
+TEST(Device, Catalog) {
+  const auto vp50 = machine::xc2vp50();
+  EXPECT_EQ(vp50.slices, 23616u);
+  EXPECT_EQ(vp50.io_pins, 852u);
+  EXPECT_EQ(vp50.bram_words(), 4ull * 1024 * 1024 / 64);
+  const auto vp100 = machine::xc2vp100();
+  EXPECT_EQ(vp100.slices, 44096u);
+  EXPECT_EQ(machine::device_by_name("XC2VP100").slices, 44096u);
+  EXPECT_THROW(machine::device_by_name("XC7V2000T"), ConfigError);
+}
+
+TEST(AreaModel, Table2Constants) {
+  AreaModel area;
+  EXPECT_EQ(area.cores().adder_slices, 892u);
+  EXPECT_EQ(area.cores().multiplier_slices, 835u);
+  EXPECT_EQ(area.cores().adder_stages, 14u);
+  EXPECT_EQ(area.cores().multiplier_stages, 11u);
+  EXPECT_DOUBLE_EQ(area.cores().clock_mhz, 170.0);
+  EXPECT_EQ(area.reduction_circuit_slices(), 1658u);
+}
+
+TEST(AreaModel, Table3DesignAreas) {
+  AreaModel area;
+  const auto dot = area.dot_design(2);
+  EXPECT_EQ(dot.slices, 5210u);  // Table 3 Level 1 row
+  EXPECT_DOUBLE_EQ(dot.clock_mhz, 170.0);
+  const auto mxv = area.mxv_tree_design(4);
+  EXPECT_EQ(mxv.slices, 9669u);  // Table 3 Level 2 row
+  EXPECT_DOUBLE_EQ(mxv.clock_mhz, 170.0);
+
+  const auto vp50 = machine::xc2vp50();
+  EXPECT_NEAR(dot.fraction_of(vp50), 0.22, 0.005);
+  EXPECT_NEAR(mxv.fraction_of(vp50), 0.41, 0.005);
+}
+
+TEST(AreaModel, Table4Xd1Designs) {
+  AreaModel area;
+  const auto mxv = area.mxv_design_xd1(4);
+  EXPECT_EQ(mxv.slices, 13772u);  // Table 4 Level 2 row
+  EXPECT_DOUBLE_EQ(mxv.clock_mhz, 164.0);
+  const auto mm = area.mm_design_xd1(8);
+  EXPECT_EQ(mm.slices, 21029u);  // Table 4 Level 3 row
+  EXPECT_DOUBLE_EQ(mm.clock_mhz, 130.0);
+
+  const auto vp50 = machine::xc2vp50();
+  EXPECT_NEAR(mxv.fraction_of(vp50), 0.58, 0.005);
+  EXPECT_NEAR(mm.fraction_of(vp50), 0.89, 0.005);
+}
+
+TEST(AreaModel, Fig9ClockDegradation) {
+  AreaModel area;
+  EXPECT_DOUBLE_EQ(area.mm_clock_mhz(1), 155.0);
+  EXPECT_DOUBLE_EQ(area.mm_clock_mhz(10), 125.0);
+  EXPECT_EQ(area.mm_design(1).slices, 2158u);
+  EXPECT_EQ(area.mm_design(10).slices, 21580u);
+  // Monotone degradation.
+  for (unsigned k = 2; k <= 10; ++k) {
+    EXPECT_LT(area.mm_clock_mhz(k), area.mm_clock_mhz(k - 1));
+  }
+}
+
+TEST(AreaModel, MaxPEs) {
+  AreaModel area;
+  const auto vp50 = machine::xc2vp50();
+  EXPECT_EQ(area.max_mm_pes(vp50, /*with_xd1_interface=*/false), 10u);
+  EXPECT_EQ(area.max_mm_pes(vp50, /*with_xd1_interface=*/true), 8u);
+  const auto vp100 = machine::xc2vp100();
+  EXPECT_GE(area.max_mm_pes(vp100, false), 19u);  // ~2x the VP50
+}
+
+TEST(AreaModel, ProjectedPEsForImprovedUnits) {
+  AreaModel area;
+  const auto vp50 = machine::xc2vp50();
+  const auto vp100 = machine::xc2vp100();
+  // Implied by the paper's quoted chassis projections (Sec 6.4.1).
+  EXPECT_EQ(area.projected_pes(vp50, 1600), 15u);
+  EXPECT_EQ(area.projected_pes(vp100, 1600), 28u);
+  EXPECT_EQ(area.projected_pes(vp50, 2000), 12u);
+}
+
+TEST(Node, StructureAndBandwidth) {
+  NodeConfig cfg;
+  cfg.clock_mhz = 164.0;
+  ComputeNode node(cfg);
+  EXPECT_EQ(node.sram_bank_count(), 4u);
+  EXPECT_EQ(node.sram_total_words(), 16ull * 1024 * 1024 / 8);
+  EXPECT_DOUBLE_EQ(node.clock_mhz(), 164.0);
+
+  // Stream one word from each bank per cycle: achieved SRAM bandwidth is the
+  // paper's 5.9 GB/s (4 banks x 9 bytes... modeled as 8-byte words: 5.25;
+  // with the parity byte the hardware moves 5.9 — we check the word rate).
+  for (int cyc = 0; cyc < 1000; ++cyc) {
+    node.tick();
+    for (unsigned b = 0; b < 4; ++b) node.sram(b).read(0);
+  }
+  EXPECT_NEAR(node.sram_achieved_bytes_per_s(), 4.0 * 8 * 164e6, 1e6);
+}
+
+TEST(Node, DmaStagesThroughRapidArray) {
+  NodeConfig cfg;
+  cfg.clock_mhz = 164.0;
+  cfg.dram_bytes_per_s = 1.3e9;  // the measured Table 4 staging rate
+  cfg.dram_words = 1 << 16;
+  ComputeNode node(cfg);
+  node.dram().storage().load(0, std::vector<u64>(4096, 7));
+  node.dma().start(node.dram().storage(), 0, node.sram(0).storage(), 0, 4096);
+  u64 cycles = 0;
+  while (node.dma().active()) {
+    node.tick();
+    ++cycles;
+    ASSERT_LT(cycles, 100'000u);
+  }
+  // 4096 words * 8 B at 1.3 GB/s at 164 MHz -> ~4135 cycles.
+  const double expect = 4096.0 / (1.3e9 / (8 * 164e6));
+  EXPECT_NEAR(static_cast<double>(cycles), expect, expect * 0.02);
+}
+
+TEST(Chassis, SixNodesRingLinks) {
+  machine::ChassisConfig cfg;
+  machine::Chassis ch(cfg);
+  EXPECT_EQ(ch.node_count(), 6u);
+  EXPECT_NO_THROW(ch.forward_link(4));
+  EXPECT_NO_THROW(ch.backward_link(0));
+  EXPECT_THROW(ch.forward_link(5), std::out_of_range);
+  ch.tick();
+  EXPECT_TRUE(ch.forward_link(0).can_transfer(1.0));
+}
+
+TEST(System, TwelveChassisInstallation) {
+  machine::SystemConfig cfg;
+  cfg.chassis.node.dram_words = 1024;  // keep the test allocation small
+  cfg.chassis.node.sram_bank_words = 1024;
+  machine::System sys(cfg);
+  EXPECT_EQ(sys.chassis_count(), 12u);
+  EXPECT_EQ(sys.total_fpgas(), 72u);
+  sys.tick();
+  EXPECT_NO_THROW(sys.chassis_link(10));
+  EXPECT_THROW(sys.chassis_link(11), std::out_of_range);
+}
+
+#include "machine/status_regs.hpp"
+
+TEST(StatusRegisters, HandshakeCostsLinkRoundTrips) {
+  NodeConfig cfg;
+  cfg.dram_words = 1024;
+  ComputeNode node(cfg);
+  machine::StatusRegisters regs(node, /*round_trip_cycles=*/40);
+
+  u64 cycles = regs.host_write(machine::StatusRegisters::Reg::ProblemSize, 1024);
+  EXPECT_GE(cycles, 40u);
+  EXPECT_EQ(regs.fpga_read(machine::StatusRegisters::Reg::ProblemSize), 1024u);
+
+  regs.fpga_write(machine::StatusRegisters::Reg::Status,
+                  machine::StatusRegisters::kStatusDone);
+  u64 v = 0;
+  regs.host_read(machine::StatusRegisters::Reg::Status, v);
+  EXPECT_EQ(v, machine::StatusRegisters::kStatusDone);
+  EXPECT_EQ(regs.host_accesses(), 2u);
+}
+
+TEST(StatusRegisters, PollUntilDoneAndBudget) {
+  NodeConfig cfg;
+  cfg.dram_words = 1024;
+  ComputeNode node(cfg);
+  machine::StatusRegisters regs(node, 40);
+  regs.fpga_write(machine::StatusRegisters::Reg::Status,
+                  machine::StatusRegisters::kStatusBusy);
+  // Never completes: budget trips.
+  EXPECT_THROW(regs.host_poll_until(machine::StatusRegisters::kStatusDone, 100,
+                                    5000),
+               SimError);
+  // Completes immediately once the design raises Done.
+  regs.fpga_write(machine::StatusRegisters::Reg::Status,
+                  machine::StatusRegisters::kStatusDone);
+  const u64 cycles = regs.host_poll_until(
+      machine::StatusRegisters::kStatusDone, 100, 5000);
+  EXPECT_GE(cycles, 40u);
+  EXPECT_LT(cycles, 200u);
+}
+
+TEST(StatusRegisters, HandshakeOverheadIsNegligibleVsGemv) {
+  // Sec 6.2's protocol: a handful of register accesses around a 262k-cycle
+  // computation — the control overhead the paper silently absorbs.
+  NodeConfig cfg;
+  cfg.dram_words = 1024;
+  ComputeNode node(cfg);
+  machine::StatusRegisters regs(node, 40);
+  u64 overhead = 0;
+  overhead += regs.host_write(machine::StatusRegisters::Reg::ProblemSize, 1024);
+  overhead += regs.host_write(machine::StatusRegisters::Reg::Command,
+                              machine::StatusRegisters::kCmdInit);
+  regs.fpga_write(machine::StatusRegisters::Reg::Status,
+                  machine::StatusRegisters::kStatusDone);
+  overhead += regs.host_poll_until(machine::StatusRegisters::kStatusDone, 200,
+                                   100000);
+  EXPECT_LT(static_cast<double>(overhead), 0.01 * 262144.0);
+}

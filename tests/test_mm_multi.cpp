@@ -1,0 +1,163 @@
+// Multi-FPGA GEMM pipeline tests: numerics, the n^3/(k l) latency model,
+// scaling across l, link starvation, load imbalance, and consistency with
+// the single-FPGA cycle-accurate array.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas3/mm_array.hpp"
+#include "blas3/mm_multi.hpp"
+#include "common/random.hpp"
+#include "host/reference.hpp"
+
+using namespace xd;
+using blas3::MmMultiConfig;
+using blas3::MmMultiEngine;
+
+namespace {
+
+MmMultiConfig cfg(unsigned l, unsigned k = 4, unsigned m = 4, std::size_t b = 16) {
+  MmMultiConfig c;
+  c.l = l;
+  c.k = k;
+  c.m = m;
+  c.b = b;
+  c.dram_words_per_cycle = 4.0;
+  c.link_words_per_cycle = 4.0;
+  return c;
+}
+
+}  // namespace
+
+TEST(MmMulti, MatchesReference) {
+  Rng rng(1);
+  const std::size_t n = 32;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  for (unsigned l : {1u, 2u, 3u, 4u}) {
+    MmMultiEngine engine(cfg(l));
+    const auto out = engine.run(a, b, n);
+    EXPECT_LT(host::max_abs_diff(out.c, host::ref_gemm(a, b, n)), 1e-10 * n)
+        << "l=" << l;
+  }
+}
+
+TEST(MmMulti, BitIdenticalToSingleFpgaArray) {
+  Rng rng(2);
+  const std::size_t n = 16;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+
+  blas3::MmArrayConfig ac;
+  ac.k = 4;
+  ac.m = 4;
+  ac.adder_stages = 4;
+  ac.mem_words_per_cycle = 8.0;
+  const auto ca = blas3::MmArrayEngine(ac).run(a, b, n);
+  const auto cm = MmMultiEngine(cfg(2)).run(a, b, n);
+  EXPECT_EQ(ca.c, cm.c);  // same accumulation order => same bits
+}
+
+TEST(MmMulti, LatencyTracksModelWhenBandwidthAmple) {
+  Rng rng(3);
+  const std::size_t n = 48;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  for (unsigned l : {1u, 2u, 4u}) {
+    auto c = cfg(l, 4, 4, 16);
+    c.dram_words_per_cycle = 16.0;
+    c.link_words_per_cycle = 16.0;
+    MmMultiEngine engine(c);
+    const auto out = engine.run(a, b, n);
+    const double model = static_cast<double>(engine.model_cycles(n));
+    EXPECT_NEAR(static_cast<double>(out.report.cycles) / model, 1.0, 0.15)
+        << "l=" << l;
+  }
+}
+
+TEST(MmMulti, NearLinearSpeedupAcrossFpgas) {
+  Rng rng(4);
+  const std::size_t n = 64;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  auto c1 = cfg(1, 4, 4, 32);
+  auto c4 = cfg(4, 4, 4, 32);
+  c1.dram_words_per_cycle = c4.dram_words_per_cycle = 8.0;
+  c1.link_words_per_cycle = c4.link_words_per_cycle = 8.0;
+  const auto o1 = MmMultiEngine(c1).run(a, b, n);
+  const auto o4 = MmMultiEngine(c4).run(a, b, n);
+  const double speedup = static_cast<double>(o1.report.cycles) /
+                         static_cast<double>(o4.report.cycles);
+  EXPECT_GT(speedup, 3.3);
+  EXPECT_LE(speedup, 4.2);
+}
+
+TEST(MmMulti, StarvedLinksStallTheChain) {
+  Rng rng(5);
+  const std::size_t n = 32;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  auto fast = cfg(4, 4, 4, 16);
+  auto slow = fast;
+  slow.dram_words_per_cycle = 0.05;  // well below 3kl/b
+  const auto of = MmMultiEngine(fast).run(a, b, n);
+  const auto os = MmMultiEngine(slow).run(a, b, n);
+  EXPECT_EQ(of.c, os.c);  // numerics independent of timing
+  EXPECT_GT(os.report.cycles, 4 * of.report.cycles);
+  EXPECT_GT(os.report.stall_cycles, 0u);
+}
+
+TEST(MmMulti, LoadBalanceAcrossFpgas) {
+  Rng rng(6);
+  const std::size_t n = 64;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  auto c = cfg(4, 4, 4, 32);  // beta = 8, evenly divisible by l = 4
+  const auto out = MmMultiEngine(c).run(a, b, n);
+  ASSERT_EQ(out.per_fpga.size(), 4u);
+  const u64 blocks0 = out.per_fpga[0].blocks_computed;
+  for (const auto& s : out.per_fpga) {
+    EXPECT_EQ(s.blocks_computed, blocks0);  // even ownership
+    EXPECT_GT(s.busy_cycles, 0u);
+  }
+}
+
+TEST(MmMulti, UnevenOwnershipWhenBetaNotDivisible) {
+  Rng rng(7);
+  const std::size_t n = 24;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  auto c = cfg(3, 2, 4, 24);  // beta = 6 across l = 3: even (2 each)
+  const auto even = MmMultiEngine(c).run(a, b, n);
+  EXPECT_EQ(even.per_fpga[0].blocks_computed, even.per_fpga[2].blocks_computed);
+
+  auto c2 = cfg(4, 2, 4, 24);  // beta = 6 across l = 4: 2/2/1/1 columns
+  const auto uneven = MmMultiEngine(c2).run(a, b, n);
+  EXPECT_GT(uneven.per_fpga[0].blocks_computed,
+            uneven.per_fpga[3].blocks_computed);
+  EXPECT_LT(host::max_abs_diff(uneven.c, host::ref_gemm(a, b, n)), 1e-10 * n);
+}
+
+TEST(MmMulti, DramTrafficIsThetaN3OverB) {
+  Rng rng(8);
+  const std::size_t n = 64;
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  for (std::size_t bb : {16ul, 32ul, 64ul}) {
+    const auto out = MmMultiEngine(cfg(2, 4, 4, bb)).run(a, b, n);
+    const double expect =
+        2.0 * std::pow(static_cast<double>(n), 3) / static_cast<double>(bb) +
+        static_cast<double>(n) * n;
+    EXPECT_NEAR(out.dram_words, expect, expect * 0.01) << "b=" << bb;
+  }
+}
+
+TEST(MmMulti, InvalidConfigsRejected) {
+  EXPECT_THROW(MmMultiEngine{cfg(5, 4, 4, 16)}, ConfigError);  // b < m*l
+  auto c = cfg(2);
+  c.b = 18;  // not a multiple of m
+  EXPECT_THROW(MmMultiEngine{c}, ConfigError);
+  c = cfg(2);
+  c.m = 6;  // not divisible by k = 4
+  EXPECT_THROW(MmMultiEngine{c}, ConfigError);
+}

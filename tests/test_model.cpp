@@ -1,0 +1,153 @@
+// Analytical model & projection tests against the numbers the paper quotes.
+#include <gtest/gtest.h>
+
+#include "model/perf_model.hpp"
+#include "model/projections.hpp"
+
+using namespace xd;
+
+TEST(PerfModel, IoBoundPeaks) {
+  // Sec 4.4: dot peak = bw words/s; GEMV peak = 2 bw.
+  EXPECT_NEAR(model::dot_peak_flops(5.5e9), 687.5e6, 1e3);
+  EXPECT_NEAR(model::gemv_peak_flops(5.6e9), 1.4e9, 1e3);
+  // Table 4: 1.3 GB/s DRAM -> 325 MFLOPS GEMV peak.
+  EXPECT_NEAR(model::gemv_peak_flops(1.3e9), 325e6, 1e3);
+}
+
+TEST(PerfModel, DevicePeak) {
+  // Sec 6.3: XC2VP50 peak with the paper's units is 4.42 GFLOPS.
+  machine::AreaModel area;
+  const double peak = model::mm_device_peak_flops(machine::xc2vp50(), area.cores());
+  EXPECT_NEAR(peak, 4.42e9, 0.01e9);
+}
+
+TEST(PerfModel, LatencyFormulas) {
+  EXPECT_EQ(model::mm_model_cycles(512, 8), 512ull * 512 * 512 / 8);
+  EXPECT_EQ(model::mm_hier_model_cycles(2048, 8, 6),
+            2048ull * 2048 * 2048 / 48);
+  EXPECT_EQ(model::gemv_model_cycles(1024, 1024, 4), 1024ull * 1024 / 4);
+}
+
+TEST(PerfModel, BandwidthRequirements) {
+  // Sec 6.3, l = 1, k = m = 8, b = 512: DRAM requirement 3k/b words/cycle
+  // = 48.8 MB/s at 130 MHz.
+  const double wpc = model::mm_hier_dram_words_per_cycle(8, 1, 512);
+  EXPECT_NEAR(wpc * 8 * 130e6, 48.75e6, 0.1e6);
+  // Sec 6.4.1, l = 6, b = 2048: 73.1 MB/s.
+  const double wpc6 = model::mm_hier_dram_words_per_cycle(8, 6, 2048);
+  EXPECT_NEAR(wpc6 * 8 * 130e6, 73.1e6, 0.2e6);
+  // Sec 6.4.2, l = 72: 877.5 MB/s.
+  const double wpc72 = model::mm_hier_dram_words_per_cycle(8, 72, 2048);
+  EXPECT_NEAR(wpc72 * 8 * 130e6, 877.5e6, 0.5e6);
+}
+
+TEST(PerfModel, SramRequirement) {
+  // Sec 6.3: C' takes 2 words/cycle (2.1 GB/s at 130 MHz); the C-panel
+  // stream adds 2k/b words/cycle (32.5 MB/s).
+  const double wpc = model::mm_hier_sram_words_per_cycle(8, 1, 512);
+  EXPECT_NEAR(2.0 * 8 * 130e6, 2.08e9, 0.01e9);
+  EXPECT_NEAR((wpc - 2.0) * 8 * 130e6, 32.5e6, 0.1e6);
+}
+
+TEST(Projections, Figure9Series) {
+  machine::AreaModel area;
+  const auto pts = model::figure9(area, machine::xc2vp50());
+  ASSERT_EQ(pts.size(), 10u);  // "we can configure at most 10 PEs"
+  EXPECT_EQ(pts.front().k, 1u);
+  EXPECT_EQ(pts.front().slices, 2158u);
+  EXPECT_DOUBLE_EQ(pts.front().clock_mhz, 155.0);
+  EXPECT_DOUBLE_EQ(pts.back().clock_mhz, 125.0);
+  // "maximum sustained performance ... is 2.5 GFLOPS" at 10 PEs / 125 MHz.
+  EXPECT_NEAR(pts.back().gflops, 2.5, 0.01);
+  // Area grows linearly; clock decreases monotonically.
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].slices - pts[i - 1].slices, 2158u);
+    EXPECT_LT(pts[i].clock_mhz, pts[i - 1].clock_mhz);
+  }
+}
+
+TEST(Projections, Figure11BestCell) {
+  machine::AreaModel area;
+  const auto p =
+      model::project_chassis(area, machine::xc2vp50(), 1600, 200.0);
+  EXPECT_EQ(p.pes_per_fpga, 15u);
+  // "one chassis can achieve more than 27 GFLOPS".
+  EXPECT_NEAR(p.gflops, 27.0, 0.01);
+  EXPECT_GT(p.gflops, 26.9);
+}
+
+TEST(Projections, Figure11GridShape) {
+  machine::AreaModel area;
+  const auto grid = model::figure11_grid(area, machine::xc2vp50());
+  EXPECT_EQ(grid.size(), 25u);  // 5 areas x 5 clocks
+  // GFLOPS increase with clock at fixed area and with smaller PEs at fixed
+  // clock (monotone along the grid axes).
+  for (const auto& cell : grid) {
+    EXPECT_GT(cell.gflops, 10.0);
+    EXPECT_LT(cell.gflops, 30.0);
+  }
+}
+
+TEST(Projections, Figure12AboutDoubleOfVp50) {
+  machine::AreaModel area;
+  const auto p50 = model::project_chassis(area, machine::xc2vp50(), 1600, 200.0);
+  const auto p100 =
+      model::project_chassis(area, machine::xc2vp100(), 1600, 200.0);
+  EXPECT_EQ(p100.pes_per_fpga, 28u);
+  // "a chassis in XD1 can achieve about 50 GFLOPS".
+  EXPECT_NEAR(p100.gflops, 50.4, 0.1);
+  EXPECT_NEAR(p100.gflops / p50.gflops, 2.0, 0.15);
+}
+
+TEST(Projections, TwelveChassisInstallation) {
+  // Sec 6.4.2: 2.06 GFLOPS x 72 FPGAs = 148.3 GFLOPS; DRAM requirement
+  // 877.5 MB/s; all requirements met by XD1.
+  const auto s = model::project_system(12, 8, 2048, 130.0, 2.06);
+  EXPECT_EQ(s.total_fpgas, 72u);
+  EXPECT_NEAR(s.gflops, 148.3, 0.05);
+  EXPECT_NEAR(s.dram_bytes_per_s, 877.5e6, 1e6);
+  EXPECT_NEAR(s.interchassis_bytes_per_s, 877.5e6, 1e6);
+  EXPECT_TRUE(s.bandwidth_met);
+}
+
+TEST(Projections, SingleChassis) {
+  // Sec 6.4.1: 2.06 x 6 = 12.4 GFLOPS; DRAM/interconnect 73.1 MB/s.
+  const auto s = model::project_system(1, 8, 2048, 130.0, 2.06);
+  EXPECT_NEAR(s.gflops, 12.36, 0.05);
+  EXPECT_NEAR(s.dram_bytes_per_s, 73.1e6, 0.2e6);
+  EXPECT_TRUE(s.bandwidth_met);
+}
+
+TEST(Projections, BandwidthNotMetWhenScaledAbsurdly) {
+  // Requirements grow with l; a hypothetical 4000-FPGA array with a tiny b
+  // must trip the bandwidth check.
+  const auto s = model::project_system(700, 8, 2048, 130.0, 2.06);
+  EXPECT_FALSE(s.bandwidth_met);
+}
+
+TEST(PerfModel, NaiveMultiFpgaBlowsTheBandwidthBudget) {
+  // The Sec 5.2 motivation: stretching the Sec 5.1 array across a chassis
+  // multiplies the DRAM requirement by l, while the hierarchy divides it by
+  // b/m. At 12 chassis the naive mapping needs ~b/m * more than available.
+  const auto naive = model::gemm_naive_multi(8192, 8, 72, 8);
+  const auto hier = model::gemm_hier_multi(8192, 8, 72, 8, 2048);
+  EXPECT_DOUBLE_EQ(naive.latency_cycles, hier.latency_cycles);
+  EXPECT_NEAR(naive.words_per_cycle / hier.words_per_cycle, 2048.0 / 8.0,
+              1e-9);
+  const double naive_bps = naive.words_per_cycle * kWordBytes * 130e6;
+  EXPECT_GT(naive_bps, 3.2e9);  // breaks the XD1 DRAM budget
+  const double hier_bps = hier.words_per_cycle * kWordBytes * 130e6;
+  EXPECT_LT(hier_bps, 3.2e9);
+}
+
+TEST(PerfModel, RelatedWorkDesignPoints) {
+  const auto z04 = model::gemm_zhuo04(1024);
+  EXPECT_DOUBLE_EQ(z04.latency_cycles, 1024.0 * 1024);
+  EXPECT_DOUBLE_EQ(z04.storage_words, 2.0 * 1024 * 1024);
+  const auto d05 = model::gemm_dou05(1024, 8, 32);
+  EXPECT_DOUBLE_EQ(d05.latency_cycles, 1024.0 * 1024 * 1024 / 8);
+  EXPECT_NEAR(d05.words_per_cycle, 1.5 / 32, 1e-12);
+  const auto sc = model::gemm_sc05(1024, 8, 8);
+  EXPECT_DOUBLE_EQ(sc.storage_words, 128.0);
+  EXPECT_DOUBLE_EQ(sc.words_per_cycle, 3.0);
+}

@@ -1,0 +1,533 @@
+// Tests for the proposed reduction circuit (Sec 4.3) and the baseline
+// circuits: correctness of sums, the paper's latency and buffer claims, and
+// the no-stall property for the workload classes the BLAS designs generate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/random.hpp"
+#include "fp/softfloat.hpp"
+#include "reduce/baselines.hpp"
+#include "reduce/reduction_circuit.hpp"
+
+using namespace xd;
+using reduce::Input;
+using reduce::ReductionCircuit;
+using reduce::ReductionCircuitBase;
+using reduce::SetResult;
+
+namespace {
+
+struct RunOutcome {
+  std::vector<double> sums;  ///< indexed by set id
+  u64 total_cycles = 0;
+  u64 stalls = 0;
+};
+
+/// Stream `sets` into the circuit one element per cycle (re-offering on
+/// stalls), then run it dry; returns per-set sums in arrival order.
+RunOutcome run_reduction(ReductionCircuitBase& c,
+                         const std::vector<std::vector<double>>& sets) {
+  RunOutcome out;
+  out.sums.assign(sets.size(), std::nan(""));
+  std::size_t done = 0;
+
+  auto drain_result = [&] {
+    if (auto r = c.take_result()) {
+      EXPECT_LT(r->set_id, sets.size());
+      EXPECT_TRUE(std::isnan(out.sums[r->set_id])) << "duplicate set result";
+      out.sums[r->set_id] = fp::from_bits(r->bits);
+      ++done;
+    }
+  };
+
+  const u64 budget = 10'000'000;
+  std::size_t si = 0, ei = 0;
+  while (si < sets.size()) {
+    Input in{fp::to_bits(sets[si][ei]), ei + 1 == sets[si].size()};
+    const bool consumed = c.cycle(in);
+    ++out.total_cycles;
+    drain_result();
+    if (consumed) {
+      if (++ei == sets[si].size()) {
+        ei = 0;
+        ++si;
+      }
+    }
+    if (out.total_cycles >= budget) throw std::runtime_error("input stream wedged");
+  }
+  while (done < sets.size()) {
+    c.cycle(std::nullopt);
+    ++out.total_cycles;
+    drain_result();
+    if (out.total_cycles >= budget) throw std::runtime_error("drain wedged");
+  }
+  out.stalls = c.stall_cycles();
+  EXPECT_FALSE(c.busy());
+  return out;
+}
+
+/// Accurate reference sum (long double accumulate).
+double ref_sum(const std::vector<double>& v) {
+  long double s = 0.0L;
+  for (double x : v) s += static_cast<long double>(x);
+  return static_cast<double>(s);
+}
+
+double abs_tolerance(const std::vector<double>& v) {
+  long double mag = 0.0L;
+  for (double x : v) mag += std::fabs(static_cast<long double>(x));
+  return std::max(1e-18, static_cast<double>(mag) * 1e-12);
+}
+
+std::vector<std::vector<double>> make_sets(Rng& rng,
+                                           const std::vector<std::size_t>& sizes) {
+  std::vector<std::vector<double>> sets;
+  sets.reserve(sizes.size());
+  for (std::size_t s : sizes) sets.push_back(rng.vector(s, -10.0, 10.0));
+  return sets;
+}
+
+void expect_sums_match(const RunOutcome& out,
+                       const std::vector<std::vector<double>>& sets) {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    ASSERT_FALSE(std::isnan(out.sums[i])) << "set " << i << " never completed";
+    EXPECT_NEAR(out.sums[i], ref_sum(sets[i]), abs_tolerance(sets[i]))
+        << "set " << i << " (size " << sets[i].size() << ")";
+  }
+}
+
+u64 total_inputs(const std::vector<std::vector<double>>& sets) {
+  u64 n = 0;
+  for (const auto& s : sets) n += s.size();
+  return n;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Proposed circuit: correctness across set-size regimes.
+
+class ProposedUniformSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProposedUniformSizes, CorrectSums) {
+  const std::size_t s = GetParam();
+  Rng rng(1000 + s);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(40, s));
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+}
+
+TEST_P(ProposedUniformSizes, BufferNeverExceedsAlphaSquared) {
+  const std::size_t s = GetParam();
+  Rng rng(2000 + s);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(40, s));
+  run_reduction(c, sets);
+  EXPECT_LE(c.stats().peak_buffer_words,
+            static_cast<std::size_t>(c.alpha()) * c.alpha());
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, ProposedUniformSizes,
+                         ::testing::Values(1, 2, 3, 7, 13, 14, 15, 17, 28, 50,
+                                           100, 333, 1024));
+
+// The paper's headline claims, checked for the BLAS-shaped workloads
+// (uniform sizes >= alpha): no stall, and p sets reduced in fewer than
+// sum(s_i) + 2*alpha^2 cycles.
+class ProposedClaims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ProposedClaims, NoStallAndLatencyBound) {
+  const std::size_t s = GetParam();
+  Rng rng(3000 + s);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(60, s));
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  EXPECT_EQ(out.stalls, 0u) << "uniform sets of size " << s << " stalled";
+  const u64 alpha2 = static_cast<u64>(c.alpha()) * c.alpha();
+  EXPECT_LT(out.total_cycles, total_inputs(sets) + 2 * alpha2);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAtLeastAlpha, ProposedClaims,
+                         ::testing::Values(14, 15, 20, 27, 64, 100, 500));
+
+TEST(Proposed, SingleLargeSetLatency) {
+  // One set of size n: the circuit should finish in n + O(alpha^2) cycles.
+  Rng rng(42);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, {4096});
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  EXPECT_EQ(out.stalls, 0u);
+  const u64 alpha2 = static_cast<u64>(c.alpha()) * c.alpha();
+  EXPECT_LT(out.total_cycles, 4096 + 2 * alpha2);
+}
+
+TEST(Proposed, ArbitraryMixedSizesAreCorrect) {
+  Rng rng(77);
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 200; ++i) sizes.push_back(rng.uniform_int(1, 60));
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, sizes);
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  // Arbitrary tiny sets may stall (the drain needs alpha^2-ish cycles per
+  // batch); correctness and bounded buffers must hold regardless.
+  EXPECT_LE(c.stats().peak_buffer_words,
+            static_cast<std::size_t>(c.alpha()) * c.alpha());
+}
+
+TEST(Proposed, ManySingleElementSets) {
+  Rng rng(78);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(100, 1));
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+}
+
+TEST(Proposed, AlternatingTinyAndHuge) {
+  Rng rng(79);
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 30; ++i) sizes.push_back(i % 2 == 0 ? 1 : 200);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, sizes);
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+}
+
+TEST(Proposed, DeterministicBits) {
+  Rng rng(80);
+  const auto sets = make_sets(rng, {100, 37, 14, 1, 250});
+  auto run_bits = [&] {
+    ReductionCircuit c;
+    std::vector<u64> bits(sets.size());
+    std::size_t done = 0, si = 0, ei = 0;
+    u64 guard = 0;
+    while (done < sets.size()) {
+      std::optional<Input> in;
+      if (si < sets.size()) {
+        in = Input{fp::to_bits(sets[si][ei]), ei + 1 == sets[si].size()};
+      }
+      const bool consumed = c.cycle(in);
+      if (consumed) {
+        if (++ei == sets[si].size()) {
+          ei = 0;
+          ++si;
+        }
+      }
+      if (auto r = c.take_result()) {
+        bits[r->set_id] = r->bits;
+        ++done;
+      }
+      if (++guard > 1'000'000) throw std::runtime_error("wedged");
+    }
+    return bits;
+  };
+  EXPECT_EQ(run_bits(), run_bits());
+}
+
+TEST(Proposed, AdderUtilizationIsHighForLargeSets) {
+  Rng rng(81);
+  ReductionCircuit c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(50, 64));
+  run_reduction(c, sets);
+  // s=64 >> alpha: nearly every element needs one addition.
+  EXPECT_GT(c.adder_utilization(), 0.8);
+}
+
+TEST(Proposed, SpecialValuesPropagate) {
+  ReductionCircuit c;
+  std::vector<std::vector<double>> sets = {
+      {1.0, std::numeric_limits<double>::infinity(), 2.0},
+      {1e308, 1e308, -1e308},  // transient overflow stays inf
+      {5.0, -5.0, 0.0}};
+  const auto out = run_reduction(c, sets);
+  EXPECT_TRUE(std::isinf(out.sums[0]));
+  EXPECT_TRUE(std::isinf(out.sums[1]));  // inf once produced is sticky
+  EXPECT_EQ(out.sums[2], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Two-adder ablation: same correctness, no stalls even for adversarial sizes.
+
+TEST(TwoAdderVariant, CorrectAndFewerStalls) {
+  Rng rng(90);
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 150; ++i) sizes.push_back(rng.uniform_int(1, 40));
+  const auto sets = make_sets(rng, sizes);
+
+  ReductionCircuit one(fp::kAdderStages, /*dedicated_drain_adder=*/false);
+  ReductionCircuit two(fp::kAdderStages, /*dedicated_drain_adder=*/true);
+  const auto out1 = run_reduction(one, sets);
+  const auto out2 = run_reduction(two, sets);
+  expect_sums_match(out1, sets);
+  expect_sums_match(out2, sets);
+  EXPECT_LE(out2.stalls, out1.stalls);
+  EXPECT_LE(out2.total_cycles, out1.total_cycles);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines: correctness and characteristic costs.
+
+class BaselineCorrectness
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(BaselineCorrectness, SumsMatch) {
+  const auto [kind, s] = GetParam();
+  Rng rng(500 + static_cast<u64>(kind) * 31 + s);
+  std::vector<std::size_t> sizes(25, s);
+  const auto sets = make_sets(rng, sizes);
+
+  std::unique_ptr<ReductionCircuitBase> c;
+  switch (kind) {
+    case 0:
+      c = std::make_unique<reduce::StallingAccumulator>();
+      break;
+    case 1:
+      c = std::make_unique<reduce::KoggeTree>(log2_ceil(std::max<u64>(s, 2)));
+      break;
+    default:
+      c = std::make_unique<reduce::SingleAdderGreedy>();
+      break;
+  }
+  const auto out = run_reduction(*c, sets);
+  expect_sums_match(out, sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSizes, BaselineCorrectness,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 3, 5, 14, 17, 64, 200)));
+
+TEST(Baselines, StallingAccumulatorPaysAlphaPerElement) {
+  Rng rng(91);
+  reduce::StallingAccumulator c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(10, 100));
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  // ~alpha cycles per element (minus the free first element of each set).
+  EXPECT_GT(out.total_cycles, 10ull * 99ull * (fp::kAdderStages - 1));
+}
+
+TEST(Baselines, KoggeTreeMatchesProposedThroughputWithMoreAdders) {
+  Rng rng(92);
+  const auto sets = make_sets(rng, std::vector<std::size_t>(30, 128));
+  reduce::KoggeTree tree(7);  // 2^7 = 128
+  ReductionCircuit proposed;
+  const auto out_t = run_reduction(tree, sets);
+  const auto out_p = run_reduction(proposed, sets);
+  expect_sums_match(out_t, sets);
+  expect_sums_match(out_p, sets);
+  EXPECT_EQ(tree.adders_used(), 7u);
+  EXPECT_EQ(proposed.adders_used(), 1u);
+  // Both accept one element per cycle; total cycles within ~2 alpha^2.
+  EXPECT_NEAR(static_cast<double>(out_t.total_cycles),
+              static_cast<double>(out_p.total_cycles),
+              2.0 * fp::kAdderStages * fp::kAdderStages + 100.0);
+}
+
+TEST(Baselines, KoggeTreeUndersizedThrows) {
+  Rng rng(93);
+  reduce::KoggeTree tree(2);  // handles sets up to 4 elements
+  const auto sets = make_sets(rng, {8});
+  EXPECT_THROW(run_reduction(tree, sets), ConfigError);
+}
+
+TEST(Baselines, GreedyBufferGrowsPastAlphaSquaredOnAdversarialStream) {
+  // Many tiny sets followed by interleaving forces the greedy design's
+  // unbounded buffer up; the proposed circuit holds at alpha^2 (with stalls).
+  Rng rng(94);
+  std::vector<std::size_t> sizes(3000, 2);
+  const auto sets = make_sets(rng, sizes);
+  reduce::SingleAdderGreedy greedy;
+  const auto out = run_reduction(greedy, sets);
+  expect_sums_match(out, sets);
+  EXPECT_GT(greedy.peak_buffer_words(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The circuit is parametric in the adder depth alpha; the paper's claims must
+// hold for any pipelined adder, not just the 14-stage core.
+
+class AlphaSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AlphaSweep, ClaimsHoldAcrossPipelineDepths) {
+  const unsigned alpha = GetParam();
+  Rng rng(4000 + alpha);
+  ReductionCircuit c(alpha);
+  EXPECT_EQ(c.alpha(), alpha);
+  // Uniform sets of size exactly alpha (the tight case) and of 3*alpha.
+  for (std::size_t mult : {1ul, 3ul}) {
+    ReductionCircuit circuit(alpha);
+    const auto sets =
+        make_sets(rng, std::vector<std::size_t>(40, alpha * mult));
+    const auto out = run_reduction(circuit, sets);
+    expect_sums_match(out, sets);
+    EXPECT_EQ(out.stalls, 0u) << "alpha=" << alpha << " mult=" << mult;
+    const u64 alpha2 = static_cast<u64>(alpha) * alpha;
+    EXPECT_LT(out.total_cycles, total_inputs(sets) + 2 * alpha2);
+    EXPECT_LE(circuit.stats().peak_buffer_words, alpha2);
+  }
+}
+
+TEST_P(AlphaSweep, RandomSizesCorrectAtAnyDepth) {
+  const unsigned alpha = GetParam();
+  Rng rng(5000 + alpha);
+  std::vector<std::size_t> sizes;
+  for (int i = 0; i < 80; ++i) sizes.push_back(rng.uniform_int(1, 4 * alpha));
+  ReductionCircuit c(alpha);
+  const auto sets = make_sets(rng, sizes);
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  EXPECT_LE(c.stats().peak_buffer_words,
+            static_cast<std::size_t>(alpha) * alpha);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, AlphaSweep,
+                         ::testing::Values(2, 3, 4, 5, 8, 11, 14, 16, 24));
+
+TEST(Proposed, SumInvariantUnderSetPermutation) {
+  // Delivering the same sets in a different order must give the same sums
+  // (each set reduces independently; only which buffer row it lands in
+  // changes).
+  Rng rng(6001);
+  const auto sets = make_sets(rng, {37, 14, 100, 5, 64, 1, 29});
+  ReductionCircuit c1, c2;
+  const auto fwd = run_reduction(c1, sets);
+  std::vector<std::vector<double>> rev(sets.rbegin(), sets.rend());
+  const auto bwd = run_reduction(c2, rev);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NEAR(fwd.sums[i], bwd.sums[sets.size() - 1 - i],
+                abs_tolerance(sets[i]));
+  }
+}
+
+TEST(Proposed, ExhaustiveTinyAlphaSweep) {
+  // alpha = 3: enumerate EVERY sequence of up to 5 sets with sizes 1..6 and
+  // verify sums, the buffer bound, and termination. 6^1+...+6^5 = 9330
+  // complete simulations — an exhaustive check of the control logic at a
+  // scale where all row/column interleavings occur.
+  const unsigned alpha = 3;
+  const std::size_t max_size = 6;
+  u64 runs = 0;
+  std::vector<std::size_t> sizes;
+
+  std::function<void()> recurse = [&] {
+    if (!sizes.empty()) {
+      Rng rng(7000 + runs);
+      ReductionCircuit c(alpha);
+      const auto sets = make_sets(rng, sizes);
+      const auto out = run_reduction(c, sets);
+      for (std::size_t i = 0; i < sets.size(); ++i) {
+        ASSERT_NEAR(out.sums[i], ref_sum(sets[i]), abs_tolerance(sets[i]))
+            << "sizes[" << i << "]=" << sizes[i] << " run " << runs;
+      }
+      ASSERT_LE(c.stats().peak_buffer_words,
+                static_cast<std::size_t>(alpha) * alpha);
+      ++runs;
+    }
+    if (sizes.size() == 5) return;
+    for (std::size_t s = 1; s <= max_size; ++s) {
+      sizes.push_back(s);
+      recurse();
+      sizes.pop_back();
+    }
+  };
+  recurse();
+  EXPECT_EQ(runs, 6u + 36 + 216 + 1296 + 7776);
+}
+
+TEST(Baselines, NiHwangCorrectButStallsBetweenSets) {
+  Rng rng(95);
+  reduce::NiHwangReducer c;
+  const auto sets = make_sets(rng, std::vector<std::size_t>(20, 50));
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  // Every set but the first waits for the previous drain: stalls pile up.
+  EXPECT_GT(out.stalls, 19u);
+  // The proposed circuit handles the same stream with zero stalls.
+  ReductionCircuit proposed;
+  const auto out_p = run_reduction(proposed, sets);
+  expect_sums_match(out_p, sets);
+  EXPECT_EQ(out_p.stalls, 0u);
+  EXPECT_LT(out_p.total_cycles, out.total_cycles);
+}
+
+TEST(Baselines, NiHwangSingleSetIsEfficient) {
+  // For its designed use case (one vector) the method is fine: ~s cycles.
+  Rng rng(96);
+  reduce::NiHwangReducer c;
+  const auto sets = make_sets(rng, {2000});
+  const auto out = run_reduction(c, sets);
+  expect_sums_match(out, sets);
+  EXPECT_EQ(out.stalls, 0u);
+  EXPECT_LT(out.total_cycles, 2000 + 20 * fp::kAdderStages);
+}
+
+TEST(Proposed, InputBubblesDoNotDisturbCorrectness) {
+  // Real datapaths deliver bubbles (idle cycles) inside a set whenever the
+  // upstream stalls; the circuit must absorb them. Deliver every element
+  // with a random 0-3 cycle gap.
+  Rng rng(6100);
+  const auto sets = make_sets(rng, {50, 14, 1, 200, 33, 7});
+  ReductionCircuit c;
+  std::vector<double> sums(sets.size(), std::nan(""));
+  std::size_t done = 0, si = 0, ei = 0;
+  u64 guard = 0;
+  while (done < sets.size()) {
+    std::optional<Input> in;
+    const bool bubble = rng.uniform_int(0, 3) != 0 || si >= sets.size();
+    if (!bubble && si < sets.size()) {
+      in = Input{fp::to_bits(sets[si][ei]), ei + 1 == sets[si].size()};
+    }
+    const bool consumed = c.cycle(in);
+    if (in && consumed && ++ei == sets[si].size()) {
+      ei = 0;
+      ++si;
+    }
+    if (auto r = c.take_result()) {
+      sums[r->set_id] = fp::from_bits(r->bits);
+      ++done;
+    }
+    ASSERT_LT(++guard, 1'000'000u);
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    EXPECT_NEAR(sums[i], ref_sum(sets[i]), abs_tolerance(sets[i])) << i;
+  }
+  EXPECT_LE(c.stats().peak_buffer_words,
+            static_cast<std::size_t>(c.alpha()) * c.alpha());
+}
+
+TEST(Proposed, BurstThenSilence) {
+  // Alternating dense bursts and long silences across set boundaries.
+  Rng rng(6101);
+  const auto sets = make_sets(rng, std::vector<std::size_t>(12, 40));
+  ReductionCircuit c;
+  std::size_t done = 0, si = 0, ei = 0;
+  u64 t = 0, guard = 0;
+  while (done < sets.size()) {
+    const bool silent = (t / 64) % 2 == 1;  // every other 64-cycle window
+    std::optional<Input> in;
+    if (!silent && si < sets.size()) {
+      in = Input{fp::to_bits(sets[si][ei]), ei + 1 == sets[si].size()};
+    }
+    const bool consumed = c.cycle(in);
+    ++t;
+    if (in && consumed && ++ei == sets[si].size()) {
+      ei = 0;
+      ++si;
+    }
+    if (auto r = c.take_result()) {
+      EXPECT_NEAR(fp::from_bits(r->bits), ref_sum(sets[r->set_id]),
+                  abs_tolerance(sets[r->set_id]));
+      ++done;
+    }
+    ASSERT_LT(++guard, 1'000'000u);
+  }
+}

@@ -1,0 +1,176 @@
+// Solver-layer tests: Jacobi (dense + sparse) and CG on the simulated FPGA
+// BLAS converge to the known solution and account FPGA time sensibly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "host/reference.hpp"
+#include "solver/cg.hpp"
+#include "solver/jacobi.hpp"
+
+using namespace xd;
+
+namespace {
+
+/// Random diagonally dominant matrix (Jacobi converges).
+std::vector<double> diag_dominant(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  auto a = rng.matrix(n, n, -1.0, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::fabs(a[i * n + j]);
+    }
+    a[i * n + i] = off + 1.0;
+  }
+  return a;
+}
+
+/// Random SPD matrix: M^T M + n I.
+std::vector<double> spd(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  const auto m = rng.matrix(n, n, -1.0, 1.0);
+  std::vector<double> a(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t q = 0; q < n; ++q) s += m[q * n + i] * m[q * n + j];
+      a[i * n + j] = s + (i == j ? static_cast<double>(n) : 0.0);
+    }
+  }
+  return a;
+}
+
+double max_err(const std::vector<double>& x, const std::vector<double>& y) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) e = std::max(e, std::fabs(x[i] - y[i]));
+  return e;
+}
+
+}  // namespace
+
+TEST(JacobiDense, ConvergesToKnownSolution) {
+  const std::size_t n = 96;
+  const auto a = diag_dominant(n, 1);
+  Rng rng(2);
+  const auto x_true = rng.vector(n);
+  const auto b = host::ref_gemv(a, n, n, x_true);
+
+  host::Context ctx;
+  const auto res = solver::jacobi_dense(ctx, a, n, b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.iterations, 60);
+  EXPECT_LT(max_err(res.x, x_true), 1e-9);
+  EXPECT_GT(res.fpga_cycles, 0u);
+  EXPECT_GT(res.sustained_mflops(), 100.0);
+}
+
+TEST(JacobiDense, RespectsIterationCap) {
+  const std::size_t n = 64;
+  const auto a = diag_dominant(n, 3);
+  Rng rng(4);
+  const auto b = rng.vector(n);
+  host::Context ctx;
+  solver::SolveOptions opts;
+  opts.max_iterations = 2;
+  opts.tolerance = 0.0;  // unattainable
+  const auto res = solver::jacobi_dense(ctx, a, n, b, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2);
+}
+
+TEST(JacobiDense, ZeroDiagonalRejected) {
+  std::vector<double> a = {0.0, 1.0, 1.0, 2.0};
+  host::Context ctx;
+  EXPECT_THROW(solver::jacobi_dense(ctx, a, 2, {1.0, 1.0}), ConfigError);
+}
+
+TEST(JacobiSparse, ConvergesOnIrregularMatrix) {
+  // Irregular sparse system (the [18] use case): power-law off-diagonal
+  // pattern plus a dominant diagonal.
+  const std::size_t n = 128;
+  auto pattern = blas2::make_power_law(n, n, 20, 5);
+  // Build A = pattern + dominant diagonal in CRS form via dense assembly.
+  auto dense = pattern.to_dense();
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) off += std::fabs(dense[i * n + j]);
+    }
+    dense[i * n + i] = off + 1.0;
+  }
+  const auto a = blas2::CrsMatrix::from_dense(dense, n, n);
+
+  Rng rng(6);
+  const auto x_true = rng.vector(n);
+  const auto b = host::ref_gemv(dense, n, n, x_true);
+
+  const auto res = solver::jacobi_sparse(a, b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(max_err(res.x, x_true), 1e-9);
+  // Sparse flops count nonzeros only: far fewer than the dense 2n^2/iter.
+  EXPECT_LT(res.fpga_flops,
+            static_cast<u64>(res.iterations) * 2 * n * n / 2);
+}
+
+TEST(JacobiSparse, MissingDiagonalRejected) {
+  blas2::CrsMatrix m;
+  m.rows = m.cols = 2;
+  m.row_ptr = {0, 1, 2};
+  m.values = {1.0, 1.0};
+  m.col_idx = {1, 0};  // no diagonal entries
+  EXPECT_THROW(solver::jacobi_sparse(m, {1.0, 1.0}), ConfigError);
+}
+
+TEST(CgDense, ConvergesOnSpdSystem) {
+  const std::size_t n = 64;
+  const auto a = spd(n, 7);
+  Rng rng(8);
+  const auto x_true = rng.vector(n);
+  const auto b = host::ref_gemv(a, n, n, x_true);
+
+  host::Context ctx;
+  const auto res = solver::cg_dense(ctx, a, n, b);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(max_err(res.x, x_true), 1e-8);
+}
+
+TEST(CgDense, JacobiPreconditionerHelpsIllConditioned) {
+  // Strongly varying diagonal: D^{-1} preconditioning should cut iterations.
+  const std::size_t n = 96;
+  auto a = spd(n, 9);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = 1.0 + 50.0 * static_cast<double>(i) / n;
+    for (std::size_t j = 0; j < n; ++j) {
+      a[i * n + j] *= s;
+      a[j * n + i] *= s;
+    }
+  }
+  Rng rng(10);
+  const auto x_true = rng.vector(n);
+  const auto b = host::ref_gemv(a, n, n, x_true);
+
+  host::Context ctx;
+  solver::SolveOptions opts;
+  opts.max_iterations = 400;
+  opts.tolerance = 1e-8;
+  const auto plain = solver::cg_dense(ctx, a, n, b, opts, false);
+  const auto pre = solver::cg_dense(ctx, a, n, b, opts, true);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LE(pre.iterations, plain.iterations);
+  EXPECT_LT(max_err(pre.x, x_true), 1e-6);
+}
+
+TEST(CgDense, FpgaTimeAccumulatesAcrossIterations) {
+  const std::size_t n = 64;
+  const auto a = spd(n, 11);
+  Rng rng(12);
+  const auto b = rng.vector(n);
+  host::Context ctx;
+  const auto res = solver::cg_dense(ctx, a, n, b);
+  // Each iteration: >= n^2/k GEMV cycles plus dot cycles.
+  EXPECT_GT(res.fpga_cycles,
+            static_cast<u64>(res.iterations) * n * n / 4);
+  EXPECT_GT(res.fpga_seconds(), 0.0);
+}

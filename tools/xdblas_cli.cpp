@@ -1,0 +1,186 @@
+// xdblas command-line runner: drive any of the simulated designs from the
+// shell and get a paper-style report, without writing C++.
+//
+//   xdblas_cli dot    --n 4096 [--k 2]  [--bw-gbs 5.5]
+//   xdblas_cli gemv   --n 1024 [--k 4]  [--from-dram] [--arch tree|col]
+//   xdblas_cli gemm   --n 256  [--k 8] [--m 8] [--b 64] [--l 1]
+//   xdblas_cli spmxv  --n 1024 [--nnz-per-row 16] [--k 4]
+//   xdblas_cli reduce --sets 200 --size 512 [--alpha 14]
+//   xdblas_cli explore [--device XC2VP100]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "xdblas.hpp"
+#include "common/random.hpp"
+
+using namespace xd;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+  bool flag(const std::string& name) const { return kv.count(name) > 0; }
+  double num(const std::string& name, double dflt) const {
+    const auto it = kv.find(name);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+  std::string str(const std::string& name, const std::string& dflt) const {
+    const auto it = kv.find(name);
+    return it == kv.end() ? dflt : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc >= 2) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+void print_report(const host::PerfReport& r) {
+  std::printf("design      : %s\n", r.design.c_str());
+  std::printf("cycles      : %llu", static_cast<unsigned long long>(r.cycles));
+  if (r.staging_cycles) {
+    std::printf(" (staging %llu)",
+                static_cast<unsigned long long>(r.staging_cycles));
+  }
+  std::printf("\nlatency     : %.4f ms at %.0f MHz\n", r.seconds() * 1e3,
+              r.clock_mhz);
+  std::printf("sustained   : %.1f MFLOPS (%.3f flops/cycle)\n",
+              r.sustained_mflops(), r.flops_per_cycle());
+  if (r.sram_words > 0) {
+    std::printf("SRAM traffic: %.0f words (%.2f GB/s)\n", r.sram_words,
+                r.sram_bytes_per_s() / 1e9);
+  }
+  if (r.dram_words > 0) {
+    std::printf("DRAM traffic: %.0f words (%.1f MB/s)\n", r.dram_words,
+                r.dram_bytes_per_s() / 1e6);
+  }
+  std::printf("stalls      : %llu\n",
+              static_cast<unsigned long long>(r.stall_cycles));
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xdblas_cli <dot|gemv|gemm|spmxv|reduce|explore> "
+               "[--n N] [--k K] ...  (see the file header for options)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  Rng rng(static_cast<u64>(args.num("seed", 2005)));
+
+  try {
+    if (args.command == "dot") {
+      const std::size_t n = static_cast<std::size_t>(args.num("n", 4096));
+      host::ContextConfig cfg;
+      cfg.dot_k = static_cast<unsigned>(args.num("k", 2));
+      cfg.dot_mem_bytes_per_s = args.num("bw-gbs", 5.5) * 1e9;
+      host::Context ctx(cfg);
+      const auto r = ctx.dot(rng.vector(n), rng.vector(n));
+      std::printf("dot(%zu) = %.12g\n", n, r.value);
+      print_report(r.report);
+    } else if (args.command == "gemv") {
+      const std::size_t n = static_cast<std::size_t>(args.num("n", 1024));
+      host::ContextConfig cfg;
+      cfg.gemv_k = static_cast<unsigned>(args.num("k", 4));
+      host::Context ctx(cfg);
+      const auto arch = args.str("arch", "tree") == "col"
+                            ? host::GemvArch::Column
+                            : host::GemvArch::Tree;
+      const auto src = args.flag("from-dram") ? host::Placement::Dram
+                                              : host::Placement::Sram;
+      const auto out = ctx.gemv(rng.matrix(n, n), n, n, rng.vector(n), src, arch);
+      print_report(out.report);
+    } else if (args.command == "gemm") {
+      const std::size_t n = static_cast<std::size_t>(args.num("n", 256));
+      host::ContextConfig cfg;
+      cfg.mm_k = static_cast<unsigned>(args.num("k", 8));
+      cfg.mm_m = static_cast<unsigned>(args.num("m", 8));
+      cfg.mm_b = static_cast<std::size_t>(args.num("b", std::min<double>(512, n)));
+      cfg.mm_l = static_cast<unsigned>(args.num("l", 1));
+      host::Context ctx(cfg);
+      const auto out = cfg.mm_l > 1 ? [&] {
+        const auto multi = ctx.gemm_multi(rng.matrix(n, n), rng.matrix(n, n), n);
+        return multi.report;
+      }()
+                                    : ctx.gemm(rng.matrix(n, n), rng.matrix(n, n), n).report;
+      print_report(out);
+    } else if (args.command == "spmxv") {
+      const std::size_t n = static_cast<std::size_t>(args.num("n", 1024));
+      const std::size_t nnz = static_cast<std::size_t>(args.num("nnz-per-row", 16));
+      blas2::SpmxvConfig cfg;
+      cfg.k = static_cast<unsigned>(args.num("k", 4));
+      blas2::SpmxvEngine engine(cfg);
+      const auto m = blas2::make_uniform_sparse(n, n, nnz, 7);
+      const auto out = engine.run(m, rng.vector(n));
+      std::printf("spmxv %zux%zu, nnz=%zu (density %.2f%%)\n", n, n, m.nnz(),
+                  100.0 * m.density());
+      print_report(out.report);
+    } else if (args.command == "reduce") {
+      const std::size_t sets = static_cast<std::size_t>(args.num("sets", 200));
+      const std::size_t size = static_cast<std::size_t>(args.num("size", 512));
+      const unsigned alpha = static_cast<unsigned>(args.num("alpha", 14));
+      reduce::ReductionCircuit c(alpha);
+      std::size_t done = 0, si = 0, ei = 0;
+      u64 cycles = 0;
+      while (done < sets) {
+        std::optional<reduce::Input> in;
+        if (si < sets) {
+          in = reduce::Input{fp::to_bits(rng.uniform(-1, 1)), ei + 1 == size};
+        }
+        const bool consumed = c.cycle(in);
+        ++cycles;
+        if (in && consumed && ++ei == size) {
+          ei = 0;
+          ++si;
+        }
+        if (c.take_result()) ++done;
+      }
+      std::printf("reduced %zu sets of %zu in %llu cycles "
+                  "(inputs %zu, tail %llu, bound 2a^2 = %u)\n",
+                  sets, size, static_cast<unsigned long long>(cycles),
+                  sets * size,
+                  static_cast<unsigned long long>(cycles - sets * size),
+                  2 * alpha * alpha);
+      std::printf("stalls %llu, peak buffer %zu (bound %u), adder util %.1f%%\n",
+                  static_cast<unsigned long long>(c.stats().stall_cycles),
+                  c.stats().peak_buffer_words, alpha * alpha,
+                  100.0 * c.adder_utilization());
+    } else if (args.command == "explore") {
+      const auto dev = machine::device_by_name(args.str("device", "XC2VP50"));
+      machine::AreaModel area;
+      std::printf("%s: %u slices, %llu BRAM words; max GEMM PEs %u "
+                  "(standalone) / %u (XD1)\n",
+                  dev.name.c_str(), dev.slices,
+                  static_cast<unsigned long long>(dev.bram_words()),
+                  area.max_mm_pes(dev, false), area.max_mm_pes(dev, true));
+      for (const auto& p : model::figure9(area, dev)) {
+        std::printf("  k=%2u: %5u slices, %.0f MHz, %.2f GFLOPS\n", p.k,
+                    p.slices, p.clock_mhz, p.gflops);
+      }
+    } else {
+      return usage();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
