@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocked_gemv.dir/bench_blocked_gemv.cpp.o"
+  "CMakeFiles/bench_blocked_gemv.dir/bench_blocked_gemv.cpp.o.d"
+  "bench_blocked_gemv"
+  "bench_blocked_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocked_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_chassis_vp50.dir/bench_fig11_chassis_vp50.cpp.o"
+  "CMakeFiles/bench_fig11_chassis_vp50.dir/bench_fig11_chassis_vp50.cpp.o.d"
+  "bench_fig11_chassis_vp50"
+  "bench_fig11_chassis_vp50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_chassis_vp50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_area_clock.dir/bench_fig9_area_clock.cpp.o"
+  "CMakeFiles/bench_fig9_area_clock.dir/bench_fig9_area_clock.cpp.o.d"
+  "bench_fig9_area_clock"
+  "bench_fig9_area_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_area_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

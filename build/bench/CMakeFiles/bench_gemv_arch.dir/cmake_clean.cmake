@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gemv_arch.dir/bench_gemv_arch.cpp.o"
+  "CMakeFiles/bench_gemv_arch.dir/bench_gemv_arch.cpp.o.d"
+  "bench_gemv_arch"
+  "bench_gemv_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gemv_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

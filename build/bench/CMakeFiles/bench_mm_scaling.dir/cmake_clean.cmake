@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mm_scaling.dir/bench_mm_scaling.cpp.o"
+  "CMakeFiles/bench_mm_scaling.dir/bench_mm_scaling.cpp.o.d"
+  "bench_mm_scaling"
+  "bench_mm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

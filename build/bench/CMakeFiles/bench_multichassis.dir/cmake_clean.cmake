@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multichassis.dir/bench_multichassis.cpp.o"
+  "CMakeFiles/bench_multichassis.dir/bench_multichassis.cpp.o.d"
+  "bench_multichassis"
+  "bench_multichassis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multichassis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scoreboard.dir/bench_scoreboard.cpp.o"
+  "CMakeFiles/bench_scoreboard.dir/bench_scoreboard.cpp.o.d"
+  "bench_scoreboard"
+  "bench_scoreboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmxv.dir/bench_spmxv.cpp.o"
+  "CMakeFiles/bench_spmxv.dir/bench_spmxv.cpp.o.d"
+  "bench_spmxv"
+  "bench_spmxv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmxv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

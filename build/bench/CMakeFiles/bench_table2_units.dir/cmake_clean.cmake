@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_units.dir/bench_table2_units.cpp.o"
+  "CMakeFiles/bench_table2_units.dir/bench_table2_units.cpp.o.d"
+  "bench_table2_units"
+  "bench_table2_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

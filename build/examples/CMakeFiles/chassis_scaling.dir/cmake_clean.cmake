@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chassis_scaling.dir/chassis_scaling.cpp.o"
+  "CMakeFiles/chassis_scaling.dir/chassis_scaling.cpp.o.d"
+  "chassis_scaling"
+  "chassis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chassis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_jacobi.dir/sparse_jacobi.cpp.o"
+  "CMakeFiles/sparse_jacobi.dir/sparse_jacobi.cpp.o.d"
+  "sparse_jacobi"
+  "sparse_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas1/dot_engine.cpp" "src/CMakeFiles/xdblas.dir/blas1/dot_engine.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas1/dot_engine.cpp.o.d"
+  "/root/repo/src/blas2/blocking.cpp" "src/CMakeFiles/xdblas.dir/blas2/blocking.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas2/blocking.cpp.o.d"
+  "/root/repo/src/blas2/mxv_col.cpp" "src/CMakeFiles/xdblas.dir/blas2/mxv_col.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas2/mxv_col.cpp.o.d"
+  "/root/repo/src/blas2/mxv_on_node.cpp" "src/CMakeFiles/xdblas.dir/blas2/mxv_on_node.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas2/mxv_on_node.cpp.o.d"
+  "/root/repo/src/blas2/mxv_tree.cpp" "src/CMakeFiles/xdblas.dir/blas2/mxv_tree.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas2/mxv_tree.cpp.o.d"
+  "/root/repo/src/blas2/spmxv.cpp" "src/CMakeFiles/xdblas.dir/blas2/spmxv.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas2/spmxv.cpp.o.d"
+  "/root/repo/src/blas3/mm_array.cpp" "src/CMakeFiles/xdblas.dir/blas3/mm_array.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas3/mm_array.cpp.o.d"
+  "/root/repo/src/blas3/mm_hier.cpp" "src/CMakeFiles/xdblas.dir/blas3/mm_hier.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas3/mm_hier.cpp.o.d"
+  "/root/repo/src/blas3/mm_multi.cpp" "src/CMakeFiles/xdblas.dir/blas3/mm_multi.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas3/mm_multi.cpp.o.d"
+  "/root/repo/src/blas3/mm_on_node.cpp" "src/CMakeFiles/xdblas.dir/blas3/mm_on_node.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas3/mm_on_node.cpp.o.d"
+  "/root/repo/src/blas3/pe.cpp" "src/CMakeFiles/xdblas.dir/blas3/pe.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/blas3/pe.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "src/CMakeFiles/xdblas.dir/common/random.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/xdblas.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/xdblas.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/common/table.cpp.o.d"
+  "/root/repo/src/fp/fpu.cpp" "src/CMakeFiles/xdblas.dir/fp/fpu.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/fp/fpu.cpp.o.d"
+  "/root/repo/src/fp/softfloat.cpp" "src/CMakeFiles/xdblas.dir/fp/softfloat.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/fp/softfloat.cpp.o.d"
+  "/root/repo/src/host/blas_compat.cpp" "src/CMakeFiles/xdblas.dir/host/blas_compat.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/host/blas_compat.cpp.o.d"
+  "/root/repo/src/host/context.cpp" "src/CMakeFiles/xdblas.dir/host/context.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/host/context.cpp.o.d"
+  "/root/repo/src/host/reference.cpp" "src/CMakeFiles/xdblas.dir/host/reference.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/host/reference.cpp.o.d"
+  "/root/repo/src/machine/area.cpp" "src/CMakeFiles/xdblas.dir/machine/area.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/area.cpp.o.d"
+  "/root/repo/src/machine/chassis.cpp" "src/CMakeFiles/xdblas.dir/machine/chassis.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/chassis.cpp.o.d"
+  "/root/repo/src/machine/device.cpp" "src/CMakeFiles/xdblas.dir/machine/device.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/device.cpp.o.d"
+  "/root/repo/src/machine/node.cpp" "src/CMakeFiles/xdblas.dir/machine/node.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/node.cpp.o.d"
+  "/root/repo/src/machine/status_regs.cpp" "src/CMakeFiles/xdblas.dir/machine/status_regs.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/status_regs.cpp.o.d"
+  "/root/repo/src/machine/system.cpp" "src/CMakeFiles/xdblas.dir/machine/system.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/machine/system.cpp.o.d"
+  "/root/repo/src/mem/bram.cpp" "src/CMakeFiles/xdblas.dir/mem/bram.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/bram.cpp.o.d"
+  "/root/repo/src/mem/channel.cpp" "src/CMakeFiles/xdblas.dir/mem/channel.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/channel.cpp.o.d"
+  "/root/repo/src/mem/dma.cpp" "src/CMakeFiles/xdblas.dir/mem/dma.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/dma.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/xdblas.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "src/CMakeFiles/xdblas.dir/mem/memory.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/memory.cpp.o.d"
+  "/root/repo/src/mem/sram_bank.cpp" "src/CMakeFiles/xdblas.dir/mem/sram_bank.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/mem/sram_bank.cpp.o.d"
+  "/root/repo/src/model/perf_model.cpp" "src/CMakeFiles/xdblas.dir/model/perf_model.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/model/perf_model.cpp.o.d"
+  "/root/repo/src/model/projections.cpp" "src/CMakeFiles/xdblas.dir/model/projections.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/model/projections.cpp.o.d"
+  "/root/repo/src/reduce/baselines.cpp" "src/CMakeFiles/xdblas.dir/reduce/baselines.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/reduce/baselines.cpp.o.d"
+  "/root/repo/src/reduce/reduction_circuit.cpp" "src/CMakeFiles/xdblas.dir/reduce/reduction_circuit.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/reduce/reduction_circuit.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/xdblas.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/solver/cg.cpp" "src/CMakeFiles/xdblas.dir/solver/cg.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/solver/cg.cpp.o.d"
+  "/root/repo/src/solver/jacobi.cpp" "src/CMakeFiles/xdblas.dir/solver/jacobi.cpp.o" "gcc" "src/CMakeFiles/xdblas.dir/solver/jacobi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm_multi.dir/test_mm_multi.cpp.o"
+  "CMakeFiles/test_mm_multi.dir/test_mm_multi.cpp.o.d"
+  "test_mm_multi"
+  "test_mm_multi.pdb"
+  "test_mm_multi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mm_on_node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mxv_on_node.dir/test_mxv_on_node.cpp.o"
+  "CMakeFiles/test_mxv_on_node.dir/test_mxv_on_node.cpp.o.d"
+  "test_mxv_on_node"
+  "test_mxv_on_node.pdb"
+  "test_mxv_on_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mxv_on_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

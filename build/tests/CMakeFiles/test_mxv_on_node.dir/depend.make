@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mxv_on_node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmxv.dir/test_spmxv.cpp.o"
+  "CMakeFiles/test_spmxv.dir/test_spmxv.cpp.o.d"
+  "test_spmxv"
+  "test_spmxv.pdb"
+  "test_spmxv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmxv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_fpu[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_blas1[1]_include.cmake")
+include("/root/repo/build/tests/test_blas2[1]_include.cmake")
+include("/root/repo/build/tests/test_blas3[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_spmxv[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_compat[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mm_multi[1]_include.cmake")
+include("/root/repo/build/tests/test_mxv_on_node[1]_include.cmake")
+include("/root/repo/build/tests/test_mm_on_node[1]_include.cmake")
+include("/root/repo/build/tests/test_umbrella[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdblas_cli.dir/xdblas_cli.cpp.o"
+  "CMakeFiles/xdblas_cli.dir/xdblas_cli.cpp.o.d"
+  "xdblas_cli"
+  "xdblas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdblas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
