@@ -9,6 +9,7 @@
 #include "fp/fpu.hpp"
 #include "fp/softfloat.hpp"
 #include "reduce/reduction_circuit.hpp"
+#include "telemetry/session.hpp"
 
 using namespace xd;
 
@@ -86,6 +87,30 @@ void BM_MmArrayMacsPerSecond(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * n * n);
 }
 BENCHMARK(BM_MmArrayMacsPerSecond)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// Same run with a telemetry session attached: the registry is only touched
+// once per run (publish-at-end), so this should track the bare benchmark
+// within noise — a regression here means telemetry leaked into the hot loop.
+void BM_MmArrayMacsPerSecondTelemetry(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  const auto a = rng.matrix(n, n);
+  const auto b = rng.matrix(n, n);
+  telemetry::Session session;
+  blas3::MmArrayConfig cfg;
+  cfg.mem_words_per_cycle = 8.0;
+  cfg.telemetry = &session;
+  blas3::MmArrayEngine engine(cfg);
+  for (auto _ : state) {
+    session.clear();
+    benchmark::DoNotOptimize(engine.run(a, b, n));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * n * n);
+}
+BENCHMARK(BM_MmArrayMacsPerSecondTelemetry)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

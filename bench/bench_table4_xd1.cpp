@@ -71,6 +71,8 @@ int main() {
          "1.05 GFLOPS");
   t2.row("Max |error| vs reference", TextTable::num(err2, 3), "-");
   bench::print_table(t2);
+  bench::report_row("gemv-node-from-dram", from_dram.report);
+  bench::report_row("gemv-node-from-sram", from_sram.report);
   bench::note("* the hardware moves a 9th parity byte per word; we model the "
               "64-bit payload (4 words/cycle at 164 MHz = 5.25 GB/s).\n");
 
@@ -139,6 +141,8 @@ int main() {
          "0.7%");
   t3.row("Max |error| vs reference (n = 512)", TextTable::num(err512, 3), "-");
   bench::print_table(t3);
+  bench::report_row("gemm-node-512", measured512.report);
+  bench::report_row("gemm-array-256", c3.report);
 
   bench::heading("Cycle-accurate cross-check (PE array, n = 256)");
   TextTable cc({"Metric", "Value"});

@@ -1,23 +1,87 @@
 // Shared helpers for the experiment-reproduction benches. Each bench binary
 // regenerates one table or figure from the paper and prints paper-reported
 // values next to what this reproduction measures.
+//
+// Machine-readable output: set XDBLAS_BENCH_JSON to a file path ("-" for
+// stdout) and every heading / note / table / report that goes through these
+// helpers is also appended there as one JSON object per line (JSONL), so the
+// perf-trajectory scripts can scrape benches without parsing aligned text.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "common/table.hpp"
+#include "host/report.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
 
 namespace xd::bench {
 
-inline void heading(const std::string& title) {
-  std::printf("\n=== %s ===\n\n", title.c_str());
+inline std::FILE* jsonl_stream() {
+  static std::FILE* f = [] {
+    const char* path = std::getenv("XDBLAS_BENCH_JSON");
+    if (!path || !*path) return static_cast<std::FILE*>(nullptr);
+    if (std::string(path) == "-") return stdout;
+    return std::fopen(path, "a");
+  }();
+  return f;
 }
 
-inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+inline void jsonl(const std::string& line) {
+  if (std::FILE* f = jsonl_stream()) {
+    std::fputs(line.c_str(), f);
+    std::fputc('\n', f);
+    std::fflush(f);
+  }
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+  if (jsonl_stream()) {
+    telemetry::JsonWriter w;
+    w.begin_object().kv("event", "heading").kv("title", title).end_object();
+    jsonl(w.str());
+  }
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+  if (jsonl_stream()) {
+    telemetry::JsonWriter w;
+    w.begin_object().kv("event", "note").kv("text", text).end_object();
+    jsonl(w.str());
+  }
+}
 
 inline void print_table(const TextTable& t) {
   std::printf("%s\n", t.render().c_str());
+  if (jsonl_stream()) {
+    telemetry::JsonWriter w;
+    w.begin_object().kv("event", "table");
+    w.key("header").begin_array();
+    for (const auto& h : t.header()) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : t.rows()) {
+      w.begin_array();
+      for (const auto& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array().end_object();
+    jsonl(w.str());
+  }
+}
+
+/// Emit one measured PerfReport as a JSONL row (no-op without the env var).
+inline void report_row(const std::string& label, const host::PerfReport& r) {
+  if (!jsonl_stream()) return;
+  telemetry::JsonWriter w;
+  w.begin_object().kv("event", "report").kv("label", label);
+  w.key("report").raw(telemetry::report_to_json(r));
+  w.end_object();
+  jsonl(w.str());
 }
 
 /// "2.06 GB/s"-style formatting.

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "fp/softfloat.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas1 {
 
@@ -40,6 +41,9 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
                        std::max(cfg_.mem_words_per_cycle + 2.0, 2.0 * k));
   fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);  // unused when k == 1
   reduce::ReductionCircuit red(cfg_.adder_stages);
+  if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
+    red.attach_trace(&cfg_.telemetry->trace());
+  }
 
   // The k multipliers run in lockstep; one in-flight record per issued group.
   struct MultGroup {
@@ -142,6 +146,20 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
   out.report.stall_cycles = stalls + red.stats().stall_cycles;
   out.report.sram_words = static_cast<double>(streamed_words);
   out.report.clock_mhz = cfg_.clock_mhz;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    channel.publish(tel->metrics(), "mem.dot.sram");
+    if (k >= 2) tree.publish(tel->metrics(), "fpu.dot.addtree");
+    red.publish(tel->metrics(), "reduce.dot");
+    tel->counter("fpu.dot.mul.ops").add(flops / 2);
+    tel->counter("blas1.dot.runs").add(1);
+    tel->counter("blas1.dot.cycles").add(cycle);
+    tel->counter("blas1.dot.flops").add(flops);
+    tel->counter("blas1.dot.stall_cycles").add(out.report.stall_cycles);
+    auto lengths = tel->histogram("blas1.dot.vector_words");
+    for (const auto& u : us) lengths.observe(static_cast<double>(u.size()));
+  }
   return out;
 }
 

@@ -21,6 +21,10 @@
 #include "mem/channel.hpp"
 #include "reduce/reduction_circuit.hpp"
 
+namespace xd::telemetry {
+class Session;
+}
+
 namespace xd::blas1 {
 
 struct DotConfig {
@@ -30,6 +34,10 @@ struct DotConfig {
   /// Input bandwidth in words/cycle (e.g. 5.5 GB/s at 170 MHz ~= 4.04).
   double mem_words_per_cycle = 4.0;
   double clock_mhz = 170.0;  ///< for the report only
+  /// Optional telemetry sink (metrics under mem.dot.* / fpu.dot.* /
+  /// reduce.dot.* / blas1.dot.*, a "compute" phase span, and trace events
+  /// when the session's trace is enabled). Null disables instrumentation.
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct DotOutcome {

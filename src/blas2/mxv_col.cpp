@@ -5,6 +5,7 @@
 
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas2 {
 
@@ -125,6 +126,21 @@ MxvOutcome MxvColEngine::run(const std::vector<double>& a, std::size_t rows,
   out.report.stall_cycles = stalls;
   out.report.sram_words = static_cast<double>(streamed_words + rows);  // + y out
   out.report.clock_mhz = cfg_.clock_mhz;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    channel.publish(tel->metrics(), "mem.gemv.sram");
+    auto lane_util = tel->histogram("fpu.gemv.lane_utilization");
+    for (const auto& l : lanes) {
+      l.mult.publish(tel->metrics(), "fpu.gemv.mul");
+      l.adder.publish(tel->metrics(), "fpu.gemv.add");
+      lane_util.observe(l.mult.utilization());
+    }
+    tel->counter("blas2.gemv_col.runs").add(1);
+    tel->counter("blas2.gemv_col.cycles").add(cycle);
+    tel->counter("blas2.gemv_col.flops").add(out.report.flops);
+    tel->counter("blas2.gemv_col.stall_cycles").add(stalls);
+  }
   return out;
 }
 

@@ -23,6 +23,9 @@ struct MxvColConfig {
   unsigned multiplier_stages = fp::kMultiplierStages;
   double mem_words_per_cycle = 4.0;  ///< streaming rate for A
   double clock_mhz = 170.0;
+  /// Optional telemetry sink (mem.gemv.* / fpu.gemv.* / blas2.gemv_col.*
+  /// metrics plus a "compute" phase span).
+  telemetry::Session* telemetry = nullptr;
 };
 
 class MxvColEngine {

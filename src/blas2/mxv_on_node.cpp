@@ -7,6 +7,7 @@
 #include "fp/softfloat.hpp"
 #include "machine/status_regs.hpp"
 #include "reduce/reduction_circuit.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas2 {
 
@@ -89,6 +90,9 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
 
   fp::AdderTree tree(k, cfg_.adder_stages);
   reduce::ReductionCircuit red(cfg_.adder_stages);
+  if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
+    red.attach_trace(&cfg_.telemetry->trace());
+  }
   struct MultGroup {
     std::vector<u64> products;
     bool last;
@@ -186,6 +190,25 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
   out.report.dram_words =
       from_dram ? static_cast<double>(rows * cols + cols + rows) : 0.0;
   out.report.clock_mhz = node_.clock_mhz();
+
+  // Phases come from the measured boundary, not a formula: staging is the
+  // DMA + x-load prefix, compute the rest (stream + write-back + handshake).
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    if (staging_cycles > 0) tel->phase("staging", staging_cycles);
+    tel->phase("compute", cycle - staging_cycles);
+    for (unsigned bank = 0; bank < k; ++bank) {
+      node_.sram(bank).publish(tel->metrics(), cat("mem.sram.bank", bank));
+    }
+    node_.dram().link().publish(tel->metrics(), "mem.dram.link");
+    tree.publish(tel->metrics(), "fpu.gemv.addtree");
+    red.publish(tel->metrics(), "reduce.gemv");
+    tel->counter("fpu.gemv.mul.ops").add(static_cast<u64>(rows) * cols);
+    tel->counter("blas2.gemv_node.runs").add(1);
+    tel->counter("blas2.gemv_node.cycles").add(cycle);
+    tel->counter("blas2.gemv_node.staging_cycles").add(staging_cycles);
+    tel->counter("blas2.gemv_node.flops").add(out.report.flops);
+    tel->counter("blas2.gemv_node.stall_cycles").add(out.report.stall_cycles);
+  }
   return out;
 }
 

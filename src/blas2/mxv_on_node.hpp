@@ -29,6 +29,10 @@ struct NodeGemvConfig {
   bool with_handshake = false;
   unsigned handshake_round_trip_cycles = 40;
   unsigned handshake_poll_interval = 200;
+  /// Optional telemetry sink. Publishes per-bank mem.sram.bankN.* metrics,
+  /// mem.dram.link.* / fpu.gemv.* / reduce.gemv.* / blas2.gemv_node.*, and
+  /// records measured "staging" / "compute" phase spans (the Table 4 split).
+  telemetry::Session* telemetry = nullptr;
 };
 
 class NodeGemvEngine {

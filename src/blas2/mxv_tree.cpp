@@ -7,6 +7,7 @@
 
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas2 {
 
@@ -38,6 +39,9 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
                                 static_cast<double>(k)));
   fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);
   reduce::ReductionCircuit red(cfg_.adder_stages);
+  if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
+    red.attach_trace(&cfg_.telemetry->trace());
+  }
 
   // Local x storage, lane-striped exactly as the paper describes; pre-convert
   // to bits once (preload phase, not streamed during compute).
@@ -131,6 +135,19 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
   out.report.stall_cycles = stalls + red.stats().stall_cycles;
   out.report.sram_words = static_cast<double>(streamed_words + rows);  // + y out
   out.report.clock_mhz = cfg_.clock_mhz;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    channel.publish(tel->metrics(), "mem.gemv.sram");
+    if (k >= 2) tree.publish(tel->metrics(), "fpu.gemv.addtree");
+    red.publish(tel->metrics(), "reduce.gemv");
+    tel->counter("fpu.gemv.mul.ops").add(static_cast<u64>(rows) * cols);
+    tel->counter("blas2.gemv.runs").add(1);
+    tel->counter("blas2.gemv.cycles").add(cycle);
+    tel->counter("blas2.gemv.flops").add(out.report.flops);
+    tel->counter("blas2.gemv.stall_cycles").add(out.report.stall_cycles);
+    tel->histogram("blas2.gemv.row_words").observe(static_cast<double>(cols));
+  }
   return out;
 }
 

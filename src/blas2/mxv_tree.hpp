@@ -15,6 +15,10 @@
 #include "host/report.hpp"
 #include "reduce/reduction_circuit.hpp"
 
+namespace xd::telemetry {
+class Session;
+}
+
 namespace xd::blas2 {
 
 struct MxvTreeConfig {
@@ -24,6 +28,9 @@ struct MxvTreeConfig {
   /// Streaming bandwidth for A in words/cycle (XD1: 4 banks -> 4.0).
   double mem_words_per_cycle = 4.0;
   double clock_mhz = 164.0;  ///< Table 4 post-P&R clock on XD1
+  /// Optional telemetry sink (mem.gemv.* / fpu.gemv.* / reduce.gemv.* /
+  /// blas2.gemv.* metrics plus a "compute" phase span).
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct MxvOutcome {

@@ -8,6 +8,7 @@
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
 #include "reduce/reduction_circuit.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas2 {
 
@@ -72,6 +73,9 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
                                 static_cast<double>(k)));
   fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);
   reduce::ReductionCircuit red(cfg_.adder_stages);
+  if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
+    red.attach_trace(&cfg_.telemetry->trace());
+  }
 
   std::vector<u64> xbits(a.cols);
   for (std::size_t j = 0; j < a.cols; ++j) xbits[j] = fp::to_bits(x[j]);
@@ -174,6 +178,22 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
   out.report.sram_words = 2.0 * static_cast<double>(streamed_elements) +
                           static_cast<double>(a.rows);
   out.report.clock_mhz = cfg_.clock_mhz;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    channel.publish(tel->metrics(), "mem.spmxv.sram");
+    if (k >= 2) tree.publish(tel->metrics(), "fpu.spmxv.addtree");
+    red.publish(tel->metrics(), "reduce.spmxv");
+    tel->counter("fpu.spmxv.mul.ops").add(a.nnz());
+    tel->counter("blas2.spmxv.runs").add(1);
+    tel->counter("blas2.spmxv.cycles").add(cycle);
+    tel->counter("blas2.spmxv.flops").add(out.report.flops);
+    tel->counter("blas2.spmxv.stall_cycles").add(out.report.stall_cycles);
+    auto row_nnz = tel->histogram("blas2.spmxv.row_nnz");
+    for (std::size_t i = 0; i < a.rows; ++i) {
+      row_nnz.observe(static_cast<double>(a.row_ptr[i + 1] - a.row_ptr[i]));
+    }
+  }
   return out;
 }
 

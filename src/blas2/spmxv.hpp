@@ -56,6 +56,9 @@ struct SpmxvConfig {
   /// fetched together at one element per bank-pair.
   double mem_elements_per_cycle = 2.0;
   double clock_mhz = 164.0;
+  /// Optional telemetry sink (mem.spmxv.* / fpu.spmxv.* / reduce.spmxv.* /
+  /// blas2.spmxv.* metrics plus a "compute" phase span).
+  telemetry::Session* telemetry = nullptr;
 };
 
 class SpmxvEngine {

@@ -5,6 +5,7 @@
 #include "common/util.hpp"
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas3 {
 
@@ -151,6 +152,23 @@ MmOutcome MmArrayEngine::run(const std::vector<double>& a,
   out.report.stall_cycles = input_stalls + output_stalls;
   out.report.sram_words = static_cast<double>(input_words + output_words);
   out.report.clock_mhz = cfg_.clock_mhz;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    channel.publish(tel->metrics(), "mem.gemm.sram");
+    tel->counter("mem.gemm.input_words").add(input_words);
+    tel->counter("mem.gemm.output_words").add(output_words);
+    tel->counter("fpu.gemm.mac.ops")
+        .add(static_cast<u64>(n) * n * n);
+    tel->gauge("fpu.gemm.pe.count").set(static_cast<double>(k));
+    tel->gauge("fpu.gemm.pe.peak_c_backlog_words")
+        .set(static_cast<double>(peak_backlog));
+    tel->counter("blas3.gemm_array.runs").add(1);
+    tel->counter("blas3.gemm_array.cycles").add(cycle);
+    tel->counter("blas3.gemm_array.flops").add(out.report.flops);
+    tel->counter("blas3.gemm_array.input_stall_cycles").add(input_stalls);
+    tel->counter("blas3.gemm_array.output_stall_cycles").add(output_stalls);
+  }
   return out;
 }
 

@@ -24,6 +24,10 @@
 #include "blas3/pe.hpp"
 #include "host/report.hpp"
 
+namespace xd::telemetry {
+class Session;
+}
+
 namespace xd::blas3 {
 
 struct MmArrayConfig {
@@ -44,6 +48,9 @@ struct MmArrayConfig {
   /// C-output backlog the array can buffer (the per-PE C storage). Defaults
   /// to m^2 (k stores of m^2/k words each) when 0.
   std::size_t c_storage_words = 0;
+  /// Optional telemetry sink (mem.gemm.* / fpu.gemm.* / blas3.gemm_array.*
+  /// metrics plus a "compute" phase span).
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct MmOutcome {

@@ -6,6 +6,7 @@
 #include "common/parallel.hpp"
 #include "common/util.hpp"
 #include "fp/softfloat.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas3 {
 
@@ -65,6 +66,30 @@ void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t n) const {
       3.0 * static_cast<double>(cfg_.k) * cfg_.l / db;
   out.required_link_words_per_cycle = out.required_dram_words_per_cycle;
   out.sram_panel_words = 2.0 * db * db;
+
+  // The model is the single timing source for this engine, so the phase
+  // breakdown and metrics come from it: "compute" is the PE-array busy time,
+  // "staging" the I/O overhang beyond it, tiling [0, cycles) exactly.
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", compute_cycles);
+    tel->phase("staging", cycles - compute_cycles);
+    tel->gauge("mem.dram.gemm.words").set(dram_words);
+    tel->gauge("mem.dram.gemm.required_words_per_cycle")
+        .set(out.required_dram_words_per_cycle);
+    tel->gauge("mem.link.gemm.required_words_per_cycle")
+        .set(out.required_link_words_per_cycle);
+    tel->gauge("mem.sram.gemm.panel_words").set(out.sram_panel_words);
+    tel->gauge("mem.sram.gemm.required_words_per_cycle")
+        .set(out.required_sram_words_per_cycle);
+    tel->counter("fpu.gemm.mac.ops").add(static_cast<u64>(n) * n * n);
+    tel->gauge("fpu.gemm.pe.count")
+        .set(static_cast<double>(cfg_.k) * cfg_.l);
+    tel->counter("blas3.gemm.runs").add(1);
+    tel->counter("blas3.gemm.cycles").add(cycles);
+    tel->counter("blas3.gemm.compute_cycles").add(compute_cycles);
+    tel->counter("blas3.gemm.flops").add(out.report.flops);
+    tel->counter("blas3.gemm.stall_cycles").add(out.report.stall_cycles);
+  }
 }
 
 MmHierOutcome MmHierEngine::project(std::size_t n) const {

@@ -39,6 +39,10 @@ struct MmHierConfig {
   double clock_mhz = 130.0;
   double dram_words_per_cycle = 2.0;   ///< FPGA_0's RapidArray link
   double link_words_per_cycle = 2.0;   ///< FPGA-to-FPGA RocketIO
+  /// Optional telemetry sink (mem.dram.gemm.* / mem.sram.gemm.* /
+  /// fpu.gemm.* / blas3.gemm.* metrics plus "compute" and "staging" phase
+  /// spans that tile the modeled total cycles).
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct MmHierOutcome {

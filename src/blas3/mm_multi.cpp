@@ -5,6 +5,7 @@
 
 #include "common/parallel.hpp"
 #include "fp/softfloat.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas3 {
 
@@ -157,6 +158,25 @@ MmMultiOutcome MmMultiEngine::run(const std::vector<double>& a,
   out.report.clock_mhz = cfg_.clock_mhz;
   out.dram_words = dram_words;
   out.link_words = link_words;
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    const u64 compute = std::min(out.report.compute_cycles, out.report.cycles);
+    tel->phase("compute", compute);
+    tel->phase("staging", out.report.cycles - compute);
+    tel->gauge("mem.dram.gemm.words").set(dram_words);
+    tel->gauge("mem.link.gemm.words").set(link_words);
+    tel->counter("fpu.gemm.mac.ops").add(static_cast<u64>(n) * n * n);
+    tel->gauge("fpu.gemm.pe.count")
+        .set(static_cast<double>(cfg_.k) * l);
+    tel->counter("blas3.gemm_multi.runs").add(1);
+    tel->counter("blas3.gemm_multi.cycles").add(out.report.cycles);
+    tel->counter("blas3.gemm_multi.flops").add(out.report.flops);
+    tel->counter("blas3.gemm_multi.stall_cycles").add(stalls);
+    auto busy = tel->histogram("blas3.gemm_multi.fpga_busy_cycles");
+    for (const auto& s : out.per_fpga) {
+      busy.observe(static_cast<double>(s.busy_cycles));
+    }
+  }
   return out;
 }
 

@@ -27,6 +27,10 @@
 #include "host/report.hpp"
 #include "common/util.hpp"
 
+namespace xd::telemetry {
+class Session;
+}
+
 namespace xd::blas3 {
 
 struct MmMultiConfig {
@@ -37,6 +41,9 @@ struct MmMultiConfig {
   double dram_words_per_cycle = 2.0;  ///< FPGA_0 <-> DRAM
   double link_words_per_cycle = 2.0;  ///< FPGA_f <-> FPGA_f+1
   double clock_mhz = 130.0;
+  /// Optional telemetry sink (mem.dram.gemm.* / mem.link.gemm.* /
+  /// blas3.gemm_multi.* metrics plus "compute"/"staging" phase spans).
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct FpgaStats {

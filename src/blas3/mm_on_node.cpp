@@ -2,6 +2,7 @@
 
 #include "common/parallel.hpp"
 #include "fp/softfloat.hpp"
+#include "telemetry/session.hpp"
 
 namespace xd::blas3 {
 
@@ -136,6 +137,20 @@ MmOutcome MmOnNodeEngine::run(const std::vector<double>& a,
       static_cast<double>(merge_interval ? merge_interval : 1);
   out.report.dram_words = dram_in + dram_out;
   out.report.clock_mhz = node_.clock_mhz();
+
+  if (telemetry::Session* tel = cfg_.telemetry) {
+    tel->phase("compute", cycle);
+    for (unsigned bank = 0; bank < node_.sram_bank_count(); ++bank) {
+      node_.sram(bank).publish(tel->metrics(), cat("mem.sram.bank", bank));
+    }
+    node_.dram().link().publish(tel->metrics(), "mem.dram.link");
+    tel->counter("fpu.gemm.mac.ops").add(static_cast<u64>(n) * n * n);
+    tel->gauge("fpu.gemm.pe.count").set(static_cast<double>(cfg_.k));
+    tel->counter("blas3.gemm_node.runs").add(1);
+    tel->counter("blas3.gemm_node.cycles").add(cycle);
+    tel->counter("blas3.gemm_node.flops").add(out.report.flops);
+    tel->counter("blas3.gemm_node.stall_cycles").add(input_stalls);
+  }
   return out;
 }
 

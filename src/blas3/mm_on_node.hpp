@@ -22,6 +22,9 @@ struct MmOnNodeConfig {
   unsigned k = 8;
   unsigned m = 8;       ///< on-chip block edge (m % k == 0, m^2/k >= 8)
   std::size_t b = 512;  ///< SRAM panel edge (b % m == 0)
+  /// Optional telemetry sink (per-bank mem.sram.bankN.* / mem.dram.link.* /
+  /// blas3.gemm_node.* metrics plus a "compute" phase span).
+  telemetry::Session* telemetry = nullptr;
 };
 
 class MmOnNodeEngine {

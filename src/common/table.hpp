@@ -25,6 +25,9 @@ class TextTable {
 
   std::string render() const;
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Format a double with `prec` significant decimals, trimming zeros.
   static std::string num(double v, int prec = 3);
 

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace xd::fp {
 
 PipelinedUnit::PipelinedUnit(unsigned stages, Op op) : stages_(stages), op_(op) {
@@ -35,6 +37,13 @@ std::optional<FpResult> PipelinedUnit::take_output() {
   return r;
 }
 
+void PipelinedUnit::publish(telemetry::MetricsRegistry& reg,
+                            std::string_view prefix) const {
+  reg.counter(cat(prefix, ".ops")).add(issued_);
+  reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.gauge(cat(prefix, ".utilization")).set(utilization());
+}
+
 void PipelinedUnit::reset() {
   pipe_.clear();
   output_.reset();
@@ -55,6 +64,7 @@ void AdderTree::issue(const std::vector<u64>& operands, u64 tag) {
   require(operands.size() == k_,
           cat("adder tree fan-in is ", k_, ", got ", operands.size(), " operands"));
   issued_this_cycle_ = true;
+  ++issued_;
   // The tree is fully pipelined, so functionally we can fold the whole vector
   // at issue time (the per-level order below matches the hardware wiring:
   // adjacent pairs at each level) and release it after levels * stages cycles.
@@ -85,6 +95,16 @@ std::optional<FpResult> AdderTree::take_output() {
   auto r = output_;
   output_.reset();
   return r;
+}
+
+void AdderTree::publish(telemetry::MetricsRegistry& reg,
+                        std::string_view prefix) const {
+  reg.counter(cat(prefix, ".ops")).add(issued_);
+  reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.gauge(cat(prefix, ".utilization"))
+      .set(cycles_ ? static_cast<double>(issued_) / static_cast<double>(cycles_)
+                   : 0.0);
+  reg.gauge(cat(prefix, ".adders")).set(static_cast<double>(adders()));
 }
 
 }  // namespace xd::fp

@@ -17,11 +17,16 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/util.hpp"
 #include "fp/softfloat.hpp"
+
+namespace xd::telemetry {
+class MetricsRegistry;
+}
 
 namespace xd::fp {
 
@@ -70,6 +75,11 @@ class PipelinedUnit {
   }
   /// True if any operation is still in flight.
   bool busy() const { return !pipe_.empty(); }
+
+  /// Snapshot this unit's counters into `reg` under `<prefix>.`: ops and
+  /// cycles (counters), utilization (gauge). Counters accumulate across
+  /// repeated publishes (e.g. one per solver iteration).
+  void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
   void reset();
 
@@ -122,6 +132,11 @@ class AdderTree {
   unsigned levels() const { return levels_; }
   unsigned latency() const { return levels_ * stages_; }
   u64 cycles() const { return cycles_; }
+  u64 ops_issued() const { return issued_; }
+
+  /// Snapshot into `reg` under `<prefix>.`: ops, cycles (counters),
+  /// utilization (gauge), adders (gauge, k-1 physical units).
+  void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
  private:
   struct InFlight {
@@ -136,6 +151,7 @@ class AdderTree {
   std::optional<FpResult> output_;
   bool issued_this_cycle_ = false;
   u64 cycles_ = 0;
+  u64 issued_ = 0;
 };
 
 }  // namespace xd::fp

@@ -1,6 +1,7 @@
 #include "host/context.hpp"
 
 #include "blas2/blocking.hpp"
+#include "telemetry/session.hpp"
 
 #include <cmath>
 
@@ -20,17 +21,26 @@ u64 staging_cycles(double words, double words_per_cycle) {
 
 DotCall Context::dot(const std::vector<double>& u, const std::vector<double>& v,
                      Placement src) const {
+  // Staging happens (and is recorded) before the engine runs, so the
+  // "staging" span precedes the engine's "compute" span on the timeline.
+  u64 staging = 0;
+  double dram_words = 0.0;
+  if (src == Placement::Dram) {
+    const double wpc = words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.dot_clock_mhz);
+    dram_words = static_cast<double>(2 * u.size());
+    staging = staging_cycles(dram_words, wpc);
+    if (cfg_.telemetry) {
+      cfg_.telemetry->phase("staging", staging);
+      cfg_.telemetry->gauge("mem.dram.dot.words").set(dram_words);
+    }
+  }
   blas1::DotOutcome out = dot_batch({u}, {v});
   DotCall call;
   call.value = out.results.at(0);
   call.report = out.report;
-  if (src == Placement::Dram) {
-    const double wpc = words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.dot_clock_mhz);
-    const double words = static_cast<double>(2 * u.size());
-    call.report.staging_cycles = staging_cycles(words, wpc);
-    call.report.cycles += call.report.staging_cycles;
-    call.report.dram_words = words;
-  }
+  call.report.staging_cycles = staging;
+  call.report.cycles += staging;
+  call.report.dram_words = dram_words;
   return call;
 }
 
@@ -43,6 +53,7 @@ blas1::DotOutcome Context::dot_batch(
   dc.multiplier_stages = cfg_.multiplier_stages;
   dc.mem_words_per_cycle = words_per_cycle(cfg_.dot_mem_bytes_per_s, cfg_.dot_clock_mhz);
   dc.clock_mhz = cfg_.dot_clock_mhz;
+  dc.telemetry = cfg_.telemetry;
   blas1::DotEngine engine(dc);
   return engine.run(us, vs);
 }
@@ -50,6 +61,21 @@ blas1::DotOutcome Context::dot_batch(
 blas2::MxvOutcome Context::gemv(const std::vector<double>& a, std::size_t rows,
                                 std::size_t cols, const std::vector<double>& x,
                                 Placement src, GemvArch arch) const {
+  // Record staging ahead of the engine run (Table 4: 6.4 of the 8.0 ms GEMV
+  // latency is this data movement) so the spans tile the reported total.
+  u64 staging = 0;
+  double dram_words = 0.0;
+  if (src == Placement::Dram) {
+    const double wpc =
+        words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.gemv_clock_mhz);
+    dram_words = static_cast<double>(rows * cols + rows);
+    staging = staging_cycles(dram_words, wpc);
+    if (cfg_.telemetry) {
+      cfg_.telemetry->phase("staging", staging);
+      cfg_.telemetry->gauge("mem.dram.gemv.words").set(dram_words);
+    }
+  }
+
   blas2::MxvOutcome out;
   if (arch == GemvArch::Tree) {
     blas2::MxvTreeConfig tc;
@@ -58,6 +84,7 @@ blas2::MxvOutcome Context::gemv(const std::vector<double>& a, std::size_t rows,
     tc.multiplier_stages = cfg_.multiplier_stages;
     tc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k);  // 1 word/bank
     tc.clock_mhz = cfg_.gemv_clock_mhz;
+    tc.telemetry = cfg_.telemetry;
     blas2::MxvTreeEngine engine(tc);
     out = engine.run(a, rows, cols, x);
   } else {
@@ -67,20 +94,14 @@ blas2::MxvOutcome Context::gemv(const std::vector<double>& a, std::size_t rows,
     cc.multiplier_stages = cfg_.multiplier_stages;
     cc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k) + 1.0;
     cc.clock_mhz = cfg_.gemv_clock_mhz;
+    cc.telemetry = cfg_.telemetry;
     blas2::MxvColEngine engine(cc);
     out = engine.run(a, rows, cols, x);
   }
 
-  if (src == Placement::Dram) {
-    // Stage A into the SRAM banks first and write y back after (Table 4:
-    // 6.4 of the 8.0 ms GEMV latency is this data movement).
-    const double wpc =
-        words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.gemv_clock_mhz);
-    const double words = static_cast<double>(rows * cols + rows);
-    out.report.staging_cycles = staging_cycles(words, wpc);
-    out.report.cycles += out.report.staging_cycles;
-    out.report.dram_words = words;
-  }
+  out.report.staging_cycles = staging;
+  out.report.cycles += staging;
+  out.report.dram_words = dram_words;
   return out;
 }
 
@@ -95,6 +116,7 @@ blas2::MxvOutcome Context::spmxv(const blas2::CrsMatrix& a,
   // Value + index pairs: two SRAM banks feed one CRS element per cycle pair.
   sc.mem_elements_per_cycle = static_cast<double>(cfg_.gemv_k) / 2.0;
   sc.clock_mhz = cfg_.gemv_clock_mhz;
+  sc.telemetry = cfg_.telemetry;
   blas2::SpmxvEngine engine(sc);
   return engine.run(a, x);
 }
@@ -124,6 +146,7 @@ blas3::MmHierOutcome Context::gemm(const std::vector<double>& a,
   hc.clock_mhz = cfg_.mm_clock_mhz;
   hc.dram_words_per_cycle = words_per_cycle(cfg_.mm_dram_bytes_per_s, cfg_.mm_clock_mhz);
   hc.link_words_per_cycle = words_per_cycle(cfg_.mm_link_bytes_per_s, cfg_.mm_clock_mhz);
+  hc.telemetry = cfg_.telemetry;
   blas3::MmHierEngine engine(hc);
   return engine.run(a, b, n);
 }
@@ -138,6 +161,7 @@ blas3::MmOutcome Context::gemm_array(const std::vector<double>& a,
   mc.multiplier_stages = cfg_.multiplier_stages;
   mc.mem_words_per_cycle = 4.0;  // four SRAM banks feed the standalone array
   mc.clock_mhz = cfg_.mm_clock_mhz;
+  mc.telemetry = cfg_.telemetry;
   blas3::MmArrayEngine engine(mc);
   return engine.run(a, b, n);
 }
@@ -153,6 +177,7 @@ blas3::MmMultiOutcome Context::gemm_multi(const std::vector<double>& a,
   mc.clock_mhz = cfg_.mm_clock_mhz;
   mc.dram_words_per_cycle = words_per_cycle(cfg_.mm_dram_bytes_per_s, cfg_.mm_clock_mhz);
   mc.link_words_per_cycle = words_per_cycle(cfg_.mm_link_bytes_per_s, cfg_.mm_clock_mhz);
+  mc.telemetry = cfg_.telemetry;
   blas3::MmMultiEngine engine(mc);
   return engine.run(a, b, n);
 }
@@ -201,6 +226,7 @@ blas2::MxvOutcome Context::gemv_auto(const std::vector<double>& a,
   tc.multiplier_stages = cfg_.multiplier_stages;
   tc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k);
   tc.clock_mhz = cfg_.gemv_clock_mhz;
+  tc.telemetry = cfg_.telemetry;
   return blas2::run_blocked_gemv_tree(tc, capacity, a, rows, cols, x);
 }
 

@@ -75,6 +75,13 @@ struct ContextConfig {
   /// GEMM PE accumulation-adder depth (see blas3::MmArrayConfig): must
   /// satisfy m^2/k >= depth; the paper's k = m = 8 design implies <= 8.
   unsigned mm_adder_stages = 8;
+
+  /// Optional telemetry sink, forwarded to every engine the context builds.
+  /// Engines publish component metrics (mem.* / fpu.* / reduce.* / blas*.*)
+  /// and record phase spans; for Placement::Dram the context records the
+  /// "staging" span ahead of the engine's "compute" so the two tile the
+  /// reported total. Null (the default) disables all recording.
+  telemetry::Session* telemetry = nullptr;
 };
 
 struct DotCall {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/metrics.hpp"
+
 namespace xd::mem {
 
 Channel::Channel(double words_per_cycle, std::string name, double burst_words)
@@ -39,6 +41,14 @@ double Channel::achieved_bytes_per_s(double clock_hz) const {
   if (cycles_ == 0) return 0.0;
   const double words_per_cycle = transferred_ / static_cast<double>(cycles_);
   return words_per_cycle * static_cast<double>(kWordBytes) * clock_hz;
+}
+
+void Channel::publish(telemetry::MetricsRegistry& reg,
+                      std::string_view prefix) const {
+  reg.counter(cat(prefix, ".words")).add(static_cast<u64>(transferred_));
+  reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.gauge(cat(prefix, ".rate_words_per_cycle")).set(rate_);
+  reg.gauge(cat(prefix, ".utilization")).set(utilization());
 }
 
 void Channel::reset_counters() {

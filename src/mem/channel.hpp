@@ -10,8 +10,13 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "common/util.hpp"
+
+namespace xd::telemetry {
+class MetricsRegistry;
+}
 
 namespace xd::mem {
 
@@ -42,6 +47,11 @@ class Channel {
 
   const std::string& name() const { return name_; }
   void reset_counters();
+
+  /// Snapshot this channel's counters into `reg` under `<prefix>.`:
+  /// words (counter), cycles (counter), rate_words_per_cycle (gauge),
+  /// utilization (gauge). Counters accumulate across repeated publishes.
+  void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
   /// Helper: convert a bandwidth in bytes/s at `clock_hz` into words/cycle.
   static double words_per_cycle_for(double bytes_per_s, double clock_hz) {

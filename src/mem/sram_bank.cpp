@@ -1,5 +1,7 @@
 #include "mem/sram_bank.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace xd::mem {
 
 SramBank::SramBank(std::size_t words, std::string name)
@@ -27,6 +29,17 @@ void SramBank::write(std::size_t addr, u64 value) {
   write_used_ = true;
   ++writes_;
   mem_.write(addr, value);
+}
+
+void SramBank::publish(telemetry::MetricsRegistry& reg,
+                       std::string_view prefix) const {
+  reg.counter(cat(prefix, ".reads")).add(reads_);
+  reg.counter(cat(prefix, ".writes")).add(writes_);
+  reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.gauge(cat(prefix, ".port_utilization"))
+      .set(cycles_ ? static_cast<double>(reads_ + writes_) /
+                         (2.0 * static_cast<double>(cycles_))
+                   : 0.0);
 }
 
 double SramBank::achieved_bytes_per_s(double clock_hz) const {

@@ -9,8 +9,13 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "mem/memory.hpp"
+
+namespace xd::telemetry {
+class MetricsRegistry;
+}
 
 namespace xd::mem {
 
@@ -33,6 +38,13 @@ class SramBank {
   const WordMemory& storage() const { return mem_; }
 
   u64 cycles() const { return cycles_; }
+  u64 reads() const { return reads_; }
+  u64 writes() const { return writes_; }
+
+  /// Snapshot this bank's counters into `reg` under `<prefix>.`: reads,
+  /// writes, cycles (counters) and port utilization (gauge, both ports).
+  void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
+
   /// Achieved bandwidth (both ports) in bytes/s at the given design clock.
   double achieved_bytes_per_s(double clock_hz) const;
   /// Peak bandwidth (both ports busy every cycle).

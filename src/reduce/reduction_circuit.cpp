@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hpp"
+
 namespace xd::reduce {
 
 // --- Row/Buffer helpers --------------------------------------------------
@@ -70,7 +72,9 @@ bool ReductionCircuit::cycle(std::optional<Input> in) {
     consumed = accept_input(*in);
     if (!consumed) {
       ++stats_.stall_cycles;
-      if (trace_) trace_->emit(cycles_, "reduction", "stall: Buf_red draining");
+      if (trace_ && trace_->enabled()) {
+        trace_->emit(cycles_, "reduction", "stall: Buf_red draining");
+      }
     }
   } else if (!cur_row_open_ && bufs_[in_idx_].rows_used > 0) {
     // Stream pause / flush: if the previous batch has fully drained, rotate
@@ -108,7 +112,7 @@ bool ReductionCircuit::try_swap() {
   if (!red.fully_drained()) return false;
   // The outgoing Buf_in may still have fold write-backs in flight; they are
   // tagged with the physical buffer index and land correctly after the swap.
-  if (trace_) {
+  if (trace_ && trace_->enabled()) {
     trace_->emit(cycles_, "reduction",
                  cat("swap: buffer ", in_idx_, " -> Buf_red (",
                      bufs_[in_idx_].rows_used, " rows)"));
@@ -228,7 +232,7 @@ void ReductionCircuit::scan_for_finals() {
     }
     row.in_use = false;
     ++stats_.sets_completed;
-    if (trace_) {
+    if (trace_ && trace_->enabled()) {
       trace_->emit(cycles_, "reduction", cat("emit: set ", row.set_id));
     }
     return;
@@ -240,6 +244,18 @@ std::optional<SetResult> ReductionCircuit::take_result() {
   SetResult r = out_queue_.front();
   out_queue_.erase(out_queue_.begin());
   return r;
+}
+
+void ReductionCircuit::publish(telemetry::MetricsRegistry& reg,
+                               std::string_view prefix) const {
+  reg.counter(cat(prefix, ".inputs")).add(stats_.inputs);
+  reg.counter(cat(prefix, ".sets_completed")).add(stats_.sets_completed);
+  reg.counter(cat(prefix, ".stall_cycles")).add(stats_.stall_cycles);
+  reg.counter(cat(prefix, ".swaps")).add(stats_.swaps);
+  reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.gauge(cat(prefix, ".peak_buffer_words"))
+      .set(static_cast<double>(stats_.peak_buffer_words));
+  reg.gauge(cat(prefix, ".adder_utilization")).set(adder_utilization());
 }
 
 bool ReductionCircuit::busy() const {

@@ -39,6 +39,10 @@
 #include "reduce/reduction_iface.hpp"
 #include "sim/trace.hpp"
 
+namespace xd::telemetry {
+class MetricsRegistry;
+}
+
 namespace xd::reduce {
 
 struct ReductionStats {
@@ -77,6 +81,11 @@ class ReductionCircuit final : public ReductionCircuitBase {
   /// Attach a trace sink; buffer swaps, input stalls and set completions are
   /// emitted (nullptr detaches). The trace must outlive the circuit's use.
   void attach_trace(sim::Trace* trace) { trace_ = trace; }
+
+  /// Snapshot the circuit's counters into `reg` under `<prefix>.`: inputs,
+  /// sets_completed, stall_cycles, swaps, cycles (counters) and
+  /// peak_buffer_words / adder_utilization (gauges).
+  void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
  private:
   struct Slot {

@@ -1,12 +1,19 @@
 // The cycle-simulation engine: steps a set of components in lockstep and
 // provides run-to-completion helpers with cycle budgets (so a wedged design
 // fails loudly instead of spinning forever).
+//
+// The engine is also where phase spans get their cycle-accurate timestamps:
+// attach a telemetry::SpanRecorder and bracket phases with begin_span() /
+// end_span() — each records at the engine's current cycle, and spans nest
+// (a span begun inside another becomes its child).
 #pragma once
 
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "sim/component.hpp"
+#include "telemetry/span.hpp"
 
 namespace xd::sim {
 
@@ -35,9 +42,24 @@ class Engine {
 
   Cycle now() const { return now_; }
 
+  /// Attach a span recorder (nullptr detaches). Must outlive the engine's
+  /// use; begin_span/end_span are no-ops while detached.
+  void attach_spans(telemetry::SpanRecorder* spans) { spans_ = spans; }
+  telemetry::SpanRecorder* spans() const { return spans_; }
+
+  /// Open / close a phase span at the current cycle (cycle-accurate,
+  /// nestable). See telemetry::SpanRecorder.
+  void begin_span(std::string_view name) {
+    if (spans_) spans_->begin_at(name, now_);
+  }
+  void end_span() {
+    if (spans_) spans_->end_at(now_);
+  }
+
  private:
   std::vector<Component*> components_;
   std::vector<std::function<void()>> commits_;
+  telemetry::SpanRecorder* spans_ = nullptr;
   Cycle now_ = 0;
 };
 

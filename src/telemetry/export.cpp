@@ -1,0 +1,164 @@
+#include "telemetry/export.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace xd::telemetry {
+
+namespace {
+
+const char* kind_str(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry& reg) {
+  JsonWriter w;
+  w.begin_object();
+  reg.for_each([&](const std::string& name, const Metric& m) {
+    w.key(name).begin_object();
+    w.kv("kind", kind_str(m.kind));
+    switch (m.kind) {
+      case MetricKind::Counter:
+        w.kv("value", m.count);
+        break;
+      case MetricKind::Gauge:
+        w.kv("value", m.value);
+        break;
+      case MetricKind::Histogram:
+        w.kv("count", static_cast<u64>(m.dist.count()));
+        w.kv("sum", m.dist.sum());
+        w.kv("mean", m.dist.mean());
+        w.kv("stddev", m.dist.stddev());
+        w.kv("min", m.dist.min());
+        w.kv("max", m.dist.max());
+        break;
+    }
+    w.end_object();
+  });
+  w.end_object();
+  return w.str();
+}
+
+std::string metrics_to_csv(const MetricsRegistry& reg) {
+  std::string out = "name,kind,count,value,mean,stddev,min,max\n";
+  reg.for_each([&](const std::string& name, const Metric& m) {
+    out += name;
+    out += ',';
+    out += kind_str(m.kind);
+    switch (m.kind) {
+      case MetricKind::Counter:
+        out += cat(",", m.count, ",", m.count, ",,,,");
+        break;
+      case MetricKind::Gauge:
+        out += cat(",1,", json_number(m.value), ",,,,");
+        break;
+      case MetricKind::Histogram:
+        out += cat(",", m.dist.count(), ",", json_number(m.dist.sum()), ",",
+                   json_number(m.dist.mean()), ",", json_number(m.dist.stddev()),
+                   ",", json_number(m.dist.min()), ",", json_number(m.dist.max()));
+        break;
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+std::string report_to_json(const host::PerfReport& r) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("design", r.design);
+  w.kv("cycles", r.cycles);
+  w.kv("compute_cycles", r.compute_cycles);
+  w.kv("staging_cycles", r.staging_cycles);
+  w.kv("flops", r.flops);
+  w.kv("stall_cycles", r.stall_cycles);
+  w.kv("sram_words", r.sram_words);
+  w.kv("dram_words", r.dram_words);
+  w.kv("clock_mhz", r.clock_mhz);
+  w.kv("seconds", r.seconds());
+  w.kv("sustained_mflops", r.sustained_mflops());
+  w.kv("flops_per_cycle", r.flops_per_cycle());
+  w.kv("sram_bytes_per_s", r.sram_bytes_per_s());
+  w.kv("dram_bytes_per_s", r.dram_bytes_per_s());
+  w.end_object();
+  return w.str();
+}
+
+std::string spans_to_json(const SpanRecorder& spans) {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& s : spans.spans()) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("begin", s.begin);
+    w.kv("end", s.end);
+    w.kv("depth", s.depth);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+std::string chrome_trace_json(const Session& session, double clock_mhz,
+                              std::string_view trace_filter) {
+  // Microseconds per cycle: trace_event timestamps are in us.
+  const double us = clock_mhz > 0 ? 1.0 / clock_mhz : 1.0;
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  // Process/thread naming metadata so the viewer shows meaningful lanes.
+  w.begin_object();
+  w.kv("name", "process_name").kv("ph", "M").kv("pid", 1).kv("tid", 0);
+  w.key("args").begin_object().kv("name", "xdblas").end_object();
+  w.end_object();
+
+  for (const auto& s : session.spans().spans()) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("ph", "X");
+    w.kv("pid", 1);
+    // One lane per nesting depth keeps overlapping sibling phases visible.
+    w.kv("tid", static_cast<u64>(s.depth + 1));
+    w.kv("ts", static_cast<double>(s.begin) * us);
+    w.kv("dur", static_cast<double>(s.cycles()) * us);
+    w.key("args").begin_object();
+    w.kv("begin_cycle", s.begin);
+    w.kv("end_cycle", s.end);
+    w.end_object();
+    w.end_object();
+  }
+
+  session.trace().for_each([&](const sim::TraceEvent& e) {
+    if (!trace_filter.empty() && e.source.find(trace_filter) == std::string::npos) {
+      return;
+    }
+    w.begin_object();
+    w.kv("name", e.what);
+    w.kv("cat", e.source);
+    w.kv("ph", "i");
+    w.kv("s", "t");  // thread-scoped instant
+    w.kv("pid", 1);
+    w.kv("tid", 1);
+    w.kv("ts", static_cast<double>(e.cycle) * us);
+    w.key("args").begin_object();
+    w.kv("cycle", e.cycle);
+    w.kv("source", e.source);
+    w.end_object();
+    w.end_object();
+  });
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace xd::telemetry

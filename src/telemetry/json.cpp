@@ -1,0 +1,324 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace xd::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == static_cast<double>(static_cast<i64>(v)) && std::fabs(v) < 1e15) {
+    return cat(static_cast<i64>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void JsonWriter::pre_value() {
+  if (!stack_.empty() && stack_.back() == '{' && !have_key_) {
+    throw SimError("JsonWriter: value inside object without key()");
+  }
+  if (need_comma_ && !have_key_) out_ += ',';
+  have_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back('{');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != '{') {
+    throw SimError("JsonWriter: end_object without begin_object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back('[');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != '[') {
+    throw SimError("JsonWriter: end_array without begin_array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != '{') {
+    throw SimError("JsonWriter: key() outside an object");
+  }
+  if (need_comma_) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  need_comma_ = false;
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  out_ += json_number(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  pre_value();
+  out_ += cat(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  pre_value();
+  out_ += cat(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  pre_value();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!stack_.empty()) {
+    throw SimError(cat("JsonWriter: ", stack_.size(), " unclosed container(s)"));
+  }
+  return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: recursive descent over the RFC 8259 grammar.
+
+namespace {
+
+struct Parser {
+  std::string_view t;
+  std::size_t pos = 0;
+  std::string err;
+  static constexpr int kMaxDepth = 256;
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = cat(what, " at offset ", pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < t.size() && (t[pos] == ' ' || t[pos] == '\t' || t[pos] == '\n' ||
+                              t[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (t.substr(pos, word.size()) != word) return fail(cat("expected '", word, "'"));
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (pos >= t.size() || t[pos] != '"') return fail("expected string");
+    ++pos;
+    while (pos < t.size()) {
+      const unsigned char c = static_cast<unsigned char>(t[pos]);
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos;
+        if (pos >= t.size()) return fail("truncated escape");
+        const char e = t[pos];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos + i >= t.size() || !std::isxdigit(static_cast<unsigned char>(t[pos + i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos;
+    if (pos < t.size() && t[pos] == '-') ++pos;
+    if (pos >= t.size() || !std::isdigit(static_cast<unsigned char>(t[pos]))) {
+      pos = start;
+      return fail("expected number");
+    }
+    if (t[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < t.size() && std::isdigit(static_cast<unsigned char>(t[pos]))) ++pos;
+    }
+    if (pos < t.size() && t[pos] == '.') {
+      ++pos;
+      if (pos >= t.size() || !std::isdigit(static_cast<unsigned char>(t[pos]))) {
+        return fail("expected digit after '.'");
+      }
+      while (pos < t.size() && std::isdigit(static_cast<unsigned char>(t[pos]))) ++pos;
+    }
+    if (pos < t.size() && (t[pos] == 'e' || t[pos] == 'E')) {
+      ++pos;
+      if (pos < t.size() && (t[pos] == '+' || t[pos] == '-')) ++pos;
+      if (pos >= t.size() || !std::isdigit(static_cast<unsigned char>(t[pos]))) {
+        return fail("expected exponent digits");
+      }
+      while (pos < t.size() && std::isdigit(static_cast<unsigned char>(t[pos]))) ++pos;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= t.size()) return fail("expected value");
+    switch (t[pos]) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object(int depth) {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < t.size() && t[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (pos >= t.size() || t[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (pos < t.size() && t[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < t.size() && t[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int depth) {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < t.size() && t[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (pos < t.size() && t[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < t.size() && t[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  bool ok = p.value(0);
+  if (ok) {
+    p.skip_ws();
+    if (p.pos != p.t.size()) ok = p.fail("trailing characters");
+  }
+  if (!ok && error) *error = p.err;
+  return ok;
+}
+
+}  // namespace xd::telemetry

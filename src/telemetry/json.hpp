@@ -1,0 +1,71 @@
+// Minimal JSON emission and validation for the telemetry exporters.
+//
+// The writer is a streaming builder with automatic comma/nesting handling;
+// numbers are sanitized (NaN/inf serialize as 0) so a degenerate report —
+// zero clock, zero cycles — can never produce an unparseable export. The
+// validator is a full recursive-descent parse (RFC 8259 grammar, no object
+// building) used by tests and the `json_validate` CLI check so exporter
+// breakage fails tier-1.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace xd::telemetry {
+
+/// Escape `s` for inclusion in a JSON string literal (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trippable decimal for `v`; non-finite values become "0".
+std::string json_number(double v);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(unsigned v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  /// Splice a pre-serialized JSON value (e.g. another exporter's output)
+  /// into the stream as one value. The caller vouches for its validity.
+  JsonWriter& raw(std::string_view json);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Finished document. Throws SimError if containers are still open.
+  std::string str() const;
+
+ private:
+  void pre_value();
+
+  std::string out_;
+  std::vector<char> stack_;      ///< '{' or '['
+  bool need_comma_ = false;
+  bool have_key_ = false;
+};
+
+/// Validate that `text` is exactly one well-formed JSON document.
+/// On failure returns false and, when `error` is non-null, a message with
+/// the byte offset of the problem.
+bool json_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace xd::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/metrics.hpp"
+
+namespace xd::telemetry {
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+bool valid_segment_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+}  // namespace
+
+bool MetricsRegistry::valid_name(std::string_view name) {
+  if (name.empty() || name.front() == '.' || name.back() == '.') return false;
+  bool prev_dot = false;
+  for (char c : name) {
+    if (c == '.') {
+      if (prev_dot) return false;
+      prev_dot = true;
+    } else if (valid_segment_char(c)) {
+      prev_dot = false;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+Metric& MetricsRegistry::get(std::string_view name, MetricKind kind) {
+  require(valid_name(name),
+          cat("invalid metric name '", name,
+              "' (want dot-separated lower-case segments of [a-z0-9_-])"));
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(std::string(name), Metric{}).first;
+    it->second.kind = kind;
+  } else {
+    require(it->second.kind == kind,
+            cat("metric '", name, "' already registered as ",
+                kind_name(it->second.kind), ", requested as ", kind_name(kind)));
+  }
+  return it->second;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(get(name, MetricKind::Counter));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(get(name, MetricKind::Gauge));
+}
+
+HistogramMetric MetricsRegistry::histogram(std::string_view name) {
+  return HistogramMetric(get(name, MetricKind::Histogram));
+}
+
+bool MetricsRegistry::contains(std::string_view name) const {
+  return metrics_.find(name) != metrics_.end();
+}
+
+const Metric* MetricsRegistry::find(std::string_view name) const {
+  const auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) out.push_back(name);
+  return out;
+}
+
+}  // namespace xd::telemetry

@@ -1,0 +1,112 @@
+// Library-wide metrics registry.
+//
+// Components of the simulated machine (SRAM banks, channels, FP units, the
+// BLAS engines themselves) publish named performance counters into one
+// registry per run, so a single export call yields the whole machine's
+// accounting — the simulator's equivalent of the per-module counters FPGA
+// BLAS designs expose for tuning.
+//
+// Names are hierarchical, dot-separated, lower-case:
+//
+//   mem.sram.bank0.stall_cycles     counter (monotonic count)
+//   fpu.gemv.mul.utilization        gauge   (point-in-time double)
+//   blas1.dot.vector_words          histogram (distribution of samples)
+//
+// Handles returned by counter()/gauge()/histogram() stay valid for the
+// registry's lifetime (node-based storage); re-requesting a name returns the
+// same metric, and requesting an existing name as a different kind throws
+// ConfigError. Recording through a handle is a couple of arithmetic ops —
+// but the intended pattern is cheaper still: components keep their own plain
+// counters on the hot path and publish() a snapshot once per run, so a run
+// with telemetry disabled does no registry work at all.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/util.hpp"
+
+namespace xd::telemetry {
+
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/// The registry's storage record; handles below are typed views of it.
+struct Metric {
+  MetricKind kind = MetricKind::Counter;
+  u64 count = 0;        ///< counter value
+  double value = 0.0;   ///< gauge value
+  RunningStats dist;    ///< histogram samples
+};
+
+/// Monotonically increasing count (events, cycles, words moved).
+class Counter {
+ public:
+  explicit Counter(Metric& m) : m_(&m) {}
+  void add(u64 delta = 1) { m_->count += delta; }
+  u64 value() const { return m_->count; }
+
+ private:
+  Metric* m_;
+};
+
+/// Last-write-wins instantaneous value (utilization, rates, configuration).
+class Gauge {
+ public:
+  explicit Gauge(Metric& m) : m_(&m) {}
+  void set(double v) { m_->value = v; }
+  double value() const { return m_->value; }
+
+ private:
+  Metric* m_;
+};
+
+/// Streaming distribution (count / mean / stddev / min / max / sum).
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(Metric& m) : m_(&m) {}
+  void observe(double sample) { m_->dist.add(sample); }
+  const RunningStats& stats() const { return m_->dist; }
+
+ private:
+  Metric* m_;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. Throws ConfigError on an invalid name (see valid_name)
+  /// or when `name` already exists with a different kind.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  HistogramMetric histogram(std::string_view name);
+
+  bool contains(std::string_view name) const;
+  const Metric* find(std::string_view name) const;
+  std::size_t size() const { return metrics_.size(); }
+  bool empty() const { return metrics_.empty(); }
+  void clear() { metrics_.clear(); }
+
+  /// All registered names, sorted (map order).
+  std::vector<std::string> names() const;
+
+  /// Iterate (name, metric) in sorted name order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, metric] : metrics_) fn(name, metric);
+  }
+
+  /// Valid names are non-empty dot-separated segments of [a-z0-9_-];
+  /// no leading/trailing/double dots.
+  static bool valid_name(std::string_view name);
+
+ private:
+  Metric& get(std::string_view name, MetricKind kind);
+
+  /// std::map: node-based, so Metric addresses are stable across inserts.
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace xd::telemetry

@@ -1,0 +1,59 @@
+// The per-run telemetry bundle: one metrics registry, one span recorder and
+// one shared event-trace sink, handed to engines as a single nullable
+// pointer. A null Session* is the disabled state — every instrumentation
+// site is gated on it, so a run without telemetry does no telemetry work
+// beyond one pointer test per site.
+//
+//   telemetry::Session tel;
+//   host::ContextConfig cfg;
+//   cfg.telemetry = &tel;
+//   host::Context ctx(cfg);
+//   ctx.gemm(a, b, n);
+//   std::string m = telemetry::metrics_to_json(tel.metrics());   // export
+//   std::string t = telemetry::chrome_trace_json(tel, clock_mhz);
+#pragma once
+
+#include "sim/trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace xd::telemetry {
+
+class Session {
+ public:
+  explicit Session(std::size_t trace_capacity = 4096) : trace_(trace_capacity) {
+    // Event tracing is opt-in even when metrics/spans are on: emit sites
+    // build strings, which the enabled() fast path avoids.
+    trace_.set_enabled(false);
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  SpanRecorder& spans() { return spans_; }
+  const SpanRecorder& spans() const { return spans_; }
+
+  sim::Trace& trace() { return trace_; }
+  const sim::Trace& trace() const { return trace_; }
+
+  // Shorthands for the common registrations.
+  Counter counter(std::string_view name) { return metrics_.counter(name); }
+  Gauge gauge(std::string_view name) { return metrics_.gauge(name); }
+  HistogramMetric histogram(std::string_view name) {
+    return metrics_.histogram(name);
+  }
+  void phase(std::string_view name, u64 cycles) { spans_.phase(name, cycles); }
+
+  void clear() {
+    metrics_.clear();
+    spans_.clear();
+    trace_.clear();
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  SpanRecorder spans_;
+  sim::Trace trace_;
+};
+
+}  // namespace xd::telemetry

@@ -1,0 +1,61 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+
+namespace xd::telemetry {
+
+void SpanRecorder::begin_at(std::string_view name, u64 cycle) {
+  Span s;
+  s.name = std::string(name);
+  s.begin = cycle;
+  s.depth = static_cast<unsigned>(open_.size());
+  open_.push_back(std::move(s));
+  set_cursor(cycle);
+}
+
+void SpanRecorder::end_at(u64 cycle) {
+  if (open_.empty()) throw SimError("SpanRecorder::end with no open span");
+  Span s = std::move(open_.back());
+  open_.pop_back();
+  if (cycle < s.begin) {
+    throw SimError(cat("span '", s.name, "' ends at cycle ", cycle,
+                       " before its begin ", s.begin));
+  }
+  s.end = cycle;
+  done_.push_back(std::move(s));
+  set_cursor(cycle);
+}
+
+void SpanRecorder::phase(std::string_view name, u64 cycles) {
+  Span s;
+  s.name = std::string(name);
+  s.begin = cursor_;
+  s.end = cursor_ + cycles;
+  s.depth = static_cast<unsigned>(open_.size());
+  cursor_ = s.end;
+  done_.push_back(std::move(s));
+}
+
+std::vector<Span> SpanRecorder::spans() const {
+  std::vector<Span> out = done_;
+  std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.begin != b.begin ? a.begin < b.begin : a.depth < b.depth;
+  });
+  return out;
+}
+
+u64 SpanRecorder::total_cycles(std::string_view name) const {
+  u64 total = 0;
+  for (const auto& s : done_) {
+    if (s.name == name) total += s.cycles();
+  }
+  return total;
+}
+
+void SpanRecorder::clear() {
+  done_.clear();
+  open_.clear();
+  cursor_ = 0;
+}
+
+}  // namespace xd::telemetry

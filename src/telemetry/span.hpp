@@ -1,0 +1,91 @@
+// Phase spans: named, nestable [begin, end) cycle intervals over a run.
+//
+// The paper's experiments decompose every latency into phases (Table 4's
+// staging-vs-compute split); spans are how the simulator records that
+// decomposition. Two recording styles share one timeline:
+//
+//   - begin()/end(): open/close a span at an explicit cycle (used by
+//     sim::Engine and the cycle-loop engines, which know "now"). Opens nest:
+//     a span begun while another is open becomes its child (depth + 1).
+//   - phase(name, cycles): append a closed span of known length at the
+//     cursor and advance it (used by the analytic engines and the host
+//     layer, which derive phase lengths from traffic models).
+//
+// The cursor tracks the end of the timeline so sequentially recorded phases
+// tile it without gaps; total_cycles(name) sums all spans of one name, which
+// is what reports and the exporters aggregate.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/util.hpp"
+
+namespace xd::telemetry {
+
+struct Span {
+  std::string name;
+  u64 begin = 0;
+  u64 end = 0;        ///< exclusive
+  unsigned depth = 0; ///< nesting level (0 = top)
+  u64 cycles() const { return end - begin; }
+};
+
+class SpanRecorder {
+ public:
+  /// Open a span at the cursor (or an explicit cycle). Nested.
+  void begin(std::string_view name) { begin_at(name, cursor_); }
+  void begin_at(std::string_view name, u64 cycle);
+
+  /// Close the innermost open span at the cursor (or an explicit cycle).
+  /// Throws SimError when no span is open or `cycle` precedes its begin.
+  void end() { end_at(cursor_); }
+  void end_at(u64 cycle);
+
+  /// Append a closed span of `cycles` at the cursor and advance it.
+  void phase(std::string_view name, u64 cycles);
+
+  /// End of the recorded timeline; phases append here.
+  u64 cursor() const { return cursor_; }
+  void set_cursor(u64 cycle) { cursor_ = cycle < cursor_ ? cursor_ : cycle; }
+
+  unsigned open_depth() const { return static_cast<unsigned>(open_.size()); }
+
+  /// Completed spans, ordered by (begin, depth) — timeline order.
+  std::vector<Span> spans() const;
+
+  /// Sum of cycles over completed spans named `name`.
+  u64 total_cycles(std::string_view name) const;
+
+  std::size_t completed() const { return done_.size(); }
+  bool empty() const { return done_.empty() && open_.empty(); }
+  void clear();
+
+ private:
+  std::vector<Span> done_;
+  std::vector<Span> open_;  ///< stack of currently open spans
+  u64 cursor_ = 0;
+};
+
+/// RAII helper: opens a span on construction, closes it on destruction with
+/// the cycle read from a caller-supplied reference (the engine's loop
+/// counter). Null recorder → no-op.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanRecorder* rec, std::string_view name, const u64& cycle_ref)
+      : rec_(rec), cycle_(cycle_ref) {
+    if (rec_) rec_->begin_at(name, cycle_ref);
+  }
+  ~ScopedSpan() {
+    if (rec_) rec_->end_at(cycle_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanRecorder* rec_;
+  const u64& cycle_;
+};
+
+}  // namespace xd::telemetry

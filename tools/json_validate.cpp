@@ -1,0 +1,63 @@
+// Strict JSON well-formedness check for the telemetry exports (RFC 8259,
+// one document per file). Exit 0 when every argument parses, 1 otherwise —
+// used by ctest to validate the CLI's --json / --metrics-out / --trace-out
+// outputs without any external tooling.
+//
+//   json_validate FILE [FILE...]
+//   xdblas_cli dot --n 256 --json | json_validate -     (read stdin)
+#include <cstdio>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace {
+
+bool read_all(std::FILE* f, std::string& out) {
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  return !std::ferror(f);
+}
+
+int check(const std::string& name, const std::string& text) {
+  std::string error;
+  if (!xd::telemetry::json_validate(text, &error)) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("%s: valid JSON (%zu bytes)\n", name.c_str(), text.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: json_validate <file|-> [file...]\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string name = argv[i];
+    std::string text;
+    if (name == "-") {
+      if (!read_all(stdin, text)) {
+        std::fprintf(stderr, "stdin: read error\n");
+        rc = 1;
+        continue;
+      }
+      rc |= check("stdin", text);
+    } else {
+      std::FILE* f = std::fopen(name.c_str(), "rb");
+      if (!f || !read_all(f, text)) {
+        std::fprintf(stderr, "%s: cannot read\n", name.c_str());
+        if (f) std::fclose(f);
+        rc = 1;
+        continue;
+      }
+      std::fclose(f);
+      rc |= check(name, text);
+    }
+  }
+  return rc;
+}

@@ -1,20 +1,32 @@
 // xdblas command-line runner: drive any of the simulated designs from the
 // shell and get a paper-style report, without writing C++.
 //
-//   xdblas_cli dot    --n 4096 [--k 2]  [--bw-gbs 5.5]
+//   xdblas_cli dot    --n 4096 [--k 2]  [--bw-gbs 5.5] [--from-dram]
 //   xdblas_cli gemv   --n 1024 [--k 4]  [--from-dram] [--arch tree|col]
 //   xdblas_cli gemm   --n 256  [--k 8] [--m 8] [--b 64] [--l 1]
 //   xdblas_cli spmxv  --n 1024 [--nnz-per-row 16] [--k 4]
 //   xdblas_cli reduce --sets 200 --size 512 [--alpha 14]
 //   xdblas_cli explore [--device XC2VP100]
+//
+// Telemetry options (all commands):
+//   --json               machine-readable report + phase spans + metrics on
+//                        stdout instead of the human-readable table
+//   --metrics-out FILE   write the metrics registry (.csv => CSV, else JSON)
+//   --trace-out FILE     write a Chrome trace_event JSON (chrome://tracing /
+//                        Perfetto); also enables event tracing in the run
+//   --trace-filter STR   keep only trace events whose source contains STR
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 
 #include "xdblas.hpp"
 #include "common/random.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
 
 using namespace xd;
 
@@ -28,26 +40,89 @@ struct Args {
     const auto it = kv.find(name);
     return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
   }
+  /// Validated non-negative integer; rejects junk like "--n -4" or "--n x".
+  long long integer(const std::string& name, long long dflt) const {
+    const auto it = kv.find(name);
+    if (it == kv.end()) return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      throw ConfigError(cat("--", name, " expects an integer, got '",
+                            it->second, "'"));
+    }
+    if (v < 0) {
+      throw ConfigError(cat("--", name, " must be non-negative, got ", v));
+    }
+    return v;
+  }
   std::string str(const std::string& name, const std::string& dflt) const {
     const auto it = kv.find(name);
     return it == kv.end() ? dflt : it->second;
   }
 };
 
-Args parse(int argc, char** argv) {
-  Args a;
-  if (argc >= 2) a.command = argv[1];
+/// Flags valid for every command.
+const std::set<std::string> kCommonFlags = {
+    "seed", "json", "metrics-out", "trace-out", "trace-filter"};
+
+/// Flags that take no value; every other flag requires one.
+const std::set<std::string> kBoolFlags = {"json", "from-dram"};
+
+const std::map<std::string, std::set<std::string>> kCommandFlags = {
+    {"dot", {"n", "k", "bw-gbs", "from-dram"}},
+    {"gemv", {"n", "k", "from-dram", "arch"}},
+    {"gemm", {"n", "k", "m", "b", "l"}},
+    {"spmxv", {"n", "nnz-per-row", "k"}},
+    {"reduce", {"sets", "size", "alpha"}},
+    {"explore", {"device"}},
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xdblas_cli <dot|gemv|gemm|spmxv|reduce|explore> "
+               "[--n N] [--k K] ...\n"
+               "       common flags: --seed S --json --metrics-out FILE "
+               "--trace-out FILE --trace-filter STR\n"
+               "       (see the file header for per-command options)\n");
+  return 2;
+}
+
+/// Parse argv; returns false (after an stderr diagnostic) on an unknown
+/// command, unknown flag, or stray positional argument.
+bool parse(int argc, char** argv, Args& a) {
+  if (argc < 2) {
+    std::fprintf(stderr, "error: no command given\n");
+    return false;
+  }
+  a.command = argv[1];
+  const auto cmd = kCommandFlags.find(a.command);
+  if (cmd == kCommandFlags.end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", a.command.c_str());
+    return false;
+  }
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", key.c_str());
+      return false;
+    }
     key = key.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    if (!kCommonFlags.count(key) && !cmd->second.count(key)) {
+      std::fprintf(stderr, "error: unknown flag '--%s' for command '%s'\n",
+                   key.c_str(), a.command.c_str());
+      return false;
+    }
+    if (kBoolFlags.count(key)) {
+      a.kv[key] = "1";
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.kv[key] = argv[++i];
     } else {
-      a.kv[key] = "1";
+      std::fprintf(stderr, "error: flag '--%s' expects a value\n", key.c_str());
+      return false;
     }
   }
-  return a;
+  return true;
 }
 
 void print_report(const host::PerfReport& r) {
@@ -73,33 +148,106 @@ void print_report(const host::PerfReport& r) {
               static_cast<unsigned long long>(r.stall_cycles));
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: xdblas_cli <dot|gemv|gemm|spmxv|reduce|explore> "
-               "[--n N] [--k K] ...  (see the file header for options)\n");
-  return 2;
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "error: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Emit the requested telemetry outputs; `report` may be null (reduce /
+/// explore have no PerfReport). Returns false if any file write failed.
+bool finish(const Args& args, telemetry::Session& tel,
+            const host::PerfReport* report) {
+  if (args.flag("json")) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("command", args.command);
+    if (report) {
+      w.key("report");
+      w.raw(telemetry::report_to_json(*report));
+    }
+    // Per-phase cycle totals (first-appearance order), then the raw spans.
+    w.key("phases");
+    w.begin_object();
+    std::set<std::string> seen;
+    for (const auto& s : tel.spans().spans()) {
+      if (seen.insert(s.name).second) {
+        w.kv(s.name, tel.spans().total_cycles(s.name));
+      }
+    }
+    w.end_object();
+    w.key("spans");
+    w.raw(telemetry::spans_to_json(tel.spans()));
+    w.key("metrics");
+    w.raw(telemetry::metrics_to_json(tel.metrics()));
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  }
+
+  bool ok = true;
+  if (args.flag("metrics-out")) {
+    const std::string path = args.str("metrics-out", "");
+    const std::string text = ends_with(path, ".csv")
+                                 ? telemetry::metrics_to_csv(tel.metrics())
+                                 : telemetry::metrics_to_json(tel.metrics());
+    ok = write_file(path, text) && ok;
+  }
+  if (args.flag("trace-out")) {
+    const double clock = report ? report->clock_mhz : 0.0;
+    ok = write_file(args.str("trace-out", ""),
+                    telemetry::chrome_trace_json(tel, clock,
+                                                 args.str("trace-filter", ""))) &&
+         ok;
+  }
+  return ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-  Rng rng(static_cast<u64>(args.num("seed", 2005)));
+  Args args;
+  if (!parse(argc, argv, args)) return usage();
 
   try {
+    Rng rng(static_cast<u64>(args.integer("seed", 2005)));
+    // One session serves all sinks; event tracing only turns on when a trace
+    // file was requested (emit sites build strings the fast path avoids).
+    telemetry::Session session;
+    if (args.flag("trace-out")) session.trace().set_enabled(true);
+    const bool json = args.flag("json");
+
+    host::PerfReport report;
+    bool have_report = false;
+
     if (args.command == "dot") {
-      const std::size_t n = static_cast<std::size_t>(args.num("n", 4096));
+      const std::size_t n = static_cast<std::size_t>(args.integer("n", 4096));
       host::ContextConfig cfg;
-      cfg.dot_k = static_cast<unsigned>(args.num("k", 2));
+      cfg.dot_k = static_cast<unsigned>(args.integer("k", 2));
       cfg.dot_mem_bytes_per_s = args.num("bw-gbs", 5.5) * 1e9;
+      cfg.telemetry = &session;
       host::Context ctx(cfg);
-      const auto r = ctx.dot(rng.vector(n), rng.vector(n));
-      std::printf("dot(%zu) = %.12g\n", n, r.value);
-      print_report(r.report);
+      const auto src = args.flag("from-dram") ? host::Placement::Dram
+                                              : host::Placement::Sram;
+      const auto r = ctx.dot(rng.vector(n), rng.vector(n), src);
+      if (!json) std::printf("dot(%zu) = %.12g\n", n, r.value);
+      report = r.report;
+      have_report = true;
     } else if (args.command == "gemv") {
-      const std::size_t n = static_cast<std::size_t>(args.num("n", 1024));
+      const std::size_t n = static_cast<std::size_t>(args.integer("n", 1024));
       host::ContextConfig cfg;
-      cfg.gemv_k = static_cast<unsigned>(args.num("k", 4));
+      cfg.gemv_k = static_cast<unsigned>(args.integer("k", 4));
+      cfg.telemetry = &session;
       host::Context ctx(cfg);
       const auto arch = args.str("arch", "tree") == "col"
                             ? host::GemvArch::Column
@@ -107,37 +255,45 @@ int main(int argc, char** argv) {
       const auto src = args.flag("from-dram") ? host::Placement::Dram
                                               : host::Placement::Sram;
       const auto out = ctx.gemv(rng.matrix(n, n), n, n, rng.vector(n), src, arch);
-      print_report(out.report);
+      report = out.report;
+      have_report = true;
     } else if (args.command == "gemm") {
-      const std::size_t n = static_cast<std::size_t>(args.num("n", 256));
+      const std::size_t n = static_cast<std::size_t>(args.integer("n", 256));
       host::ContextConfig cfg;
-      cfg.mm_k = static_cast<unsigned>(args.num("k", 8));
-      cfg.mm_m = static_cast<unsigned>(args.num("m", 8));
-      cfg.mm_b = static_cast<std::size_t>(args.num("b", std::min<double>(512, n)));
-      cfg.mm_l = static_cast<unsigned>(args.num("l", 1));
+      cfg.mm_k = static_cast<unsigned>(args.integer("k", 8));
+      cfg.mm_m = static_cast<unsigned>(args.integer("m", 8));
+      cfg.mm_b = static_cast<std::size_t>(
+          args.integer("b", static_cast<long long>(std::min<std::size_t>(512, n))));
+      cfg.mm_l = static_cast<unsigned>(args.integer("l", 1));
+      cfg.telemetry = &session;
       host::Context ctx(cfg);
-      const auto out = cfg.mm_l > 1 ? [&] {
-        const auto multi = ctx.gemm_multi(rng.matrix(n, n), rng.matrix(n, n), n);
-        return multi.report;
-      }()
-                                    : ctx.gemm(rng.matrix(n, n), rng.matrix(n, n), n).report;
-      print_report(out);
+      report = cfg.mm_l > 1
+                   ? ctx.gemm_multi(rng.matrix(n, n), rng.matrix(n, n), n).report
+                   : ctx.gemm(rng.matrix(n, n), rng.matrix(n, n), n).report;
+      have_report = true;
     } else if (args.command == "spmxv") {
-      const std::size_t n = static_cast<std::size_t>(args.num("n", 1024));
-      const std::size_t nnz = static_cast<std::size_t>(args.num("nnz-per-row", 16));
+      const std::size_t n = static_cast<std::size_t>(args.integer("n", 1024));
+      const std::size_t nnz =
+          static_cast<std::size_t>(args.integer("nnz-per-row", 16));
       blas2::SpmxvConfig cfg;
-      cfg.k = static_cast<unsigned>(args.num("k", 4));
+      cfg.k = static_cast<unsigned>(args.integer("k", 4));
+      cfg.telemetry = &session;
       blas2::SpmxvEngine engine(cfg);
       const auto m = blas2::make_uniform_sparse(n, n, nnz, 7);
       const auto out = engine.run(m, rng.vector(n));
-      std::printf("spmxv %zux%zu, nnz=%zu (density %.2f%%)\n", n, n, m.nnz(),
-                  100.0 * m.density());
-      print_report(out.report);
+      if (!json) {
+        std::printf("spmxv %zux%zu, nnz=%zu (density %.2f%%)\n", n, n, m.nnz(),
+                    100.0 * m.density());
+      }
+      report = out.report;
+      have_report = true;
     } else if (args.command == "reduce") {
-      const std::size_t sets = static_cast<std::size_t>(args.num("sets", 200));
-      const std::size_t size = static_cast<std::size_t>(args.num("size", 512));
-      const unsigned alpha = static_cast<unsigned>(args.num("alpha", 14));
+      const std::size_t sets = static_cast<std::size_t>(args.integer("sets", 200));
+      const std::size_t size = static_cast<std::size_t>(args.integer("size", 512));
+      const unsigned alpha = static_cast<unsigned>(args.integer("alpha", 14));
+      require(sets >= 1 && size >= 1, "reduce needs --sets >= 1 and --size >= 1");
       reduce::ReductionCircuit c(alpha);
+      if (session.trace().enabled()) c.attach_trace(&session.trace());
       std::size_t done = 0, si = 0, ei = 0;
       u64 cycles = 0;
       while (done < sets) {
@@ -153,16 +309,20 @@ int main(int argc, char** argv) {
         }
         if (c.take_result()) ++done;
       }
-      std::printf("reduced %zu sets of %zu in %llu cycles "
-                  "(inputs %zu, tail %llu, bound 2a^2 = %u)\n",
-                  sets, size, static_cast<unsigned long long>(cycles),
-                  sets * size,
-                  static_cast<unsigned long long>(cycles - sets * size),
-                  2 * alpha * alpha);
-      std::printf("stalls %llu, peak buffer %zu (bound %u), adder util %.1f%%\n",
-                  static_cast<unsigned long long>(c.stats().stall_cycles),
-                  c.stats().peak_buffer_words, alpha * alpha,
-                  100.0 * c.adder_utilization());
+      session.phase("compute", cycles);
+      c.publish(session.metrics(), "reduce.cli");
+      if (!json) {
+        std::printf("reduced %zu sets of %zu in %llu cycles "
+                    "(inputs %zu, tail %llu, bound 2a^2 = %u)\n",
+                    sets, size, static_cast<unsigned long long>(cycles),
+                    sets * size,
+                    static_cast<unsigned long long>(cycles - sets * size),
+                    2 * alpha * alpha);
+        std::printf("stalls %llu, peak buffer %zu (bound %u), adder util %.1f%%\n",
+                    static_cast<unsigned long long>(c.stats().stall_cycles),
+                    c.stats().peak_buffer_words, alpha * alpha,
+                    100.0 * c.adder_utilization());
+      }
     } else if (args.command == "explore") {
       const auto dev = machine::device_by_name(args.str("device", "XC2VP50"));
       machine::AreaModel area;
@@ -175,9 +335,10 @@ int main(int argc, char** argv) {
         std::printf("  k=%2u: %5u slices, %.0f MHz, %.2f GFLOPS\n", p.k,
                     p.slices, p.clock_mhz, p.gflops);
       }
-    } else {
-      return usage();
     }
+
+    if (have_report && !json) print_report(report);
+    if (!finish(args, session, have_report ? &report : nullptr)) return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
