@@ -4,7 +4,11 @@
 // cycle-accurate experiments can afford.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <thread>
+
 #include "blas3/mm_array.hpp"
+#include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "fp/fpu.hpp"
 #include "fp/softfloat.hpp"
@@ -111,6 +115,53 @@ BENCHMARK(BM_MmArrayMacsPerSecondTelemetry)
     ->Arg(32)
     ->Arg(64)
     ->Unit(benchmark::kMillisecond);
+
+// parallel_for before/after pair. The baseline replicates the previous
+// implementation — spawn worker std::threads per call and join them — while
+// BM_ParallelForPool is today's helper on the persistent shared pool. The
+// gap is the per-call thread spawn + join cost the pool amortizes away.
+void spawn_and_join_for(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)>& fn,
+                        unsigned workers) {
+  const std::size_t count = end - begin;
+  const std::size_t chunk = (count + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + w * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    threads.emplace_back([&fn, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_ParallelForSpawn(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bits(n, 8);
+  std::vector<u64> out(n);
+  for (auto _ : state) {
+    spawn_and_join_for(
+        0, n, [&](std::size_t i) { out[i] = fp::mul(a[i], a[i]); },
+        default_workers());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForSpawn)->Arg(1024)->Arg(16384);
+
+void BM_ParallelForPool(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bits(n, 8);
+  std::vector<u64> out(n);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](std::size_t i) { out[i] = fp::mul(a[i], a[i]); });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForPool)->Arg(1024)->Arg(16384);
 
 }  // namespace
 

@@ -1,0 +1,124 @@
+// Persistent worker pool shared by the whole process.
+//
+// The simulator's host side has two kinds of parallelism: data-parallel
+// golden-numerics loops inside one engine run (parallel_for) and
+// whole-operation concurrency across independent engine runs (the
+// host::Runtime executor). Both used to spawn-and-join std::threads per
+// call; both now share this pool, so thread creation happens once per
+// process instead of once per loop.
+//
+// Design notes:
+//  - FIFO task queue under one mutex; tasks are type-erased only at the
+//    submission boundary (cold, once per job/chunk batch), never per index.
+//  - submit() returns a std::future that carries the callable's value or
+//    exception (std::packaged_task semantics) — the Runtime relies on this
+//    to propagate ConfigError out of worker threads.
+//  - Pool threads never block on other pool tasks. parallel_for keeps the
+//    caller claiming chunks alongside the workers, so nesting a
+//    parallel_for inside a pooled job cannot deadlock even when every
+//    worker is busy.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace xd {
+
+/// Number of workers to use by default: the XDBLAS_WORKERS environment
+/// variable when set to a positive integer (useful to force interleaving on
+/// small machines, or to pin the pool under a sanitizer), else hardware
+/// concurrency, at least 1.
+inline unsigned default_workers() {
+  if (const char* env = std::getenv("XDBLAS_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned workers = default_workers()) {
+    if (workers == 0) workers = 1;
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  unsigned size() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Enqueue a fire-and-forget task. Tasks must not throw (wrap with
+  /// submit() when the result or exception matters).
+  void post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Enqueue a callable and get a future for its result; an exception
+  /// thrown by the callable is rethrown from future::get().
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    post([task] { (*task)(); });
+    return fut;
+  }
+
+  /// The process-wide pool (default_workers() threads, created on first
+  /// use). Engine loops and every host::Runtime share it by default.
+  static ThreadPool& shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace xd

@@ -1,0 +1,84 @@
+// Machine/design configuration for the host layer.
+//
+// Split out of context.hpp so the op / plan / runtime tiers can consume the
+// configuration without pulling in the Context facade: op.hpp needs
+// Placement/GemvArch for OpDesc, plan.hpp derives engine configurations
+// from ContextConfig, runtime.hpp executes against it, and context.hpp
+// re-exports everything for existing users.
+#pragma once
+
+#include <cstddef>
+
+#include "fp/fpu.hpp"
+#include "machine/device.hpp"
+
+namespace xd::telemetry {
+class Session;
+}
+
+namespace xd::host {
+
+enum class Placement {
+  Sram,  ///< operands already in the FPGA-attached SRAM banks
+  Dram,  ///< operands start in processor DRAM (staging is simulated)
+};
+
+enum class GemvArch {
+  Tree,    ///< row-major, adder tree + reduction circuit (Sec 4.2 arch 1)
+  Column,  ///< column-major, interleaved accumulation (Sec 4.2 arch 2)
+};
+
+/// Machine/design parameters. Defaults describe one Cray XD1 node exactly as
+/// the paper configures it (Tables 3 and 4).
+struct ContextConfig {
+  machine::FpgaDevice device = machine::xc2vp50();
+
+  // Level 1 (dot): k = 2 multipliers at 170 MHz, 5.5 GB/s streaming.
+  unsigned dot_k = 2;
+  double dot_clock_mhz = 170.0;
+  double dot_mem_bytes_per_s = 5.5 * kGB;
+
+  // Level 2 (GEMV): k = 4 at 164 MHz, one word per SRAM bank per cycle.
+  unsigned gemv_k = 4;
+  double gemv_clock_mhz = 164.0;
+  double gemv_sram_bytes_per_s = 5.9 * kGB;
+  double gemv_dram_bytes_per_s = 1.3 * kGB;  ///< measured staging bandwidth
+
+  // Level 3 (GEMM): k = 8 PEs, m = 8, b = 512, 130 MHz.
+  unsigned mm_k = 8;
+  unsigned mm_m = 8;
+  std::size_t mm_b = 512;
+  unsigned mm_l = 1;  ///< FPGAs (hierarchical design)
+  double mm_clock_mhz = 130.0;
+  double mm_dram_bytes_per_s = 3.2 * kGB;
+  double mm_link_bytes_per_s = 2.0 * kGB;
+
+  unsigned adder_stages = fp::kAdderStages;
+  unsigned multiplier_stages = fp::kMultiplierStages;
+  /// GEMM PE accumulation-adder depth (see blas3::MmArrayConfig): must
+  /// satisfy m^2/k >= depth; the paper's k = m = 8 design implies <= 8.
+  unsigned mm_adder_stages = 8;
+
+  /// Optional telemetry sink, forwarded to every engine a synchronous call
+  /// builds. Engines publish component metrics (mem.* / fpu.* / reduce.* /
+  /// blas*.*) and record phase spans; for Placement::Dram the runtime
+  /// records the "staging" span ahead of the engine's "compute" so the two
+  /// tile the reported total. Null (the default) disables all recording.
+  ///
+  /// Thread-safety: the session is NOT synchronized. The runtime therefore
+  /// only attaches it on the synchronous path (Context calls,
+  /// Runtime::run); asynchronously submitted jobs execute with engine
+  /// telemetry detached. See docs/runtime.md.
+  telemetry::Session* telemetry = nullptr;
+
+  /// Plans derived from this configuration are memoized per (op, shape,
+  /// placement, arch) in a bounded LRU cache of this many entries.
+  std::size_t plan_cache_capacity = 64;
+};
+
+/// Words per cycle across a link of `bytes_per_s` at `clock_mhz`.
+inline double words_per_cycle(double bytes_per_s, double clock_mhz) {
+  return bytes_per_s / (kWordBytes * clock_mhz * 1e6);
+}
+
+}  // namespace xd::host

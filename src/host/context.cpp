@@ -1,233 +1,72 @@
 #include "host/context.hpp"
 
-#include "blas2/blocking.hpp"
-#include "telemetry/session.hpp"
-
-#include <cmath>
+#include "host/plan.hpp"
 
 namespace xd::host {
 
-Context::Context(const ContextConfig& cfg) : cfg_(cfg) {}
+Context::Context(const ContextConfig& cfg)
+    : cfg_(cfg), runtime_(std::make_unique<Runtime>(cfg)) {}
 
-namespace {
-
-/// Cycles to stage `words` across a link of `words_per_cycle` (DRAM<->SRAM
-/// DMA; the FPGA design is idle during staging, per the Table 4 methodology).
-u64 staging_cycles(double words, double words_per_cycle) {
-  return static_cast<u64>(std::ceil(words / words_per_cycle));
-}
-
-}  // namespace
-
-DotCall Context::dot(const std::vector<double>& u, const std::vector<double>& v,
-                     Placement src) const {
-  // Staging happens (and is recorded) before the engine runs, so the
-  // "staging" span precedes the engine's "compute" span on the timeline.
-  u64 staging = 0;
-  double dram_words = 0.0;
-  if (src == Placement::Dram) {
-    const double wpc = words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.dot_clock_mhz);
-    dram_words = static_cast<double>(2 * u.size());
-    staging = staging_cycles(dram_words, wpc);
-    if (cfg_.telemetry) {
-      cfg_.telemetry->phase("staging", staging);
-      cfg_.telemetry->gauge("mem.dram.dot.words").set(dram_words);
-    }
-  }
-  blas1::DotOutcome out = dot_batch({u}, {v});
-  DotCall call;
-  call.value = out.results.at(0);
-  call.report = out.report;
-  call.report.staging_cycles = staging;
-  call.report.cycles += staging;
-  call.report.dram_words = dram_words;
-  return call;
+DotResult Context::dot(const std::vector<double>& u,
+                       const std::vector<double>& v, Placement src) const {
+  return runtime_->run(OpDesc::dot(u, v, src)).as_dot();
 }
 
 blas1::DotOutcome Context::dot_batch(
     const std::vector<std::vector<double>>& us,
     const std::vector<std::vector<double>>& vs) const {
-  blas1::DotConfig dc;
-  dc.k = cfg_.dot_k;
-  dc.adder_stages = cfg_.adder_stages;
-  dc.multiplier_stages = cfg_.multiplier_stages;
-  dc.mem_words_per_cycle = words_per_cycle(cfg_.dot_mem_bytes_per_s, cfg_.dot_clock_mhz);
-  dc.clock_mhz = cfg_.dot_clock_mhz;
-  dc.telemetry = cfg_.telemetry;
-  blas1::DotEngine engine(dc);
-  return engine.run(us, vs);
+  return runtime_->run(OpDesc::dot_batch(us, vs)).as_dot_batch();
 }
 
 blas2::MxvOutcome Context::gemv(const std::vector<double>& a, std::size_t rows,
                                 std::size_t cols, const std::vector<double>& x,
                                 Placement src, GemvArch arch) const {
-  // Record staging ahead of the engine run (Table 4: 6.4 of the 8.0 ms GEMV
-  // latency is this data movement) so the spans tile the reported total.
-  u64 staging = 0;
-  double dram_words = 0.0;
-  if (src == Placement::Dram) {
-    const double wpc =
-        words_per_cycle(cfg_.gemv_dram_bytes_per_s, cfg_.gemv_clock_mhz);
-    dram_words = static_cast<double>(rows * cols + rows);
-    staging = staging_cycles(dram_words, wpc);
-    if (cfg_.telemetry) {
-      cfg_.telemetry->phase("staging", staging);
-      cfg_.telemetry->gauge("mem.dram.gemv.words").set(dram_words);
-    }
-  }
-
-  blas2::MxvOutcome out;
-  if (arch == GemvArch::Tree) {
-    blas2::MxvTreeConfig tc;
-    tc.k = cfg_.gemv_k;
-    tc.adder_stages = cfg_.adder_stages;
-    tc.multiplier_stages = cfg_.multiplier_stages;
-    tc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k);  // 1 word/bank
-    tc.clock_mhz = cfg_.gemv_clock_mhz;
-    tc.telemetry = cfg_.telemetry;
-    blas2::MxvTreeEngine engine(tc);
-    out = engine.run(a, rows, cols, x);
-  } else {
-    blas2::MxvColConfig cc;
-    cc.k = cfg_.gemv_k;
-    cc.adder_stages = cfg_.adder_stages;
-    cc.multiplier_stages = cfg_.multiplier_stages;
-    cc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k) + 1.0;
-    cc.clock_mhz = cfg_.gemv_clock_mhz;
-    cc.telemetry = cfg_.telemetry;
-    blas2::MxvColEngine engine(cc);
-    out = engine.run(a, rows, cols, x);
-  }
-
-  out.report.staging_cycles = staging;
-  out.report.cycles += staging;
-  out.report.dram_words = dram_words;
-  return out;
+  return runtime_->run(OpDesc::gemv(a, rows, cols, x, src, arch)).as_mxv();
 }
 
 blas2::MxvOutcome Context::spmxv(const blas2::CrsMatrix& a,
                                  const std::vector<double>& x) const {
-  require(a.cols <= gemv_onchip_x_capacity(),
-          "SpMXV: x does not fit the device's on-chip memory");
-  blas2::SpmxvConfig sc;
-  sc.k = cfg_.gemv_k;
-  sc.adder_stages = cfg_.adder_stages;
-  sc.multiplier_stages = cfg_.multiplier_stages;
-  // Value + index pairs: two SRAM banks feed one CRS element per cycle pair.
-  sc.mem_elements_per_cycle = static_cast<double>(cfg_.gemv_k) / 2.0;
-  sc.clock_mhz = cfg_.gemv_clock_mhz;
-  sc.telemetry = cfg_.telemetry;
-  blas2::SpmxvEngine engine(sc);
-  return engine.run(a, x);
+  return runtime_->run(OpDesc::spmxv(a, x)).as_mxv();
 }
 
 std::size_t Context::choose_panel_edge(std::size_t n) const {
-  // Largest SRAM panel edge <= the configured one that tiles both the m x m
-  // on-chip blocks and the problem (and gives each FPGA a block column).
-  const std::size_t min_b = static_cast<std::size_t>(cfg_.mm_m) * cfg_.mm_l;
-  for (std::size_t b = std::min(cfg_.mm_b, n); b >= min_b; b -= cfg_.mm_m) {
-    if (b % cfg_.mm_m == 0 && n % b == 0) return b;
-  }
-  throw ConfigError(cat("no SRAM panel edge tiles n=", n, " with m=", cfg_.mm_m,
-                        ", l=", cfg_.mm_l,
-                        " (pad the matrices or use the compat layer)"));
+  return host::choose_panel_edge(cfg_, n);
 }
 
 blas3::MmHierOutcome Context::gemm(const std::vector<double>& a,
                                    const std::vector<double>& b,
                                    std::size_t n) const {
-  blas3::MmHierConfig hc;
-  hc.l = cfg_.mm_l;
-  hc.k = cfg_.mm_k;
-  hc.m = cfg_.mm_m;
-  hc.b = n % cfg_.mm_b == 0 ? cfg_.mm_b : choose_panel_edge(n);
-  hc.adder_stages = cfg_.mm_adder_stages;
-  hc.multiplier_stages = cfg_.multiplier_stages;
-  hc.clock_mhz = cfg_.mm_clock_mhz;
-  hc.dram_words_per_cycle = words_per_cycle(cfg_.mm_dram_bytes_per_s, cfg_.mm_clock_mhz);
-  hc.link_words_per_cycle = words_per_cycle(cfg_.mm_link_bytes_per_s, cfg_.mm_clock_mhz);
-  hc.telemetry = cfg_.telemetry;
-  blas3::MmHierEngine engine(hc);
-  return engine.run(a, b, n);
+  return runtime_->run(OpDesc::gemm(a, b, n)).as_mm_hier();
 }
 
 blas3::MmOutcome Context::gemm_array(const std::vector<double>& a,
                                      const std::vector<double>& b,
                                      std::size_t n) const {
-  blas3::MmArrayConfig mc;
-  mc.k = cfg_.mm_k;
-  mc.m = cfg_.mm_m;
-  mc.adder_stages = cfg_.mm_adder_stages;
-  mc.multiplier_stages = cfg_.multiplier_stages;
-  mc.mem_words_per_cycle = 4.0;  // four SRAM banks feed the standalone array
-  mc.clock_mhz = cfg_.mm_clock_mhz;
-  mc.telemetry = cfg_.telemetry;
-  blas3::MmArrayEngine engine(mc);
-  return engine.run(a, b, n);
+  return runtime_->run(OpDesc::gemm_array(a, b, n)).as_mm();
 }
 
 blas3::MmMultiOutcome Context::gemm_multi(const std::vector<double>& a,
                                           const std::vector<double>& b,
                                           std::size_t n) const {
-  blas3::MmMultiConfig mc;
-  mc.l = cfg_.mm_l;
-  mc.k = cfg_.mm_k;
-  mc.m = cfg_.mm_m;
-  mc.b = cfg_.mm_b;
-  mc.clock_mhz = cfg_.mm_clock_mhz;
-  mc.dram_words_per_cycle = words_per_cycle(cfg_.mm_dram_bytes_per_s, cfg_.mm_clock_mhz);
-  mc.link_words_per_cycle = words_per_cycle(cfg_.mm_link_bytes_per_s, cfg_.mm_clock_mhz);
-  mc.telemetry = cfg_.telemetry;
-  blas3::MmMultiEngine engine(mc);
-  return engine.run(a, b, n);
+  return runtime_->run(OpDesc::gemm_multi(a, b, n)).as_mm_multi();
 }
-
-namespace {
-/// Fixed BRAM overheads of the tree GEMV design besides the x store: the
-/// two alpha^2 reduction buffers and the small staging FIFOs.
-u64 gemv_buffer_words(unsigned adder_stages) {
-  return 2ull * adder_stages * adder_stages + 128;
-}
-}  // namespace
 
 mem::BramBudget Context::gemv_bram_plan(std::size_t cols) const {
-  mem::BramBudget plan(cfg_.device);
-  plan.allocate("reduction buffers (2 alpha^2)",
-                2ull * cfg_.adder_stages * cfg_.adder_stages);
-  plan.allocate("staging FIFOs", 128);
-  plan.allocate("x storage", cols);
-  return plan;
+  return host::gemv_bram_plan(cfg_, cols);
 }
 
 mem::BramBudget Context::gemm_bram_plan() const {
-  mem::BramBudget plan(cfg_.device);
-  plan.allocate("C' block store (m^2)", static_cast<u64>(cfg_.mm_m) * cfg_.mm_m);
-  plan.allocate("C block store (m^2)", static_cast<u64>(cfg_.mm_m) * cfg_.mm_m);
-  plan.allocate("B registers (2m)", 2ull * cfg_.mm_m);
-  return plan;
+  return host::gemm_bram_plan(cfg_);
 }
 
 std::size_t Context::gemv_onchip_x_capacity() const {
-  const u64 cap = cfg_.device.bram_words();
-  const u64 fixed = gemv_buffer_words(cfg_.adder_stages);
-  return cap > fixed ? static_cast<std::size_t>(cap - fixed) : 0;
+  return host::gemv_onchip_x_capacity(cfg_);
 }
 
 blas2::MxvOutcome Context::gemv_auto(const std::vector<double>& a,
                                      std::size_t rows, std::size_t cols,
                                      const std::vector<double>& x) const {
-  const std::size_t capacity = gemv_onchip_x_capacity();
-  require(capacity > 0, "device has no on-chip memory left for x");
-  if (cols <= capacity) return gemv(a, rows, cols, x);
-
-  blas2::MxvTreeConfig tc;
-  tc.k = cfg_.gemv_k;
-  tc.adder_stages = cfg_.adder_stages;
-  tc.multiplier_stages = cfg_.multiplier_stages;
-  tc.mem_words_per_cycle = static_cast<double>(cfg_.gemv_k);
-  tc.clock_mhz = cfg_.gemv_clock_mhz;
-  tc.telemetry = cfg_.telemetry;
-  return blas2::run_blocked_gemv_tree(tc, capacity, a, rows, cols, x);
+  return runtime_->run(OpDesc::gemv_auto(a, rows, cols, x)).as_mxv();
 }
 
 machine::DesignArea Context::dot_design_area() const {

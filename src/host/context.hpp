@@ -17,77 +17,32 @@
 // streams operands from the FPGA's SRAM banks; Placement::Dram prepends the
 // DRAM->SRAM staging phase over the RapidArray link, reproducing the
 // 8.0 ms / 1.6 ms split of Table 4.
+//
+// Context is a thin synchronous facade over host::Runtime: each call builds
+// (or fetches from the plan cache) an immutable Plan, runs the engine on the
+// calling thread, and converts the unified Outcome back to the per-op type.
+// For batched / concurrent execution use runtime() directly:
+//
+//   auto fut = ctx.runtime().submit(host::OpDesc::gemv(a, n, n, x));
+//   auto out = fut.get();                         // Outcome or exception
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
-#include "blas1/dot_engine.hpp"
-#include "blas2/mxv_col.hpp"
-#include "blas2/mxv_tree.hpp"
-#include "blas2/spmxv.hpp"
-#include "blas3/mm_hier.hpp"
-#include "blas3/mm_multi.hpp"
+#include "host/config.hpp"
+#include "host/op.hpp"
+#include "host/runtime.hpp"
 #include "machine/area.hpp"
-#include "machine/device.hpp"
 #include "mem/bram.hpp"
 #include "mem/hierarchy.hpp"
 
 namespace xd::host {
 
-enum class Placement {
-  Sram,  ///< operands already in the FPGA-attached SRAM banks
-  Dram,  ///< operands start in processor DRAM (staging is simulated)
-};
-
-enum class GemvArch {
-  Tree,    ///< row-major, adder tree + reduction circuit (Sec 4.2 arch 1)
-  Column,  ///< column-major, interleaved accumulation (Sec 4.2 arch 2)
-};
-
-/// Machine/design parameters. Defaults describe one Cray XD1 node exactly as
-/// the paper configures it (Tables 3 and 4).
-struct ContextConfig {
-  machine::FpgaDevice device = machine::xc2vp50();
-
-  // Level 1 (dot): k = 2 multipliers at 170 MHz, 5.5 GB/s streaming.
-  unsigned dot_k = 2;
-  double dot_clock_mhz = 170.0;
-  double dot_mem_bytes_per_s = 5.5 * kGB;
-
-  // Level 2 (GEMV): k = 4 at 164 MHz, one word per SRAM bank per cycle.
-  unsigned gemv_k = 4;
-  double gemv_clock_mhz = 164.0;
-  double gemv_sram_bytes_per_s = 5.9 * kGB;
-  double gemv_dram_bytes_per_s = 1.3 * kGB;  ///< measured staging bandwidth
-
-  // Level 3 (GEMM): k = 8 PEs, m = 8, b = 512, 130 MHz.
-  unsigned mm_k = 8;
-  unsigned mm_m = 8;
-  std::size_t mm_b = 512;
-  unsigned mm_l = 1;  ///< FPGAs (hierarchical design)
-  double mm_clock_mhz = 130.0;
-  double mm_dram_bytes_per_s = 3.2 * kGB;
-  double mm_link_bytes_per_s = 2.0 * kGB;
-
-  unsigned adder_stages = fp::kAdderStages;
-  unsigned multiplier_stages = fp::kMultiplierStages;
-  /// GEMM PE accumulation-adder depth (see blas3::MmArrayConfig): must
-  /// satisfy m^2/k >= depth; the paper's k = m = 8 design implies <= 8.
-  unsigned mm_adder_stages = 8;
-
-  /// Optional telemetry sink, forwarded to every engine the context builds.
-  /// Engines publish component metrics (mem.* / fpu.* / reduce.* / blas*.*)
-  /// and record phase spans; for Placement::Dram the context records the
-  /// "staging" span ahead of the engine's "compute" so the two tile the
-  /// reported total. Null (the default) disables all recording.
-  telemetry::Session* telemetry = nullptr;
-};
-
-struct DotCall {
-  double value = 0.0;
-  PerfReport report;
-};
+/// Deprecated alias: Context::dot now returns the op-layer DotResult;
+/// DotCall is kept so pre-runtime code compiles unchanged.
+using DotCall = DotResult;
 
 class Context {
  public:
@@ -95,8 +50,8 @@ class Context {
   explicit Context(const ContextConfig& cfg);
 
   /// Level 1 BLAS: u . v.
-  DotCall dot(const std::vector<double>& u, const std::vector<double>& v,
-              Placement src = Placement::Sram) const;
+  DotResult dot(const std::vector<double>& u, const std::vector<double>& v,
+                Placement src = Placement::Sram) const;
 
   /// Batched dot products (one reduction set each, back to back).
   blas1::DotOutcome dot_batch(const std::vector<std::vector<double>>& us,
@@ -149,6 +104,11 @@ class Context {
   /// Words of x the GEMV design can keep on-chip next to its buffers.
   std::size_t gemv_onchip_x_capacity() const;
 
+  /// The plan/execute runtime behind this context: submit(OpDesc) for
+  /// concurrent jobs, run_batch() for fan-out/wait, plan_cache() for the
+  /// memoized plans. Shared worker pool, per-context plan cache.
+  Runtime& runtime() const { return *runtime_; }
+
   const ContextConfig& config() const { return cfg_; }
   const machine::AreaModel& area_model() const { return area_; }
 
@@ -158,12 +118,9 @@ class Context {
   machine::DesignArea gemm_design_area() const;
 
  private:
-  double words_per_cycle(double bytes_per_s, double clock_mhz) const {
-    return bytes_per_s / (kWordBytes * clock_mhz * 1e6);
-  }
-
   ContextConfig cfg_;
   machine::AreaModel area_;
+  std::unique_ptr<Runtime> runtime_;
 };
 
 }  // namespace xd::host

@@ -1,0 +1,224 @@
+#include "host/op.hpp"
+
+namespace xd::host {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::Dot: return "dot";
+    case OpKind::DotBatch: return "dot_batch";
+    case OpKind::Gemv: return "gemv";
+    case OpKind::GemvAuto: return "gemv_auto";
+    case OpKind::Spmxv: return "spmxv";
+    case OpKind::Gemm: return "gemm";
+    case OpKind::GemmArray: return "gemm_array";
+    case OpKind::GemmMulti: return "gemm_multi";
+  }
+  return "unknown";
+}
+
+DotResult Outcome::as_dot() const {
+  require(!values.empty(), "Outcome: no dot value");
+  DotResult r;
+  r.value = values.front();
+  r.report = report;
+  return r;
+}
+
+blas1::DotOutcome Outcome::as_dot_batch() && {
+  blas1::DotOutcome o;
+  o.results = std::move(values);
+  o.report = std::move(report);
+  return o;
+}
+
+blas2::MxvOutcome Outcome::as_mxv() && {
+  blas2::MxvOutcome o;
+  o.y = std::move(values);
+  o.report = std::move(report);
+  return o;
+}
+
+blas3::MmOutcome Outcome::as_mm() && {
+  blas3::MmOutcome o;
+  o.c = std::move(values);
+  o.report = std::move(report);
+  return o;
+}
+
+blas3::MmHierOutcome Outcome::as_mm_hier() && {
+  blas3::MmHierOutcome o;
+  o.c = std::move(values);
+  o.report = std::move(report);
+  o.required_dram_words_per_cycle = required_dram_words_per_cycle;
+  o.required_link_words_per_cycle = required_link_words_per_cycle;
+  o.required_sram_words_per_cycle = required_sram_words_per_cycle;
+  o.sram_panel_words = sram_panel_words;
+  return o;
+}
+
+blas3::MmMultiOutcome Outcome::as_mm_multi() && {
+  blas3::MmMultiOutcome o;
+  o.c = std::move(values);
+  o.report = std::move(report);
+  o.per_fpga = std::move(per_fpga);
+  o.dram_words = dram_words;
+  o.link_words = link_words;
+  return o;
+}
+
+Outcome to_outcome(blas1::DotOutcome&& o, OpKind kind) {
+  Outcome out;
+  out.kind = kind;
+  out.values = std::move(o.results);
+  out.report = std::move(o.report);
+  return out;
+}
+
+Outcome to_outcome(blas2::MxvOutcome&& o, OpKind kind) {
+  Outcome out;
+  out.kind = kind;
+  out.values = std::move(o.y);
+  out.report = std::move(o.report);
+  return out;
+}
+
+Outcome to_outcome(blas3::MmOutcome&& o) {
+  Outcome out;
+  out.kind = OpKind::GemmArray;
+  out.values = std::move(o.c);
+  out.report = std::move(o.report);
+  return out;
+}
+
+Outcome to_outcome(blas3::MmHierOutcome&& o) {
+  Outcome out;
+  out.kind = OpKind::Gemm;
+  out.values = std::move(o.c);
+  out.report = std::move(o.report);
+  out.required_dram_words_per_cycle = o.required_dram_words_per_cycle;
+  out.required_link_words_per_cycle = o.required_link_words_per_cycle;
+  out.required_sram_words_per_cycle = o.required_sram_words_per_cycle;
+  out.sram_panel_words = o.sram_panel_words;
+  return out;
+}
+
+Outcome to_outcome(blas3::MmMultiOutcome&& o) {
+  Outcome out;
+  out.kind = OpKind::GemmMulti;
+  out.values = std::move(o.c);
+  out.report = std::move(o.report);
+  out.per_fpga = std::move(o.per_fpga);
+  out.dram_words = o.dram_words;
+  out.link_words = o.link_words;
+  return out;
+}
+
+OpDesc OpDesc::dot(const std::vector<double>& u, const std::vector<double>& v,
+                   Placement src) {
+  OpDesc d;
+  d.kind = OpKind::Dot;
+  d.placement = src;
+  d.cols = u.size();
+  d.a = &u;
+  d.b = &v;
+  return d;
+}
+
+OpDesc OpDesc::dot_batch(const std::vector<std::vector<double>>& us,
+                         const std::vector<std::vector<double>>& vs) {
+  OpDesc d;
+  d.kind = OpKind::DotBatch;
+  d.batch = us.size();
+  d.us = &us;
+  d.vs = &vs;
+  return d;
+}
+
+OpDesc OpDesc::gemv(const std::vector<double>& a, std::size_t rows,
+                    std::size_t cols, const std::vector<double>& x,
+                    Placement src, GemvArch arch) {
+  OpDesc d;
+  d.kind = OpKind::Gemv;
+  d.placement = src;
+  d.arch = arch;
+  d.rows = rows;
+  d.cols = cols;
+  d.a = &a;
+  d.x = &x;
+  return d;
+}
+
+OpDesc OpDesc::gemv_auto(const std::vector<double>& a, std::size_t rows,
+                         std::size_t cols, const std::vector<double>& x) {
+  OpDesc d = gemv(a, rows, cols, x);
+  d.kind = OpKind::GemvAuto;
+  return d;
+}
+
+OpDesc OpDesc::spmxv(const blas2::CrsMatrix& a, const std::vector<double>& x) {
+  OpDesc d;
+  d.kind = OpKind::Spmxv;
+  d.rows = a.rows;
+  d.cols = a.cols;
+  d.sparse = &a;
+  d.x = &x;
+  return d;
+}
+
+OpDesc OpDesc::gemm(const std::vector<double>& a, const std::vector<double>& b,
+                    std::size_t n) {
+  OpDesc d;
+  d.kind = OpKind::Gemm;
+  d.n = n;
+  d.a = &a;
+  d.b = &b;
+  return d;
+}
+
+OpDesc OpDesc::gemm_array(const std::vector<double>& a,
+                          const std::vector<double>& b, std::size_t n) {
+  OpDesc d = gemm(a, b, n);
+  d.kind = OpKind::GemmArray;
+  return d;
+}
+
+OpDesc OpDesc::gemm_multi(const std::vector<double>& a,
+                          const std::vector<double>& b, std::size_t n) {
+  OpDesc d = gemm(a, b, n);
+  d.kind = OpKind::GemmMulti;
+  return d;
+}
+
+void OpDesc::validate() const {
+  switch (kind) {
+    case OpKind::Dot:
+      require(a && b, "dot: missing operands");
+      require(a->size() == cols && b->size() == cols,
+              "dot: operand sizes disagree with the descriptor");
+      break;
+    case OpKind::DotBatch:
+      require(us && vs, "dot_batch: missing operands");
+      require(us->size() == batch && vs->size() == batch,
+              "dot_batch: batch size disagrees with the descriptor");
+      break;
+    case OpKind::Gemv:
+    case OpKind::GemvAuto:
+      require(a && x, "gemv: missing operands");
+      require(a->size() == rows * cols, "gemv: A size != rows * cols");
+      require(x->size() == cols, "gemv: x size != cols");
+      break;
+    case OpKind::Spmxv:
+      require(sparse && x, "spmxv: missing operands");
+      require(x->size() == sparse->cols, "spmxv: x size != cols");
+      break;
+    case OpKind::Gemm:
+    case OpKind::GemmArray:
+    case OpKind::GemmMulti:
+      require(a && b, "gemm: missing operands");
+      require(a->size() == n * n && b->size() == n * n,
+              "gemm: matrix size != n * n");
+      break;
+  }
+}
+
+}  // namespace xd::host

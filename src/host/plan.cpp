@@ -1,0 +1,256 @@
+#include "host/plan.hpp"
+
+#include <cmath>
+
+#include "telemetry/session.hpp"
+
+namespace xd::host {
+
+namespace {
+
+/// Cycles to stage `words` across a link of `words_per_cycle` (DRAM<->SRAM
+/// DMA; the FPGA design is idle during staging, per the Table 4 methodology).
+u64 staging_cycles_for(double words, double wpc) {
+  return static_cast<u64>(std::ceil(words / wpc));
+}
+
+/// Fixed BRAM overheads of the tree GEMV design besides the x store: the
+/// two alpha^2 reduction buffers and the small staging FIFOs.
+u64 gemv_buffer_words(unsigned adder_stages) {
+  return 2ull * adder_stages * adder_stages + 128;
+}
+
+void hash_combine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+blas2::MxvTreeConfig gemv_tree_config(const ContextConfig& cfg) {
+  blas2::MxvTreeConfig tc;
+  tc.k = cfg.gemv_k;
+  tc.adder_stages = cfg.adder_stages;
+  tc.multiplier_stages = cfg.multiplier_stages;
+  tc.mem_words_per_cycle = static_cast<double>(cfg.gemv_k);  // 1 word/bank
+  tc.clock_mhz = cfg.gemv_clock_mhz;
+  return tc;
+}
+
+}  // namespace
+
+std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
+  std::size_t seed = static_cast<std::size_t>(k.kind);
+  hash_combine(seed, k.rows);
+  hash_combine(seed, k.cols);
+  hash_combine(seed, k.n);
+  hash_combine(seed, k.batch);
+  hash_combine(seed, static_cast<std::size_t>(k.placement));
+  hash_combine(seed, static_cast<std::size_t>(k.arch));
+  return seed;
+}
+
+std::size_t choose_panel_edge(const ContextConfig& cfg, std::size_t n) {
+  // Largest SRAM panel edge <= the configured one that tiles both the m x m
+  // on-chip blocks and the problem (and gives each FPGA a block column).
+  const std::size_t min_b = static_cast<std::size_t>(cfg.mm_m) * cfg.mm_l;
+  for (std::size_t b = std::min(cfg.mm_b, n); b >= min_b; b -= cfg.mm_m) {
+    if (b % cfg.mm_m == 0 && n % b == 0) return b;
+  }
+  throw ConfigError(cat("no SRAM panel edge tiles n=", n, " with m=", cfg.mm_m,
+                        ", l=", cfg.mm_l,
+                        " (pad the matrices or use the compat layer)"));
+}
+
+mem::BramBudget gemv_bram_plan(const ContextConfig& cfg, std::size_t cols) {
+  mem::BramBudget plan(cfg.device);
+  plan.allocate("reduction buffers (2 alpha^2)",
+                2ull * cfg.adder_stages * cfg.adder_stages);
+  plan.allocate("staging FIFOs", 128);
+  plan.allocate("x storage", cols);
+  return plan;
+}
+
+mem::BramBudget gemm_bram_plan(const ContextConfig& cfg) {
+  mem::BramBudget plan(cfg.device);
+  plan.allocate("C' block store (m^2)", static_cast<u64>(cfg.mm_m) * cfg.mm_m);
+  plan.allocate("C block store (m^2)", static_cast<u64>(cfg.mm_m) * cfg.mm_m);
+  plan.allocate("B registers (2m)", 2ull * cfg.mm_m);
+  return plan;
+}
+
+std::size_t gemv_onchip_x_capacity(const ContextConfig& cfg) {
+  const u64 cap = cfg.device.bram_words();
+  const u64 fixed = gemv_buffer_words(cfg.adder_stages);
+  return cap > fixed ? static_cast<std::size_t>(cap - fixed) : 0;
+}
+
+Plan build_plan(const ContextConfig& cfg, const PlanKey& key) {
+  Plan plan;
+  plan.key = key;
+
+  switch (key.kind) {
+    case OpKind::Dot:
+    case OpKind::DotBatch: {
+      blas1::DotConfig dc;
+      dc.k = cfg.dot_k;
+      dc.adder_stages = cfg.adder_stages;
+      dc.multiplier_stages = cfg.multiplier_stages;
+      dc.mem_words_per_cycle =
+          words_per_cycle(cfg.dot_mem_bytes_per_s, cfg.dot_clock_mhz);
+      dc.clock_mhz = cfg.dot_clock_mhz;
+      plan.engine = dc;
+      if (key.kind == OpKind::Dot && key.placement == Placement::Dram) {
+        // The staging link is the same RapidArray DMA path the GEMV design
+        // measures; cycles are counted at the dot design's clock.
+        const double wpc =
+            words_per_cycle(cfg.gemv_dram_bytes_per_s, cfg.dot_clock_mhz);
+        plan.dram_words = static_cast<double>(2 * key.cols);
+        plan.staging_cycles = staging_cycles_for(plan.dram_words, wpc);
+      }
+      break;
+    }
+
+    case OpKind::Gemv: {
+      if (key.arch == GemvArch::Tree) {
+        plan.engine = gemv_tree_config(cfg);
+      } else {
+        blas2::MxvColConfig cc;
+        cc.k = cfg.gemv_k;
+        cc.adder_stages = cfg.adder_stages;
+        cc.multiplier_stages = cfg.multiplier_stages;
+        cc.mem_words_per_cycle = static_cast<double>(cfg.gemv_k) + 1.0;
+        cc.clock_mhz = cfg.gemv_clock_mhz;
+        plan.engine = cc;
+      }
+      if (key.placement == Placement::Dram) {
+        // Table 4: 6.4 of the 8.0 ms GEMV latency is this data movement.
+        const double wpc =
+            words_per_cycle(cfg.gemv_dram_bytes_per_s, cfg.gemv_clock_mhz);
+        plan.dram_words = static_cast<double>(key.rows * key.cols + key.rows);
+        plan.staging_cycles = staging_cycles_for(plan.dram_words, wpc);
+      }
+      break;
+    }
+
+    case OpKind::GemvAuto: {
+      plan.onchip_capacity = gemv_onchip_x_capacity(cfg);
+      require(plan.onchip_capacity > 0,
+              "device has no on-chip memory left for x");
+      plan.blocked_gemv = key.cols > plan.onchip_capacity;
+      plan.engine = gemv_tree_config(cfg);
+      break;
+    }
+
+    case OpKind::Spmxv: {
+      plan.onchip_capacity = gemv_onchip_x_capacity(cfg);
+      require(key.cols <= plan.onchip_capacity,
+              "SpMXV: x does not fit the device's on-chip memory");
+      blas2::SpmxvConfig sc;
+      sc.k = cfg.gemv_k;
+      sc.adder_stages = cfg.adder_stages;
+      sc.multiplier_stages = cfg.multiplier_stages;
+      // Value + index pairs: two SRAM banks feed one CRS element per cycle
+      // pair.
+      sc.mem_elements_per_cycle = static_cast<double>(cfg.gemv_k) / 2.0;
+      sc.clock_mhz = cfg.gemv_clock_mhz;
+      plan.engine = sc;
+      break;
+    }
+
+    case OpKind::Gemm: {
+      blas3::MmHierConfig hc;
+      hc.l = cfg.mm_l;
+      hc.k = cfg.mm_k;
+      hc.m = cfg.mm_m;
+      hc.b = key.n % cfg.mm_b == 0 ? cfg.mm_b : choose_panel_edge(cfg, key.n);
+      hc.adder_stages = cfg.mm_adder_stages;
+      hc.multiplier_stages = cfg.multiplier_stages;
+      hc.clock_mhz = cfg.mm_clock_mhz;
+      hc.dram_words_per_cycle =
+          words_per_cycle(cfg.mm_dram_bytes_per_s, cfg.mm_clock_mhz);
+      hc.link_words_per_cycle =
+          words_per_cycle(cfg.mm_link_bytes_per_s, cfg.mm_clock_mhz);
+      plan.panel_edge = hc.b;
+      plan.engine = hc;
+      break;
+    }
+
+    case OpKind::GemmArray: {
+      blas3::MmArrayConfig mc;
+      mc.k = cfg.mm_k;
+      mc.m = cfg.mm_m;
+      mc.adder_stages = cfg.mm_adder_stages;
+      mc.multiplier_stages = cfg.multiplier_stages;
+      mc.mem_words_per_cycle = 4.0;  // four SRAM banks feed the array
+      mc.clock_mhz = cfg.mm_clock_mhz;
+      plan.engine = mc;
+      break;
+    }
+
+    case OpKind::GemmMulti: {
+      blas3::MmMultiConfig mc;
+      mc.l = cfg.mm_l;
+      mc.k = cfg.mm_k;
+      mc.m = cfg.mm_m;
+      mc.b = cfg.mm_b;
+      mc.clock_mhz = cfg.mm_clock_mhz;
+      mc.dram_words_per_cycle =
+          words_per_cycle(cfg.mm_dram_bytes_per_s, cfg.mm_clock_mhz);
+      mc.link_words_per_cycle =
+          words_per_cycle(cfg.mm_link_bytes_per_s, cfg.mm_clock_mhz);
+      plan.panel_edge = mc.b;
+      plan.engine = mc;
+      break;
+    }
+  }
+  return plan;
+}
+
+std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
+                                                    const PlanKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      lru_.splice(lru_.begin(), lru_, it->second.pos);  // refresh recency
+      return it->second.plan;
+    }
+  }
+
+  // Build outside the lock: plan construction can throw (ConfigError) and,
+  // for GEMM, walks the panel-edge search — no reason to serialize that.
+  auto plan = std::make_shared<const Plan>(build_plan(cfg, key));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Another thread built the same plan first; adopt theirs (plans for one
+    // key are identical by construction).
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.plan;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lru_.push_front(key);
+  map_[key] = Entry{plan, lru_.begin()};
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void PlanCache::publish(telemetry::Session& tel) const {
+  tel.gauge("host.plan.hits").set(static_cast<double>(hits()));
+  tel.gauge("host.plan.misses").set(static_cast<double>(misses()));
+  tel.gauge("host.plan.evictions").set(static_cast<double>(evictions()));
+  tel.gauge("host.plan.size").set(static_cast<double>(size()));
+  tel.gauge("host.plan.capacity").set(static_cast<double>(capacity()));
+}
+
+}  // namespace xd::host

@@ -1,0 +1,127 @@
+// Plan layer: everything about an operation that depends only on
+// (op kind, shapes, placement, architecture) and the machine configuration
+// — not on the operand values — computed once and memoized.
+//
+// A Plan holds the fully derived engine configuration (clock, words/cycle,
+// pipeline depths), the DRAM staging cost for Placement::Dram (the block
+// that used to be duplicated across Context::dot and Context::gemv), the
+// chosen SRAM panel edge for GEMM, and the GEMV on-chip capacity check.
+// Building one runs all shape validation that does not need the operand
+// data, so a cached hit skips validation, configuration and floorplanning
+// entirely.
+//
+// PlanCache is a bounded, mutex-guarded LRU keyed by PlanKey; it is shared
+// by the synchronous facade and the concurrent runtime, and publishes
+// hit/miss/eviction counts as the host.plan.* gauges.
+#pragma once
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <variant>
+
+#include "blas2/mxv_col.hpp"
+#include "host/op.hpp"
+#include "mem/bram.hpp"
+
+namespace xd::host {
+
+/// The memoization key: every input of plan construction besides the
+/// machine configuration (one cache belongs to one configuration).
+struct PlanKey {
+  OpKind kind = OpKind::Dot;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t n = 0;
+  std::size_t batch = 0;
+  Placement placement = Placement::Sram;
+  GemvArch arch = GemvArch::Tree;
+
+  bool operator==(const PlanKey&) const = default;
+
+  static PlanKey from(const OpDesc& desc) {
+    return PlanKey{desc.kind, desc.rows,      desc.cols, desc.n,
+                   desc.batch, desc.placement, desc.arch};
+  }
+};
+
+struct PlanKeyHash {
+  std::size_t operator()(const PlanKey& k) const;
+};
+
+/// One engine configuration, whichever the op resolved to. Stored with a
+/// null telemetry pointer; the runtime patches the session in on the copy
+/// it hands to the engine.
+using EngineConfig =
+    std::variant<blas1::DotConfig, blas2::MxvTreeConfig, blas2::MxvColConfig,
+                 blas2::SpmxvConfig, blas3::MmArrayConfig, blas3::MmHierConfig,
+                 blas3::MmMultiConfig>;
+
+struct Plan {
+  PlanKey key;
+  EngineConfig engine;
+  u64 staging_cycles = 0;        ///< prepended for Placement::Dram
+  double dram_words = 0.0;       ///< words staged across the DRAM link
+  std::size_t panel_edge = 0;    ///< GEMM: chosen SRAM panel edge b
+  std::size_t onchip_capacity = 0;  ///< GEMV: words of x that fit on chip
+  bool blocked_gemv = false;     ///< GemvAuto resolved to the blocked variant
+};
+
+// ---- configuration-derived helpers hoisted out of Context ------------------
+
+/// Largest SRAM panel edge <= mm_b that tiles the given n (throws
+/// ConfigError if none exists — use the compat layer's padding then).
+std::size_t choose_panel_edge(const ContextConfig& cfg, std::size_t n);
+
+/// BRAM floorplan of the GEMV design for a cols-wide x; throws ConfigError
+/// if the design cannot be built on the configured device.
+mem::BramBudget gemv_bram_plan(const ContextConfig& cfg, std::size_t cols);
+
+/// BRAM floorplan of the GEMM array (2 m^2 block stores + B registers).
+mem::BramBudget gemm_bram_plan(const ContextConfig& cfg);
+
+/// Words of x the GEMV design can keep on-chip next to its buffers.
+std::size_t gemv_onchip_x_capacity(const ContextConfig& cfg);
+
+/// Build the immutable plan for one key. All validation and configuration
+/// that the shapes allow happens here, once per distinct key.
+Plan build_plan(const ContextConfig& cfg, const PlanKey& key);
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 64)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Return the cached plan for `key`, building (and possibly evicting the
+  /// least recently used entry) on a miss. Thread-safe.
+  std::shared_ptr<const Plan> get_or_build(const ContextConfig& cfg,
+                                           const PlanKey& key);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  u64 hits() const { return hits_.load(std::memory_order_relaxed); }
+  u64 misses() const { return misses_.load(std::memory_order_relaxed); }
+  u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+  /// Set the host.plan.* gauges from the current counters (publish-at-end
+  /// idiom; idempotent, unlike counter adds).
+  void publish(telemetry::Session& tel) const;
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used; map entries point into the list.
+  std::list<PlanKey> lru_;
+  struct Entry {
+    std::shared_ptr<const Plan> plan;
+    std::list<PlanKey>::iterator pos;
+  };
+  std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
+  std::atomic<u64> hits_{0};
+  std::atomic<u64> misses_{0};
+  std::atomic<u64> evictions_{0};
+};
+
+}  // namespace xd::host

@@ -1,0 +1,177 @@
+#include "host/runtime.hpp"
+
+#include "blas2/blocking.hpp"
+#include "telemetry/session.hpp"
+
+namespace xd::host {
+
+namespace {
+
+/// Patch the execution session into a copy of the planned engine config.
+template <typename Cfg>
+Cfg with_telemetry(const Cfg& planned, telemetry::Session* tel) {
+  Cfg cfg = planned;
+  cfg.telemetry = tel;
+  return cfg;
+}
+
+}  // namespace
+
+Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
+    : cfg_(cfg),
+      pool_(pool ? pool : &ThreadPool::shared()),
+      cache_(cfg.plan_cache_capacity) {}
+
+Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
+  desc.validate();
+  const auto plan = cache_.get_or_build(cfg_, PlanKey::from(desc));
+
+  // Staging happens (and is recorded) before the engine runs, so the
+  // "staging" span precedes the engine's "compute" span on the timeline.
+  if (plan->staging_cycles > 0 && tel) {
+    tel->phase("staging", plan->staging_cycles);
+    tel->gauge(cat("mem.dram.", op_kind_name(desc.kind), ".words"))
+        .set(plan->dram_words);
+  }
+
+  Outcome out;
+  switch (desc.kind) {
+    case OpKind::Dot: {
+      blas1::DotEngine engine(
+          with_telemetry(std::get<blas1::DotConfig>(plan->engine), tel));
+      out = to_outcome(engine.run({*desc.a}, {*desc.b}), OpKind::Dot);
+      break;
+    }
+    case OpKind::DotBatch: {
+      blas1::DotEngine engine(
+          with_telemetry(std::get<blas1::DotConfig>(plan->engine), tel));
+      out = to_outcome(engine.run(*desc.us, *desc.vs));
+      break;
+    }
+    case OpKind::Gemv: {
+      if (desc.arch == GemvArch::Tree) {
+        blas2::MxvTreeEngine engine(
+            with_telemetry(std::get<blas2::MxvTreeConfig>(plan->engine), tel));
+        out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x));
+      } else {
+        blas2::MxvColEngine engine(
+            with_telemetry(std::get<blas2::MxvColConfig>(plan->engine), tel));
+        out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x));
+      }
+      break;
+    }
+    case OpKind::GemvAuto: {
+      const auto tc =
+          with_telemetry(std::get<blas2::MxvTreeConfig>(plan->engine), tel);
+      if (!plan->blocked_gemv) {
+        blas2::MxvTreeEngine engine(tc);
+        out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x),
+                         OpKind::GemvAuto);
+      } else {
+        out = to_outcome(
+            blas2::run_blocked_gemv_tree(tc, plan->onchip_capacity, *desc.a,
+                                         desc.rows, desc.cols, *desc.x),
+            OpKind::GemvAuto);
+      }
+      break;
+    }
+    case OpKind::Spmxv: {
+      blas2::SpmxvEngine engine(
+          with_telemetry(std::get<blas2::SpmxvConfig>(plan->engine), tel));
+      out = to_outcome(engine.run(*desc.sparse, *desc.x), OpKind::Spmxv);
+      break;
+    }
+    case OpKind::Gemm: {
+      blas3::MmHierEngine engine(
+          with_telemetry(std::get<blas3::MmHierConfig>(plan->engine), tel));
+      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      break;
+    }
+    case OpKind::GemmArray: {
+      blas3::MmArrayEngine engine(
+          with_telemetry(std::get<blas3::MmArrayConfig>(plan->engine), tel));
+      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      break;
+    }
+    case OpKind::GemmMulti: {
+      blas3::MmMultiEngine engine(
+          with_telemetry(std::get<blas3::MmMultiConfig>(plan->engine), tel));
+      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      break;
+    }
+  }
+
+  if (plan->staging_cycles > 0) {
+    out.report.staging_cycles = plan->staging_cycles;
+    out.report.cycles += plan->staging_cycles;
+    out.report.dram_words = plan->dram_words;
+  }
+  return out;
+}
+
+Outcome Runtime::run(const OpDesc& desc) {
+  try {
+    Outcome out = execute(desc, cfg_.telemetry);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.telemetry) publish(*cfg_.telemetry);
+    return out;
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+std::future<Outcome> Runtime::submit(const OpDesc& desc) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return pool_->submit([this, desc]() -> Outcome {
+    try {
+      // Telemetry detached: the session is not synchronized and concurrent
+      // jobs would race on it (see the thread-safety contract above).
+      Outcome out = execute(desc, nullptr);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  });
+}
+
+std::vector<Outcome> Runtime::run_batch(const std::vector<OpDesc>& descs) {
+  std::vector<std::future<Outcome>> futures;
+  futures.reserve(descs.size());
+  for (const auto& d : descs) futures.push_back(submit(d));
+  // Settle every job before surfacing the first failure, so no future is
+  // abandoned with its operands possibly going out of scope at the caller.
+  std::vector<Outcome> outs;
+  outs.reserve(futures.size());
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      outs.push_back(f.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return outs;
+}
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Runtime::publish(telemetry::Session& tel) const {
+  const RuntimeStats s = stats();
+  tel.gauge("host.runtime.submitted").set(static_cast<double>(s.submitted));
+  tel.gauge("host.runtime.completed").set(static_cast<double>(s.completed));
+  tel.gauge("host.runtime.failed").set(static_cast<double>(s.failed));
+  tel.gauge("host.runtime.workers").set(static_cast<double>(workers()));
+  cache_.publish(tel);
+}
+
+}  // namespace xd::host

@@ -1,0 +1,76 @@
+// Runtime layer: the plan/execute engine behind host::Context.
+//
+// A Runtime binds one machine configuration to the process-wide ThreadPool
+// and a PlanCache. Operations arrive as OpDescs and leave as Outcomes:
+//
+//   host::Runtime rt(cfg);
+//   auto fut = rt.submit(OpDesc::gemv(a, n, n, x));   // async, pooled
+//   Outcome out = fut.get();                          // value or exception
+//
+// run() executes on the calling thread and records telemetry into the
+// configuration's session; submit() executes on the shared worker pool.
+// Engine simulations are deterministic and self-contained, so N concurrent
+// submits produce bit-identical values and cycle counts to N sequential
+// runs — tests/test_runtime.cpp holds this invariant.
+//
+// Thread-safety contract: Runtime itself is thread-safe (the plan cache is
+// mutex-guarded, the stats are atomic). telemetry::Session is NOT — so
+// asynchronously submitted jobs run with engine telemetry detached, and
+// only the serialized run() path records spans/metrics into the session.
+// Operand vectors referenced by an OpDesc must stay alive until its future
+// has been consumed.
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "host/plan.hpp"
+
+namespace xd::host {
+
+struct RuntimeStats {
+  u64 submitted = 0;  ///< jobs handed to submit()/run_batch()
+  u64 completed = 0;  ///< jobs finished successfully (sync + async)
+  u64 failed = 0;     ///< jobs that ended in an exception
+};
+
+class Runtime {
+ public:
+  /// `pool` defaults to the process-wide shared pool.
+  explicit Runtime(const ContextConfig& cfg, ThreadPool* pool = nullptr);
+
+  /// Execute on the calling thread, with telemetry recorded into the
+  /// configuration's session (the synchronous Context facade path).
+  Outcome run(const OpDesc& desc);
+
+  /// Execute on the worker pool; the future carries the Outcome or the
+  /// exception (ConfigError and friends) the job raised.
+  std::future<Outcome> submit(const OpDesc& desc);
+
+  /// Submit every descriptor, then wait for all of them in order. Throws
+  /// the first failed job's exception after all jobs settled.
+  std::vector<Outcome> run_batch(const std::vector<OpDesc>& descs);
+
+  PlanCache& plan_cache() { return cache_; }
+  const PlanCache& plan_cache() const { return cache_; }
+  RuntimeStats stats() const;
+  const ContextConfig& config() const { return cfg_; }
+  unsigned workers() const { return pool_->size(); }
+
+  /// Set the host.runtime.* gauges (and the cache's host.plan.*) from the
+  /// current counters. Called automatically at the end of every run().
+  void publish(telemetry::Session& tel) const;
+
+ private:
+  Outcome execute(const OpDesc& desc, telemetry::Session* tel);
+
+  ContextConfig cfg_;
+  ThreadPool* pool_;
+  PlanCache cache_;
+  std::atomic<u64> submitted_{0};
+  std::atomic<u64> completed_{0};
+  std::atomic<u64> failed_{0};
+};
+
+}  // namespace xd::host

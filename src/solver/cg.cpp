@@ -27,23 +27,33 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
     res.fpga_flops += out.report.flops;
     return out.y;
   };
-  auto fpga_dot = [&](const std::vector<double>& u, const std::vector<double>& v) {
-    auto out = ctx.dot(u, v);
+  auto absorb_dot = [&](const host::Outcome& out) {
     // Normalize the dot design's cycles (its own clock) into GEMV-clock
     // cycles so the aggregate uses one clock domain.
     res.fpga_cycles += static_cast<u64>(
         static_cast<double>(out.report.cycles) * res.clock_mhz /
         out.report.clock_mhz);
     res.fpga_flops += out.report.flops;
-    return out.value;
+    return out.values.at(0);
+  };
+  // The two dots of each step are independent of one another, so they go
+  // through the runtime as one concurrent batch (numerics and cycle counts
+  // are identical to sequential calls — each job simulates on its own).
+  auto fpga_dot2 = [&](const std::vector<double>& u1,
+                       const std::vector<double>& v1,
+                       const std::vector<double>& u2,
+                       const std::vector<double>& v2) {
+    const auto outs = ctx.runtime().run_batch(
+        {host::OpDesc::dot(u1, v1), host::OpDesc::dot(u2, v2)});
+    return std::pair<double, double>{absorb_dot(outs[0]), absorb_dot(outs[1])};
   };
 
   std::vector<double> r = b;  // x0 = 0
   std::vector<double> z(n);
   for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
   std::vector<double> p = z;
-  double rz_old = fpga_dot(r, z);
-  res.residual_norm = std::sqrt(fpga_dot(r, r));
+  auto [rz_old, rr] = fpga_dot2(r, z, r, r);
+  res.residual_norm = std::sqrt(rr);
 
   for (res.iterations = 0; res.iterations < opts.max_iterations;
        ++res.iterations) {
@@ -52,7 +62,8 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
       break;
     }
     const auto ap = fpga_gemv(p);
-    const double p_ap = fpga_dot(p, ap);
+    const double p_ap =
+        absorb_dot(ctx.runtime().run(host::OpDesc::dot(p, ap)));
     require(p_ap != 0.0, "cg_dense: breakdown (A not SPD?)");
     const double alpha = rz_old / p_ap;
     for (std::size_t i = 0; i < n; ++i) {
@@ -60,8 +71,8 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
       r[i] -= alpha * ap[i];
     }
     for (std::size_t i = 0; i < n; ++i) z[i] = dinv[i] * r[i];
-    const double rz_new = fpga_dot(r, z);
-    res.residual_norm = std::sqrt(fpga_dot(r, r));
+    const auto [rz_new, rr_new] = fpga_dot2(r, z, r, r);
+    res.residual_norm = std::sqrt(rr_new);
     const double beta = rz_new / rz_old;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
     rz_old = rz_new;

@@ -55,6 +55,59 @@ SolveResult jacobi_dense(const host::Context& ctx, const std::vector<double>& a,
   return res;
 }
 
+std::vector<SolveResult> jacobi_dense_batch(
+    const host::Context& ctx, const std::vector<double>& a, std::size_t n,
+    const std::vector<std::vector<double>>& bs, const SolveOptions& opts) {
+  require(a.size() == n * n, "jacobi_dense_batch: size mismatch");
+  for (const auto& b : bs) {
+    require(b.size() == n, "jacobi_dense_batch: size mismatch");
+  }
+
+  // Split A = D + R on the host once, shared by every system.
+  std::vector<double> r = a;
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = a[i * n + i];
+    require(diag[i] != 0.0, "jacobi_dense_batch: zero diagonal entry");
+    r[i * n + i] = 0.0;
+  }
+
+  std::vector<SolveResult> res(bs.size());
+  for (auto& s : res) s.x.assign(n, 0.0);
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    // One concurrent R x per unconverged system.
+    std::vector<std::size_t> active;
+    std::vector<host::OpDesc> descs;
+    for (std::size_t s = 0; s < bs.size(); ++s) {
+      if (res[s].converged) continue;
+      active.push_back(s);
+      descs.push_back(host::OpDesc::gemv(r, n, n, res[s].x));
+    }
+    if (active.empty()) break;
+    auto outs = ctx.runtime().run_batch(descs);
+
+    for (std::size_t j = 0; j < active.size(); ++j) {
+      SolveResult& sr = res[active[j]];
+      const auto& rx = outs[j];
+      sr.fpga_cycles += rx.report.cycles;
+      sr.fpga_flops += rx.report.flops;
+      sr.clock_mhz = rx.report.clock_mhz;
+      ++sr.iterations;
+      const std::vector<double>& b = bs[active[j]];
+      std::vector<double> next(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        next[i] = (b[i] - rx.values[i]) / diag[i];
+      }
+      sr.x.swap(next);
+
+      sr.residual_norm = l2_residual(host::ref_gemv(a, n, n, sr.x), b);
+      if (sr.residual_norm <= opts.tolerance) sr.converged = true;
+    }
+  }
+  return res;
+}
+
 SolveResult jacobi_sparse(const blas2::CrsMatrix& a, const std::vector<double>& b,
                           const SolveOptions& opts,
                           const blas2::SpmxvConfig& cfg) {

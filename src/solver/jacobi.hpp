@@ -46,6 +46,15 @@ SolveResult jacobi_dense(const host::Context& ctx, const std::vector<double>& a,
                          std::size_t n, const std::vector<double>& b,
                          const SolveOptions& opts = {});
 
+/// Dense Jacobi for many right-hand sides sharing one A: the systems march
+/// in lockstep and each iteration submits every still-unconverged system's
+/// R x product through the runtime as one concurrent batch. Results are
+/// per-system identical (bit-for-bit, including fpga_cycles) to running
+/// jacobi_dense once per b.
+std::vector<SolveResult> jacobi_dense_batch(
+    const host::Context& ctx, const std::vector<double>& a, std::size_t n,
+    const std::vector<std::vector<double>>& bs, const SolveOptions& opts = {});
+
 /// Sparse Jacobi: `a` in CRS with a full nonzero diagonal; the off-diagonal
 /// products run on the SpMXV engine.
 SolveResult jacobi_sparse(const blas2::CrsMatrix& a, const std::vector<double>& b,

@@ -18,9 +18,14 @@
 #include "blas3/mm_hier.hpp"
 #include "blas3/mm_multi.hpp"
 #include "blas3/mm_on_node.hpp"
+#include "common/parallel.hpp"
+#include "common/thread_pool.hpp"
 #include "host/blas_compat.hpp"
 #include "host/context.hpp"
+#include "host/op.hpp"
+#include "host/plan.hpp"
 #include "host/reference.hpp"
+#include "host/runtime.hpp"
 #include "machine/system.hpp"
 #include "model/perf_model.hpp"
 #include "model/projections.hpp"

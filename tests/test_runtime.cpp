@@ -1,0 +1,240 @@
+// Runtime-layer tests: concurrent submits are bit-identical to sequential
+// runs (values AND cycle counts — the simulations are deterministic and
+// self-contained), the plan cache counts hits/misses and evicts LRU-first,
+// errors propagate through futures, and the pool-backed parallel_for is
+// correct and deadlock-free even when nested inside a pool job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <type_traits>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/random.hpp"
+#include "host/context.hpp"
+#include "host/runtime.hpp"
+
+using namespace xd;
+using host::Context;
+using host::ContextConfig;
+using host::OpDesc;
+using host::Outcome;
+using host::Placement;
+using host::Runtime;
+
+namespace {
+
+struct GemvJob {
+  std::vector<double> a;
+  std::vector<double> x;
+  std::size_t n;
+};
+
+std::vector<GemvJob> make_gemv_jobs(std::size_t count, std::size_t n) {
+  std::vector<GemvJob> jobs;
+  for (std::size_t j = 0; j < count; ++j) {
+    Rng rng(100 + j);  // distinct data per job
+    jobs.push_back({rng.matrix(n, n), rng.vector(n), n});
+  }
+  return jobs;
+}
+
+}  // namespace
+
+TEST(Runtime, ConcurrentSubmitsBitIdenticalToSequential) {
+  const auto jobs = make_gemv_jobs(8, 96);
+
+  // Sequential reference: one op at a time on the calling thread.
+  Runtime seq({});
+  std::vector<Outcome> expect;
+  for (const auto& j : jobs) {
+    expect.push_back(seq.run(OpDesc::gemv(j.a, j.n, j.n, j.x)));
+  }
+
+  // Concurrent: all eight in flight on the shared pool at once.
+  Runtime rt({});
+  std::vector<std::future<Outcome>> futs;
+  for (const auto& j : jobs) {
+    futs.push_back(rt.submit(OpDesc::gemv(j.a, j.n, j.n, j.x)));
+  }
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Outcome got = futs[j].get();
+    ASSERT_EQ(got.values.size(), expect[j].values.size());
+    for (std::size_t i = 0; i < got.values.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(got.values[i], expect[j].values[i]) << "job " << j << " y[" << i
+                                                    << "]";
+    }
+    EXPECT_EQ(got.report.cycles, expect[j].report.cycles) << "job " << j;
+    EXPECT_EQ(got.report.flops, expect[j].report.flops) << "job " << j;
+    EXPECT_EQ(got.report.stall_cycles, expect[j].report.stall_cycles)
+        << "job " << j;
+  }
+
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.submitted, 8u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(Runtime, RunBatchPreservesOrderAndMatchesRun) {
+  Rng rng(5);
+  const auto u = rng.vector(64);
+  const auto v = rng.vector(64);
+  const auto w = rng.vector(64);
+
+  Runtime rt({});
+  const auto outs =
+      rt.run_batch({OpDesc::dot(u, v), OpDesc::dot(u, w), OpDesc::dot(v, w)});
+  ASSERT_EQ(outs.size(), 3u);
+  EXPECT_EQ(outs[0].values.at(0), rt.run(OpDesc::dot(u, v)).values.at(0));
+  EXPECT_EQ(outs[1].values.at(0), rt.run(OpDesc::dot(u, w)).values.at(0));
+  EXPECT_EQ(outs[2].values.at(0), rt.run(OpDesc::dot(v, w)).values.at(0));
+}
+
+TEST(Runtime, PlanCacheCountsHitsAndMisses) {
+  Rng rng(6);
+  const auto a = rng.matrix(64, 64);
+  const auto x = rng.vector(64);
+
+  Runtime rt({});
+  const auto& cache = rt.plan_cache();
+  EXPECT_EQ(cache.size(), 0u);
+
+  rt.run(OpDesc::gemv(a, 64, 64, x));
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  rt.run(OpDesc::gemv(a, 64, 64, x));  // same key -> hit
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  rt.run(OpDesc::gemv(a, 64, 64, x, Placement::Dram));  // placement keys
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(Runtime, PlanCacheEvictsLeastRecentlyUsed) {
+  ContextConfig cfg;
+  cfg.plan_cache_capacity = 2;
+  Runtime rt(cfg);
+  const auto& cache = rt.plan_cache();
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  Rng rng(7);
+  const auto a64 = rng.matrix(64, 64), x64 = rng.vector(64);
+  const auto a96 = rng.matrix(96, 96), x96 = rng.vector(96);
+  const auto a128 = rng.matrix(128, 128), x128 = rng.vector(128);
+
+  rt.run(OpDesc::gemv(a64, 64, 64, x64));    // miss: {64}
+  rt.run(OpDesc::gemv(a96, 96, 96, x96));    // miss: {96, 64}
+  rt.run(OpDesc::gemv(a64, 64, 64, x64));    // hit:  {64, 96}
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  rt.run(OpDesc::gemv(a128, 128, 128, x128));  // miss, evicts LRU (96)
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  rt.run(OpDesc::gemv(a64, 64, 64, x64));  // still cached — 96 was evicted
+  EXPECT_EQ(cache.hits(), 2u);
+  rt.run(OpDesc::gemv(a96, 96, 96, x96));  // gone: miss again
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(Runtime, ConfigErrorPropagatesThroughFuture) {
+  Rng rng(8);
+  const auto a = rng.matrix(32, 32);
+  const auto x_bad = rng.vector(16);  // wrong length for a 32-col A
+
+  Runtime rt({});
+  auto fut = rt.submit(OpDesc::gemv(a, 32, 32, x_bad));
+  EXPECT_THROW(fut.get(), ConfigError);
+
+  // Plan-level failure (no SRAM panel edge tiles n=6 with the default m=8)
+  // takes the same path.
+  const auto small_a = rng.matrix(6, 6);
+  const auto small_b = rng.matrix(6, 6);
+  auto fut2 = rt.submit(OpDesc::gemm(small_a, small_b, 6));
+  EXPECT_THROW(fut2.get(), ConfigError);
+
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(Runtime, FailedBatchStillSettlesEveryJob) {
+  Rng rng(9);
+  const auto u = rng.vector(32);
+  const auto v = rng.vector(32);
+  const auto bad = rng.vector(31);
+
+  Runtime rt({});
+  EXPECT_THROW(rt.run_batch({OpDesc::dot(u, v), OpDesc::dot(u, bad)}),
+               ConfigError);
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed + stats.failed, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(Runtime, ContextFacadeSharesTheRuntime) {
+  Rng rng(10);
+  const auto u = rng.vector(128);
+  const auto v = rng.vector(128);
+
+  Context ctx;
+  const auto direct = ctx.dot(u, v);
+  const auto via_rt = ctx.runtime().run(OpDesc::dot(u, v));
+  EXPECT_EQ(direct.value, via_rt.values.at(0));
+  EXPECT_EQ(direct.report.cycles, via_rt.report.cycles);
+  // The facade and the runtime share one plan cache.
+  EXPECT_GE(ctx.runtime().plan_cache().hits(), 1u);
+}
+
+// DotCall is the deprecated source-compatibility alias for DotResult.
+static_assert(std::is_same_v<host::DotCall, host::DotResult>);
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(0, n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " n=" << n;
+    }
+  }
+}
+
+TEST(ParallelFor, RespectsWorkerCountAndOffsets) {
+  std::vector<int> out(100, 0);
+  parallel_for(10, 60, [&](std::size_t i) { out[i] = static_cast<int>(i); },
+               3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i], (i >= 10 && i < 60) ? static_cast<int>(i) : 0);
+  }
+}
+
+TEST(ParallelFor, NestedInsidePoolJobDoesNotDeadlock) {
+  // Saturate the pool with jobs that themselves call parallel_for: the
+  // caller-participates design means each inner loop can always make
+  // progress on its own thread even with every worker busy.
+  ThreadPool& pool = ThreadPool::shared();
+  const std::size_t jobs = 2 * pool.size() + 2;
+  std::vector<std::future<long>> futs;
+  for (std::size_t j = 0; j < jobs; ++j) {
+    futs.push_back(pool.submit([] {
+      std::atomic<long> sum{0};
+      parallel_for(0, 1000, [&](std::size_t i) {
+        sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+      });
+      return sum.load();
+    }));
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get(), 999L * 1000L / 2);
+}

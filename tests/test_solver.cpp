@@ -86,6 +86,37 @@ TEST(JacobiDense, ZeroDiagonalRejected) {
   EXPECT_THROW(solver::jacobi_dense(ctx, a, 2, {1.0, 1.0}), ConfigError);
 }
 
+TEST(JacobiDense, BatchMatchesSequentialBitForBit) {
+  const std::size_t n = 48;
+  const auto a = diag_dominant(n, 5);
+  Rng rng(6);
+  // Spread of convergence speeds: a consistent system, a random one, and a
+  // near-zero one (converges immediately-ish).
+  std::vector<std::vector<double>> bs;
+  bs.push_back(host::ref_gemv(a, n, n, rng.vector(n)));
+  bs.push_back(rng.vector(n));
+  bs.push_back(std::vector<double>(n, 1e-14));
+
+  host::Context ctx;
+  solver::SolveOptions opts;
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-10;
+  const auto batch = solver::jacobi_dense_batch(ctx, a, n, bs, opts);
+  ASSERT_EQ(batch.size(), bs.size());
+
+  for (std::size_t s = 0; s < bs.size(); ++s) {
+    const auto one = solver::jacobi_dense(ctx, a, n, bs[s], opts);
+    EXPECT_EQ(batch[s].converged, one.converged) << "system " << s;
+    EXPECT_EQ(batch[s].iterations, one.iterations) << "system " << s;
+    EXPECT_EQ(batch[s].fpga_cycles, one.fpga_cycles) << "system " << s;
+    EXPECT_EQ(batch[s].residual_norm, one.residual_norm) << "system " << s;
+    ASSERT_EQ(batch[s].x.size(), one.x.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch[s].x[i], one.x[i]) << "system " << s << " x[" << i << "]";
+    }
+  }
+}
+
 TEST(JacobiSparse, ConvergesOnIrregularMatrix) {
   // Irregular sparse system (the [18] use case): power-law off-diagonal
   // pattern plus a dominant diagonal.

@@ -4,8 +4,10 @@
 // outputs without any external tooling.
 //
 //   json_validate FILE [FILE...]
+//   json_validate --lines FILE [...]   JSONL: every nonempty line is one doc
 //   xdblas_cli dot --n 256 --json | json_validate -     (read stdin)
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "telemetry/json.hpp"
@@ -29,15 +31,55 @@ int check(const std::string& name, const std::string& text) {
   return 0;
 }
 
+/// JSONL: validate each nonempty line as its own document (the batch
+/// runner's output format). An empty file is an error — a silently empty
+/// batch output should not pass the fixture.
+int check_lines(const std::string& name, const std::string& text) {
+  int rc = 0;
+  std::size_t docs = 0, line_no = 0, pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, nl == std::string::npos ? nl : nl - pos);
+    ++line_no;
+    if (!line.empty()) {
+      ++docs;
+      std::string error;
+      if (!xd::telemetry::json_validate(line, &error)) {
+        std::fprintf(stderr, "%s:%zu: %s\n", name.c_str(), line_no,
+                     error.c_str());
+        rc = 1;
+      }
+    }
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  if (docs == 0) {
+    std::fprintf(stderr, "%s: no JSON lines\n", name.c_str());
+    return 1;
+  }
+  if (rc == 0) {
+    std::printf("%s: %zu valid JSON lines (%zu bytes)\n", name.c_str(), docs,
+                text.size());
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: json_validate <file|-> [file...]\n");
+  int first = 1;
+  bool lines = false;
+  if (first < argc && std::strcmp(argv[first], "--lines") == 0) {
+    lines = true;
+    ++first;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr, "usage: json_validate [--lines] <file|-> [file...]\n");
     return 2;
   }
   int rc = 0;
-  for (int i = 1; i < argc; ++i) {
+  for (int i = first; i < argc; ++i) {
     const std::string name = argv[i];
     std::string text;
     if (name == "-") {
@@ -46,7 +88,7 @@ int main(int argc, char** argv) {
         rc = 1;
         continue;
       }
-      rc |= check("stdin", text);
+      rc |= lines ? check_lines("stdin", text) : check("stdin", text);
     } else {
       std::FILE* f = std::fopen(name.c_str(), "rb");
       if (!f || !read_all(f, text)) {
@@ -56,7 +98,7 @@ int main(int argc, char** argv) {
         continue;
       }
       std::fclose(f);
-      rc |= check(name, text);
+      rc |= lines ? check_lines(name, text) : check(name, text);
     }
   }
   return rc;

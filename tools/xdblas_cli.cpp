@@ -7,6 +7,13 @@
 //   xdblas_cli spmxv  --n 1024 [--nnz-per-row 16] [--k 4]
 //   xdblas_cli reduce --sets 200 --size 512 [--alpha 14]
 //   xdblas_cli explore [--device XC2VP100]
+//   xdblas_cli batch FILE [--out FILE]
+//
+// Batch mode reads one op per line (dot / gemv / gemm / spmxv with the same
+// flags as above; '#' comments and blank lines skipped), submits every job
+// through the host runtime so independent simulations run concurrently on
+// the worker pool, and prints one JSON record per job (JSONL) in input
+// order — to stdout, or to --out FILE.
 //
 // Telemetry options (all commands):
 //   --json               machine-readable report + phase spans + metrics on
@@ -19,9 +26,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <fstream>
+#include <future>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "xdblas.hpp"
 #include "common/random.hpp"
@@ -76,16 +88,49 @@ const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"spmxv", {"n", "nnz-per-row", "k"}},
     {"reduce", {"sets", "size", "alpha"}},
     {"explore", {"device"}},
+    {"batch", {"out"}},
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: xdblas_cli <dot|gemv|gemm|spmxv|reduce|explore> "
                "[--n N] [--k K] ...\n"
+               "       xdblas_cli batch FILE [--out FILE]\n"
                "       common flags: --seed S --json --metrics-out FILE "
                "--trace-out FILE --trace-filter STR\n"
                "       (see the file header for per-command options)\n");
   return 2;
+}
+
+/// Parse `--flag [value]` tokens into a.kv against an allowed-flag set;
+/// returns false (after an stderr diagnostic) on an unknown flag, a stray
+/// positional, or a missing value.
+bool parse_flags(const std::vector<std::string>& tokens,
+                 const std::string& command,
+                 const std::set<std::string>& allowed, Args& a) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n",
+                   tokens[i].c_str());
+      return false;
+    }
+    const std::string key = tokens[i].substr(2);
+    if (!kCommonFlags.count(key) && !allowed.count(key)) {
+      std::fprintf(stderr, "error: unknown flag '--%s' for command '%s'\n",
+                   key.c_str(), command.c_str());
+      return false;
+    }
+    if (kBoolFlags.count(key)) {
+      static const std::string kSet = "1";
+      a.kv.insert_or_assign(key, kSet);
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      a.kv[key] = tokens[++i];
+    } else {
+      std::fprintf(stderr, "error: flag '--%s' expects a value\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Parse argv; returns false (after an stderr diagnostic) on an unknown
@@ -101,28 +146,18 @@ bool parse(int argc, char** argv, Args& a) {
     std::fprintf(stderr, "error: unknown command '%s'\n", a.command.c_str());
     return false;
   }
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "error: unexpected argument '%s'\n", key.c_str());
+  int first_flag = 2;
+  if (a.command == "batch") {
+    // One positional argument: the op file.
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: batch expects a file argument\n");
       return false;
     }
-    key = key.substr(2);
-    if (!kCommonFlags.count(key) && !cmd->second.count(key)) {
-      std::fprintf(stderr, "error: unknown flag '--%s' for command '%s'\n",
-                   key.c_str(), a.command.c_str());
-      return false;
-    }
-    if (kBoolFlags.count(key)) {
-      a.kv[key] = "1";
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      a.kv[key] = argv[++i];
-    } else {
-      std::fprintf(stderr, "error: flag '--%s' expects a value\n", key.c_str());
-      return false;
-    }
+    a.kv["file"] = argv[2];
+    first_flag = 3;
   }
-  return true;
+  std::vector<std::string> tokens(argv + first_flag, argv + argc);
+  return parse_flags(tokens, a.command, cmd->second, a);
 }
 
 void print_report(const host::PerfReport& r) {
@@ -213,6 +248,151 @@ bool finish(const Args& args, telemetry::Session& tel,
   return ok;
 }
 
+/// One parsed batch line. The job owns its operands and Context so the
+/// OpDesc's non-owning pointers stay valid until the future is consumed.
+struct BatchJob {
+  std::size_t line = 0;
+  std::string command;
+  std::size_t n = 0;
+  host::Context ctx;
+  std::vector<double> a, b, x;
+  blas2::CrsMatrix sparse;
+  host::OpDesc desc;
+  std::future<host::Outcome> fut;
+
+  explicit BatchJob(const host::ContextConfig& cfg) : ctx(cfg) {}
+};
+
+/// `xdblas_cli batch FILE`: parse every line into a BatchJob, submit them
+/// all through the runtime (they share the process-wide worker pool, so
+/// independent simulations run concurrently), then emit one JSON record per
+/// job in input order.
+int run_batch(const Args& args) {
+  const std::string path = args.str("file", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+
+  static const std::set<std::string> kBatchOps = {"dot", "gemv", "gemm",
+                                                  "spmxv"};
+  std::deque<BatchJob> jobs;  // deque: stable addresses for OpDesc pointers
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ss >> tok) tokens.push_back(tok);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+
+    Args la;
+    la.command = tokens.front();
+    if (!kBatchOps.count(la.command)) {
+      std::fprintf(stderr,
+                   "error: %s:%zu: batch supports dot/gemv/gemm/spmxv, "
+                   "got '%s'\n",
+                   path.c_str(), line_no, la.command.c_str());
+      return 1;
+    }
+    tokens.erase(tokens.begin());
+    if (!parse_flags(tokens, la.command, kCommandFlags.at(la.command), la)) {
+      std::fprintf(stderr, "error: %s:%zu: bad op line\n", path.c_str(),
+                   line_no);
+      return 1;
+    }
+    for (const char* f : {"json", "metrics-out", "trace-out", "trace-filter"}) {
+      if (la.flag(f)) {
+        std::fprintf(stderr,
+                     "error: %s:%zu: '--%s' is per-process, not per-line\n",
+                     path.c_str(), line_no, f);
+        return 1;
+      }
+    }
+
+    Rng rng(static_cast<u64>(la.integer("seed", 2005)));
+    host::ContextConfig cfg;  // telemetry stays detached: jobs run pooled
+    if (la.command == "dot") {
+      cfg.dot_k = static_cast<unsigned>(la.integer("k", 2));
+      cfg.dot_mem_bytes_per_s = la.num("bw-gbs", 5.5) * 1e9;
+    } else if (la.command == "gemv" || la.command == "spmxv") {
+      cfg.gemv_k = static_cast<unsigned>(la.integer("k", 4));
+    } else {  // gemm
+      const auto n = static_cast<std::size_t>(la.integer("n", 256));
+      cfg.mm_k = static_cast<unsigned>(la.integer("k", 8));
+      cfg.mm_m = static_cast<unsigned>(la.integer("m", 8));
+      cfg.mm_b = static_cast<std::size_t>(la.integer(
+          "b", static_cast<long long>(std::min<std::size_t>(512, n))));
+      cfg.mm_l = static_cast<unsigned>(la.integer("l", 1));
+    }
+
+    BatchJob& job = jobs.emplace_back(cfg);
+    job.line = line_no;
+    job.command = la.command;
+    const auto src = la.flag("from-dram") ? host::Placement::Dram
+                                          : host::Placement::Sram;
+    if (la.command == "dot") {
+      job.n = static_cast<std::size_t>(la.integer("n", 4096));
+      job.a = rng.vector(job.n);
+      job.b = rng.vector(job.n);
+      job.desc = host::OpDesc::dot(job.a, job.b, src);
+    } else if (la.command == "gemv") {
+      job.n = static_cast<std::size_t>(la.integer("n", 1024));
+      const auto arch = la.str("arch", "tree") == "col" ? host::GemvArch::Column
+                                                        : host::GemvArch::Tree;
+      job.a = rng.matrix(job.n, job.n);
+      job.x = rng.vector(job.n);
+      job.desc = host::OpDesc::gemv(job.a, job.n, job.n, job.x, src, arch);
+    } else if (la.command == "gemm") {
+      job.n = static_cast<std::size_t>(la.integer("n", 256));
+      job.a = rng.matrix(job.n, job.n);
+      job.b = rng.matrix(job.n, job.n);
+      job.desc = cfg.mm_l > 1 ? host::OpDesc::gemm_multi(job.a, job.b, job.n)
+                              : host::OpDesc::gemm(job.a, job.b, job.n);
+    } else {  // spmxv
+      job.n = static_cast<std::size_t>(la.integer("n", 1024));
+      const auto nnz =
+          static_cast<std::size_t>(la.integer("nnz-per-row", 16));
+      job.sparse = blas2::make_uniform_sparse(job.n, job.n, nnz, 7);
+      job.x = rng.vector(job.n);
+      job.desc = host::OpDesc::spmxv(job.sparse, job.x);
+    }
+  }
+
+  for (auto& job : jobs) job.fut = job.ctx.runtime().submit(job.desc);
+
+  std::string out;
+  int rc = 0;
+  for (auto& job : jobs) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("op", job.command);
+    w.kv("line", static_cast<u64>(job.line));
+    w.kv("n", static_cast<u64>(job.n));
+    try {
+      const auto outcome = job.fut.get();
+      if (job.command == "dot") w.kv("value", outcome.values.at(0));
+      w.key("report");
+      w.raw(telemetry::report_to_json(outcome.report));
+    } catch (const std::exception& e) {
+      w.kv("error", std::string_view(e.what()));
+      rc = 1;
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+
+  if (args.flag("out")) {
+    if (!write_file(args.str("out", ""), out)) return 1;
+  } else {
+    std::fputs(out.c_str(), stdout);
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +400,7 @@ int main(int argc, char** argv) {
   if (!parse(argc, argv, args)) return usage();
 
   try {
+    if (args.command == "batch") return run_batch(args);
     Rng rng(static_cast<u64>(args.integer("seed", 2005)));
     // One session serves all sinks; event tracing only turns on when a trace
     // file was requested (emit sites build strings the fast path avoids).
