@@ -1,6 +1,21 @@
 #include "host/op.hpp"
 
+#include <limits>
+
 namespace xd::host {
+
+namespace {
+
+/// rows * cols (or n * n) with an overflow check: a wrapped product can
+/// equal a tiny operand's size and pass the naive equality test, after which
+/// the engine indexes far past the operand's end.
+std::size_t shape_product(std::size_t x, std::size_t y, const char* what) {
+  require(y == 0 || x <= std::numeric_limits<std::size_t>::max() / y,
+          cat(what, ": shape product overflows"));
+  return x * y;
+}
+
+}  // namespace
 
 const char* op_kind_name(OpKind kind) {
   switch (kind) {
@@ -14,6 +29,50 @@ const char* op_kind_name(OpKind kind) {
     case OpKind::GemmMulti: return "gemm_multi";
   }
   return "unknown";
+}
+
+const char* placement_name(Placement p) {
+  return p == Placement::Dram ? "dram" : "sram";
+}
+
+const char* gemv_arch_name(GemvArch a) {
+  return a == GemvArch::Column ? "col" : "tree";
+}
+
+bool op_kind_from_name(std::string_view name, OpKind& out) {
+  for (const OpKind k :
+       {OpKind::Dot, OpKind::DotBatch, OpKind::Gemv, OpKind::GemvAuto,
+        OpKind::Spmxv, OpKind::Gemm, OpKind::GemmArray, OpKind::GemmMulti}) {
+    if (name == op_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool placement_from_name(std::string_view name, Placement& out) {
+  if (name == "sram") {
+    out = Placement::Sram;
+    return true;
+  }
+  if (name == "dram") {
+    out = Placement::Dram;
+    return true;
+  }
+  return false;
+}
+
+bool gemv_arch_from_name(std::string_view name, GemvArch& out) {
+  if (name == "tree") {
+    out = GemvArch::Tree;
+    return true;
+  }
+  if (name == "col") {
+    out = GemvArch::Column;
+    return true;
+  }
+  return false;
 }
 
 DotResult Outcome::as_dot() const {
@@ -204,20 +263,26 @@ void OpDesc::validate() const {
     case OpKind::Gemv:
     case OpKind::GemvAuto:
       require(a && x, "gemv: missing operands");
-      require(a->size() == rows * cols, "gemv: A size != rows * cols");
+      require(a->size() == shape_product(rows, cols, "gemv"),
+              "gemv: A size != rows * cols");
       require(x->size() == cols, "gemv: x size != cols");
       break;
     case OpKind::Spmxv:
       require(sparse && x, "spmxv: missing operands");
+      sparse->validate();
+      require(sparse->rows == rows && sparse->cols == cols,
+              "spmxv: descriptor shape disagrees with the CRS matrix");
       require(x->size() == sparse->cols, "spmxv: x size != cols");
       break;
     case OpKind::Gemm:
     case OpKind::GemmArray:
-    case OpKind::GemmMulti:
+    case OpKind::GemmMulti: {
       require(a && b, "gemm: missing operands");
-      require(a->size() == n * n && b->size() == n * n,
+      const std::size_t elems = shape_product(n, n, "gemm");
+      require(a->size() == elems && b->size() == elems,
               "gemm: matrix size != n * n");
       break;
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "blas1/dot_engine.hpp"
@@ -38,6 +39,14 @@ enum class OpKind {
 };
 
 const char* op_kind_name(OpKind kind);
+const char* placement_name(Placement p);
+const char* gemv_arch_name(GemvArch a);
+
+// Parse hooks for the serialized descriptor form (the fuzz corpus and any
+// future wire format). Return false on an unknown name.
+bool op_kind_from_name(std::string_view name, OpKind& out);
+bool placement_from_name(std::string_view name, Placement& out);
+bool gemv_arch_from_name(std::string_view name, GemvArch& out);
 
 /// Result of a single dot product. (`DotCall` in context.hpp is the
 /// deprecated alias kept for source compatibility.)
@@ -119,7 +128,10 @@ struct OpDesc {
                            const std::vector<double>& b, std::size_t n);
 
   /// Check the operand pointers/sizes against the declared shapes; throws
-  /// ConfigError on a mismatch. Runs before any plan is built.
+  /// ConfigError on a mismatch, on a shape product that overflows size_t
+  /// (a wrapped rows*cols could otherwise alias a tiny operand and send the
+  /// engine out of bounds), or on a structurally invalid sparse matrix.
+  /// Runs before any plan is built.
   void validate() const;
 };
 

@@ -1,0 +1,90 @@
+#include "testing/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fp/softfloat.hpp"
+
+namespace xd::testing {
+
+namespace {
+
+/// acc starts at +0.0 so a lone -0.0 term still sums to +0.0, matching the
+/// engines' zero-padded adder lanes under round-to-nearest-even.
+struct Accum {
+  u64 bits = fp::kPosZero;
+  double mag = 0.0;
+
+  void add_product(double a, double b) {
+    const u64 p = fp::mul(fp::to_bits(a), fp::to_bits(b));
+    bits = fp::add(bits, p);
+    mag += std::fabs(a * b);
+  }
+};
+
+}  // namespace
+
+OracleVec oracle_dot(const std::vector<std::vector<double>>& us,
+                     const std::vector<std::vector<double>>& vs) {
+  OracleVec out;
+  for (std::size_t p = 0; p < us.size(); ++p) {
+    Accum acc;
+    for (std::size_t i = 0; i < us[p].size(); ++i) {
+      acc.add_product(us[p][i], vs[p][i]);
+    }
+    out.values.push_back(fp::from_bits(acc.bits));
+    out.mag.push_back(acc.mag);
+  }
+  return out;
+}
+
+OracleVec oracle_gemv(const std::vector<double>& a, std::size_t rows,
+                      std::size_t cols, const std::vector<double>& x) {
+  OracleVec out;
+  out.values.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    Accum acc;
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc.add_product(a[r * cols + c], x[c]);
+    }
+    out.values.push_back(fp::from_bits(acc.bits));
+    out.mag.push_back(acc.mag);
+  }
+  return out;
+}
+
+OracleVec oracle_spmxv(const blas2::CrsMatrix& a, const std::vector<double>& x) {
+  OracleVec out;
+  out.values.reserve(a.rows);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    Accum acc;
+    for (std::size_t e = a.row_ptr[r]; e < a.row_ptr[r + 1]; ++e) {
+      acc.add_product(a.values[e], x[a.col_idx[e]]);
+    }
+    out.values.push_back(fp::from_bits(acc.bits));
+    out.mag.push_back(acc.mag);
+  }
+  return out;
+}
+
+OracleVec oracle_gemm(const std::vector<double>& a,
+                      const std::vector<double>& b, std::size_t n) {
+  OracleVec out;
+  out.values.assign(n * n, 0.0);
+  out.mag.assign(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Accum acc;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc.add_product(a[i * n + k], b[k * n + j]);
+      }
+      out.values[i * n + j] = fp::from_bits(acc.bits);
+      out.mag[i * n + j] = acc.mag;
+    }
+  }
+  return out;
+}
+
+double oracle_tolerance(double mag) { return std::max(1e-15, mag * 1e-12); }
+
+}  // namespace xd::testing

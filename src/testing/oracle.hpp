@@ -1,0 +1,40 @@
+// Reference oracles for the differential harness: naive left-to-right
+// evaluation of every operation on the softfloat cores themselves, plus the
+// magnitude sums the tolerance-mode comparison scales by.
+//
+// Soundness argument (docs/testing.md): each engine computes a correctly
+// rounded sum of a *reassociated* addition tree, so the oracle cannot match
+// bitwise for arbitrary inputs. In ValueMode::Exact every operand is a
+// nonzero small integer: products stay exact integers (|p| <= 1024) and any
+// partial sum stays an exact integer far below 2^53, so every association
+// order rounds to the same bits and the naive evaluation is bit-exact by
+// construction. In ValueMode::Uniform the comparison is tolerance-based.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "blas2/spmxv.hpp"
+
+namespace xd::testing {
+
+/// Oracle values plus per-element magnitude sums (sum of |term| per output,
+/// in plain double — only used to scale tolerances).
+struct OracleVec {
+  std::vector<double> values;
+  std::vector<double> mag;
+};
+
+OracleVec oracle_dot(const std::vector<std::vector<double>>& us,
+                     const std::vector<std::vector<double>>& vs);
+OracleVec oracle_gemv(const std::vector<double>& a, std::size_t rows,
+                      std::size_t cols, const std::vector<double>& x);
+OracleVec oracle_spmxv(const blas2::CrsMatrix& a, const std::vector<double>& x);
+OracleVec oracle_gemm(const std::vector<double>& a,
+                      const std::vector<double>& b, std::size_t n);
+
+/// Element tolerance for the Uniform-mode comparison: max(1e-15, mag*1e-12),
+/// the same envelope the hand-written engine tests use.
+double oracle_tolerance(double mag);
+
+}  // namespace xd::testing

@@ -146,6 +146,132 @@ TEST(Runtime, PlanCacheEvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.misses(), 4u);
 }
 
+// Malformed descriptors — zero shapes, overflowing shape products,
+// structurally broken sparse matrices — must surface as ConfigError through
+// run() AND through submit() futures, never as a crash or an engine walk
+// past the operands.
+namespace {
+
+void expect_config_error_both_paths(Runtime& rt, const OpDesc& desc) {
+  EXPECT_THROW(rt.run(desc), ConfigError);
+  auto fut = rt.submit(desc);
+  EXPECT_THROW(fut.get(), ConfigError);
+}
+
+}  // namespace
+
+TEST(Runtime, ZeroShapesAreConfigErrors) {
+  Runtime rt({});
+  const std::vector<double> empty;
+  expect_config_error_both_paths(rt, OpDesc::dot(empty, empty));
+
+  Rng rng(11);
+  const auto x = rng.vector(8);
+  const std::vector<double> no_rows;  // 0 x 8 matrix
+  expect_config_error_both_paths(rt, OpDesc::gemv(no_rows, 0, 8, x));
+
+  expect_config_error_both_paths(rt, OpDesc::gemm_array(empty, empty, 0));
+
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, 6u);
+}
+
+TEST(Runtime, OverflowingShapeProductsAreConfigErrors) {
+  Runtime rt({});
+  const std::vector<double> empty;
+  const std::vector<double> x2{1.0, 2.0};
+
+  // rows * cols wraps size_t to 0 == a.size(): the naive equality check
+  // would pass and the engine would walk 2^63 rows of nothing.
+  OpDesc wide = OpDesc::gemv(empty, 0, 2, x2);
+  wide.rows = std::size_t{1} << 63;
+  expect_config_error_both_paths(rt, wide);
+
+  // n * n wraps to 0 on 64-bit for n = 2^32.
+  OpDesc huge = OpDesc::gemm(empty, empty, 0);
+  huge.n = std::size_t{1} << 32;
+  expect_config_error_both_paths(rt, huge);
+}
+
+TEST(Runtime, MismatchedSparseStructureIsConfigError) {
+  Rng rng(12);
+  blas2::CrsMatrix m;
+  m.rows = 2;
+  m.cols = 2;
+  m.row_ptr = {0, 1, 2};
+  m.col_idx = {0, 1};
+  m.values = {1.0, 2.0};
+  const auto x = rng.vector(2);
+
+  Runtime rt({});
+  EXPECT_NO_THROW(rt.run(OpDesc::spmxv(m, x)));  // honest matrix is fine
+
+  m.col_idx[0] = 5;  // out-of-range column
+  expect_config_error_both_paths(rt, OpDesc::spmxv(m, x));
+  m.col_idx[0] = 0;
+
+  m.row_ptr.pop_back();  // rows+1 invariant broken
+  expect_config_error_both_paths(rt, OpDesc::spmxv(m, x));
+  m.row_ptr = {0, 1, 2};
+
+  // Descriptor shape diverging from the matrix (stale desc after resize).
+  OpDesc stale = OpDesc::spmxv(m, x);
+  stale.rows = 3;
+  expect_config_error_both_paths(rt, stale);
+}
+
+TEST(Runtime, PlanCacheConcurrentDistinctShapes) {
+  // Eviction racing lookup: capacity 2, four distinct shapes hammered from
+  // every pool worker at once. Outcomes must stay bit-identical to the
+  // sequential reference, the cache must respect its capacity, and every
+  // lookup must be counted exactly once as a hit or a miss.
+  ContextConfig cfg;
+  cfg.plan_cache_capacity = 2;
+
+  const std::size_t shapes[] = {16, 24, 32, 40};
+  std::vector<GemvJob> work;
+  for (std::size_t j = 0; j < 4; ++j) {
+    Rng rng(200 + j);
+    work.push_back({rng.matrix(shapes[j], shapes[j]), rng.vector(shapes[j]),
+                    shapes[j]});
+  }
+
+  Runtime seq(cfg);
+  std::vector<Outcome> expect;
+  for (const auto& w : work) {
+    expect.push_back(seq.run(OpDesc::gemv(w.a, w.n, w.n, w.x)));
+  }
+
+  Runtime rt(cfg);
+  constexpr std::size_t kThreads = 8, kRounds = 5;
+  std::vector<std::future<Outcome>> futs;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      for (const auto& w : work) {
+        futs.push_back(rt.submit(OpDesc::gemv(w.a, w.n, w.n, w.x)));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const Outcome got = futs[i].get();
+    const Outcome& want = expect[i % work.size()];
+    ASSERT_EQ(got.values.size(), want.values.size());
+    for (std::size_t v = 0; v < got.values.size(); ++v) {
+      ASSERT_EQ(got.values[v], want.values[v]) << "job " << i;
+    }
+    ASSERT_EQ(got.report.cycles, want.report.cycles) << "job " << i;
+  }
+
+  const auto& cache = rt.plan_cache();
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kRounds * work.size());
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.completed, kThreads * kRounds * work.size());
+  EXPECT_EQ(stats.failed, 0u);
+}
+
 TEST(Runtime, ConfigErrorPropagatesThroughFuture) {
   Rng rng(8);
   const auto a = rng.matrix(32, 32);

@@ -1,0 +1,107 @@
+// xdblas_fuzz: command-line driver for the differential fuzz harness.
+//
+//   xdblas_fuzz --seed 2005 --ops 500          # deterministic seeded sweep
+//   xdblas_fuzz --time-budget 5000             # randomized wall-clock pass
+//   xdblas_fuzz --replay tests/corpus/regressions.fz
+//   xdblas_fuzz --one "xdfuzz1 kind=dot cols=4 vseed=1"
+//
+// Exit status: 0 when every case passed, 1 on any invariant failure or
+// usage error. Shrunk failures are appended to --corpus (when given) so a
+// CI failure leaves a replayable artifact behind.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/util.hpp"
+#include "testing/fuzz.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed S] [--ops N] [--time-budget MS]\n"
+               "          [--corpus FILE] [--max-failures N] [--verbose]\n"
+               "       %s --replay FILE\n"
+               "       %s --one \"xdfuzz1 kind=... key=value ...\"\n",
+               argv0, argv0, argv0);
+  return 1;
+}
+
+xd::u64 parse_u64(const char* flag, const char* val) {
+  std::size_t used = 0;
+  const xd::u64 v = std::stoull(val, &used);
+  xd::require(used == std::strlen(val) && used > 0,
+              xd::cat(flag, " expects a non-negative integer, got '", val, "'"));
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xd::testing;
+  FuzzOptions opts;
+  std::string replay_path;
+  std::string one_line;
+  bool ops_given = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        xd::require(i + 1 < argc, xd::cat(arg, " needs a value"));
+        return argv[++i];
+      };
+      if (arg == "--seed") {
+        opts.seed = parse_u64("--seed", value());
+      } else if (arg == "--ops") {
+        opts.ops = parse_u64("--ops", value());
+        ops_given = true;
+      } else if (arg == "--time-budget") {
+        opts.time_budget_ms = parse_u64("--time-budget", value());
+      } else if (arg == "--corpus") {
+        opts.corpus_out = value();
+      } else if (arg == "--max-failures") {
+        opts.max_failures = parse_u64("--max-failures", value());
+      } else if (arg == "--verbose") {
+        opts.verbose = true;
+      } else if (arg == "--replay") {
+        replay_path = value();
+      } else if (arg == "--one") {
+        one_line = value();
+      } else if (arg == "--help" || arg == "-h") {
+        usage(argv[0]);
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    if (!one_line.empty()) {
+      const FuzzCase fc = FuzzCase::from_line(one_line);
+      if (const auto fail = check_case(fc)) {
+        std::printf("FAIL [%s] %s\n", fail->invariant.c_str(),
+                    fail->detail.c_str());
+        return 1;
+      }
+      std::printf("ok: %s\n", fc.to_line().c_str());
+      return 0;
+    }
+
+    if (!replay_path.empty()) {
+      return replay_corpus(replay_path).failures == 0 ? 0 : 1;
+    }
+
+    xd::require(!(ops_given && opts.time_budget_ms),
+                "--ops and --time-budget are mutually exclusive");
+    std::printf("xdblas_fuzz seed=%llu %s\n",
+                static_cast<unsigned long long>(opts.seed),
+                opts.time_budget_ms
+                    ? xd::cat("time_budget_ms=", opts.time_budget_ms).c_str()
+                    : xd::cat("ops=", opts.ops).c_str());
+    return run_fuzz(opts).failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
