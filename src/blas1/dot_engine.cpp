@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <optional>
 
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "telemetry/session.hpp"
 
@@ -45,14 +47,21 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
     red.attach_trace(&cfg_.telemetry->trace());
   }
 
-  // The k multipliers run in lockstep; one in-flight record per issued group.
-  struct MultGroup {
-    std::vector<u64> products;
-    bool last;
-    u64 ready;
-  };
-  std::deque<MultGroup> mults;
-  std::deque<std::pair<u64, bool>> red_fifo;  // (bits, last-of-set)
+  // The k multipliers run in lockstep; one ring slot per issued group.
+  const fp::Backend& be = fp::active_backend();
+  fp::MultiplierBank mults(std::max(2u, k), cfg_.multiplier_stages);
+  // The issue gate keeps at most kRedFifoCap queued entries, but groups
+  // already in flight in the multiplier bank and tree still land after the
+  // gate closes - size the ring for that worst case.
+  RingFifo<std::pair<u64, bool>> red_fifo(  // (bits, last-of-set)
+      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
+
+  // Per-group operand panels. Dot touches every element exactly once, so
+  // whole-vector pre-conversion would double the memory traffic (write the
+  // converted copy, read it back); converting one k-wide group into these
+  // L1-resident panels right before the multiply costs the same conversions
+  // without the extra pass.
+  std::vector<u64> upanel(k), vpanel(k);
 
   DotOutcome out;
   out.results.assign(us.size(), 0.0);
@@ -72,20 +81,18 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
 
     // Multiplier bank: completed product groups feed the adder tree (k >= 2)
     // or go straight to the reduction FIFO (k == 1).
-    if (!mults.empty() && mults.front().ready == cycle) {
-      MultGroup g = std::move(mults.front());
-      mults.pop_front();
+    if (auto g = mults.pop_ready(cycle)) {
       if (k == 1) {
-        red_fifo.emplace_back(g.products[0], g.last);
+        red_fifo.push({g->products[0], g->last});
       } else {
-        tree.issue(g.products, g.last ? 1 : 0);
+        tree.issue(g->products, g->last ? 1 : 0);
       }
     }
 
     if (k >= 2) {
       tree.tick();
       if (auto r = tree.take_output()) {
-        red_fifo.emplace_back(r->bits, r->tag != 0);
+        red_fifo.push({r->bits, r->tag != 0});
       }
     }
 
@@ -97,7 +104,7 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
     const bool consumed = red.cycle(rin);
     if (rin.has_value()) {
       if (consumed) {
-        red_fifo.pop_front();
+        red_fifo.pop();
       } else {
         ++stalls;
       }
@@ -118,15 +125,12 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
       if (channel.can_transfer(words)) {
         channel.transfer(words);
         streamed_words += 2 * lanes;
-        MultGroup g;
-        g.products.resize(std::max(2u, k), fp::kPosZero);
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-          g.products[lane] =
-              fp::mul(fp::to_bits(u[pos + lane]), fp::to_bits(v[pos + lane]));
-        }
-        g.last = (pos + lanes == u.size());
-        g.ready = cycle + cfg_.multiplier_stages;
-        mults.push_back(std::move(g));
+        std::memcpy(upanel.data(), &u[pos], lanes * sizeof(double));
+        std::memcpy(vpanel.data(), &v[pos], lanes * sizeof(double));
+        const bool last = (pos + lanes == u.size());
+        u64* products = mults.stage(cycle, last);
+        be.mul_n(upanel.data(), vpanel.data(), products, lanes);
+        std::fill(products + lanes, products + mults.width(), fp::kPosZero);
         pos += lanes;
         if (pos == u.size()) {
           pos = 0;

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <vector>
 
+#include "common/ring_fifo.hpp"
 #include "fp/fpu.hpp"
 #include "host/report.hpp"
 #include "mem/channel.hpp"

@@ -1,5 +1,6 @@
 #include "blas2/blocking.hpp"
 
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 
 namespace xd::blas2 {
@@ -37,8 +38,10 @@ MxvOutcome run_blocked_gemv_tree(const MxvTreeConfig& cfg,
       total.y = part.y;
       first_panel = false;
     } else {
+      const fp::Backend& be = fp::active_backend();
       for (std::size_t r = 0; r < rows; ++r) {
-        total.y[r] = fp::addd(total.y[r], part.y[r]);
+        total.y[r] = fp::from_bits(
+            be.add(fp::to_bits(total.y[r]), fp::to_bits(part.y[r])));
       }
       part.report.cycles += cfg.adder_stages;          // accumulation drain
       part.report.sram_words += 2.0 * static_cast<double>(rows);  // y r/w

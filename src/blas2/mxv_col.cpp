@@ -1,6 +1,7 @@
 #include "blas2/mxv_col.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 
 #include "fp/softfloat.hpp"
@@ -46,6 +47,12 @@ MxvOutcome MxvColEngine::run(const std::vector<double>& a, std::size_t rows,
   for (unsigned p = 0; p < k; ++p) {
     lanes.emplace_back(cfg_.multiplier_stages, cfg_.adder_stages, groups);
   }
+
+  // Pre-convert the operands once; the feed loop below only moves bits.
+  std::vector<u64> abits(a.size());
+  std::memcpy(abits.data(), a.data(), a.size() * sizeof(double));
+  std::vector<u64> xbits(cols);
+  std::memcpy(xbits.data(), x.data(), cols * sizeof(double));
 
   std::size_t col = 0, group = 0;
   bool feeding = true;
@@ -97,11 +104,11 @@ MxvOutcome MxvColEngine::run(const std::vector<double>& a, std::size_t rows,
       if (channel.can_transfer(words)) {
         channel.transfer(words);
         streamed_words += static_cast<u64>(words);
-        const u64 xb = fp::to_bits(x[col]);
+        const u64 xb = xbits[col];
         for (unsigned p = 0; p < k; ++p) {
           const std::size_t row = group * k + p;
           if (row >= rows) break;
-          lanes[p].mult.issue(fp::to_bits(a[row * cols + col]), xb, group);
+          lanes[p].mult.issue(abits[row * cols + col], xb, group);
         }
         if (++group == groups) {
           group = 0;

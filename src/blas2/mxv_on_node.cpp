@@ -1,9 +1,11 @@
 #include "blas2/mxv_on_node.hpp"
 
-#include <deque>
+#include <cstring>
 #include <memory>
 #include <optional>
 
+#include "common/ring_fifo.hpp"
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "machine/status_regs.hpp"
 #include "reduce/reduction_circuit.hpp"
@@ -52,9 +54,13 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
   if (from_dram) {
     require(per_bank * k <= node_.dram().storage().words(),
             "modeled DRAM slice too small for A (increase dram_words)");
+    // Convert A to bit patterns once, then permute into the bank-blocked
+    // layout (the permutation only moves words, it never re-converts).
+    std::vector<u64> abits(rows * cols);
+    std::memcpy(abits.data(), a.data(), rows * cols * sizeof(double));
     std::vector<u64> bankblock(per_bank * k);
     for (std::size_t e = 0; e < rows * cols; ++e) {
-      bankblock[(e % k) * per_bank + e / k] = fp::to_bits(a[e]);
+      bankblock[(e % k) * per_bank + e / k] = abits[e];
     }
     node_.dram().storage().load(0, bankblock);
     for (unsigned b = 0; b < k; ++b) {
@@ -86,21 +92,20 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
 
   // --- Compute: one word per bank per cycle through the tree datapath. ----
   std::vector<u64> xbits(cols);
-  for (std::size_t j = 0; j < cols; ++j) xbits[j] = fp::to_bits(x[j]);
+  std::memcpy(xbits.data(), x.data(), cols * sizeof(double));
 
   fp::AdderTree tree(k, cfg_.adder_stages);
   reduce::ReductionCircuit red(cfg_.adder_stages);
   if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
     red.attach_trace(&cfg_.telemetry->trace());
   }
-  struct MultGroup {
-    std::vector<u64> products;
-    bool last;
-    u64 ready;
-  };
-  std::deque<MultGroup> mults;
-  std::deque<std::pair<u64, bool>> red_fifo;
+  const fp::Backend& be = fp::active_backend();
+  fp::MultiplierBank mults(k, cfg_.multiplier_stages);
   constexpr std::size_t kRedFifoCap = 64;
+  // Headroom beyond the issue gate: in-flight multiplier/tree groups still
+  // land after the gate closes.
+  RingFifo<std::pair<u64, bool>> red_fifo(
+      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
 
   MxvOutcome out;
   out.y.assign(rows, 0.0);
@@ -113,13 +118,11 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
     ++cycle;
     if (cycle > budget) throw SimError("node GEMV wedged");
 
-    if (!mults.empty() && mults.front().ready == cycle) {
-      MultGroup g = std::move(mults.front());
-      mults.pop_front();
-      tree.issue(g.products, g.last ? 1 : 0);
+    if (auto g = mults.pop_ready(cycle)) {
+      tree.issue(g->products, g->last ? 1 : 0);
     }
     tree.tick();
-    if (auto r = tree.take_output()) red_fifo.emplace_back(r->bits, r->tag != 0);
+    if (auto r = tree.take_output()) red_fifo.push({r->bits, r->tag != 0});
 
     std::optional<reduce::Input> rin;
     if (!red_fifo.empty()) {
@@ -128,7 +131,7 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
     const bool consumed = red.cycle(rin);
     if (rin.has_value()) {
       if (consumed) {
-        red_fifo.pop_front();
+        red_fifo.pop();
       } else {
         ++stalls;
       }
@@ -140,17 +143,14 @@ MxvOutcome NodeGemvEngine::run(const std::vector<double>& a, std::size_t rows,
 
     if (row < rows && red_fifo.size() < kRedFifoCap) {
       // One read port per bank per cycle: a full k-wide group every cycle.
-      MultGroup g;
-      g.products.resize(k, fp::kPosZero);
       const std::size_t base = row * cols + col;
+      u64* products = mults.stage(cycle, col + k == cols);
       for (unsigned lane = 0; lane < k; ++lane) {
         const std::size_t e = base + lane;
         const u64 bits = node_.sram(e % k).read(e / k);
-        g.products[lane] = fp::mul(bits, xbits[col + lane]);
+        products[lane] = be.mul(bits, xbits[col + lane]);
       }
-      g.last = (col + k == cols);
-      g.ready = cycle + cfg_.multiplier_stages;
-      mults.push_back(std::move(g));
+      std::fill(products + k, products + mults.width(), fp::kPosZero);
       col += k;
       if (col == cols) {
         col = 0;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
+#include <cstring>
 #include <optional>
 
+#include "common/ring_fifo.hpp"
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
 #include "telemetry/session.hpp"
@@ -44,17 +46,19 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
   }
 
   // Local x storage, lane-striped exactly as the paper describes; pre-convert
-  // to bits once (preload phase, not streamed during compute).
+  // to bits once (preload phase, not streamed during compute). The A panel is
+  // pre-converted the same way so the lane loop is a straight mul_n.
   std::vector<u64> xbits(cols);
-  for (std::size_t j = 0; j < cols; ++j) xbits[j] = fp::to_bits(x[j]);
+  std::memcpy(xbits.data(), x.data(), cols * sizeof(double));
+  std::vector<u64> abits(a.size());
+  std::memcpy(abits.data(), a.data(), a.size() * sizeof(double));
 
-  struct MultGroup {
-    std::vector<u64> products;
-    bool last;
-    u64 ready;
-  };
-  std::deque<MultGroup> mults;
-  std::deque<std::pair<u64, bool>> red_fifo;
+  const fp::Backend& be = fp::active_backend();
+  fp::MultiplierBank mults(std::max(2u, k), cfg_.multiplier_stages);
+  // Headroom beyond the issue gate: in-flight multiplier/tree groups still
+  // land after the gate closes.
+  RingFifo<std::pair<u64, bool>> red_fifo(
+      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
 
   MxvOutcome out;
   out.y.assign(rows, 0.0);
@@ -71,19 +75,17 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
     if (cycle > budget) throw SimError("GEMV tree engine wedged");
     channel.tick();
 
-    if (!mults.empty() && mults.front().ready == cycle) {
-      MultGroup g = std::move(mults.front());
-      mults.pop_front();
+    if (auto g = mults.pop_ready(cycle)) {
       if (k == 1) {
-        red_fifo.emplace_back(g.products[0], g.last);
+        red_fifo.push({g->products[0], g->last});
       } else {
-        tree.issue(g.products, g.last ? 1 : 0);
+        tree.issue(g->products, g->last ? 1 : 0);
       }
     }
 
     if (k >= 2) {
       tree.tick();
-      if (auto r = tree.take_output()) red_fifo.emplace_back(r->bits, r->tag != 0);
+      if (auto r = tree.take_output()) red_fifo.push({r->bits, r->tag != 0});
     }
 
     std::optional<reduce::Input> rin;
@@ -93,7 +95,7 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
     const bool consumed = red.cycle(rin);
     if (rin.has_value()) {
       if (consumed) {
-        red_fifo.pop_front();
+        red_fifo.pop();
       } else {
         ++stalls;
       }
@@ -110,15 +112,9 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
       if (channel.can_transfer(words)) {
         channel.transfer(words);
         streamed_words += lanes;
-        MultGroup g;
-        g.products.resize(std::max(2u, k), fp::kPosZero);
-        for (std::size_t lane = 0; lane < lanes; ++lane) {
-          g.products[lane] =
-              fp::mul(fp::to_bits(a[row * cols + col + lane]), xbits[col + lane]);
-        }
-        g.last = (col + lanes == cols);
-        g.ready = cycle + cfg_.multiplier_stages;
-        mults.push_back(std::move(g));
+        u64* products = mults.stage(cycle, col + lanes == cols);
+        be.mul_n(&abits[row * cols + col], &xbits[col], products, lanes);
+        std::fill(products + lanes, products + mults.width(), fp::kPosZero);
         col += lanes;
         if (col == cols) {
           col = 0;

@@ -1,10 +1,12 @@
 #include "blas2/spmxv.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cstring>
 #include <optional>
 
 #include "common/random.hpp"
+#include "common/ring_fifo.hpp"
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
 #include "reduce/reduction_circuit.hpp"
@@ -77,17 +79,20 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
     red.attach_trace(&cfg_.telemetry->trace());
   }
 
+  // Pre-convert x and the CRS value array to bit patterns once, so the lane
+  // loop is a pure gather-multiply (col_idx indexes xbits).
   std::vector<u64> xbits(a.cols);
-  for (std::size_t j = 0; j < a.cols; ++j) xbits[j] = fp::to_bits(x[j]);
+  std::memcpy(xbits.data(), x.data(), a.cols * sizeof(double));
+  std::vector<u64> vbits(a.values.size());
+  std::memcpy(vbits.data(), a.values.data(), a.values.size() * sizeof(double));
 
-  struct MultGroup {
-    std::vector<u64> products;
-    bool last;
-    u64 ready;
-  };
-  std::deque<MultGroup> mults;
-  std::deque<std::pair<u64, bool>> red_fifo;
+  const fp::Backend& be = fp::active_backend();
+  fp::MultiplierBank mults(std::max(2u, k), cfg_.multiplier_stages);
   constexpr std::size_t kRedFifoCap = 64;
+  // Headroom beyond the issue gate: in-flight multiplier/tree groups still
+  // land after the gate closes.
+  RingFifo<std::pair<u64, bool>> red_fifo(
+      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
 
   MxvOutcome out;
   out.y.assign(a.rows, 0.0);
@@ -105,19 +110,17 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
     if (cycle > budget) throw SimError("SpMXV engine wedged");
     channel.tick();
 
-    if (!mults.empty() && mults.front().ready == cycle) {
-      MultGroup g = std::move(mults.front());
-      mults.pop_front();
+    if (auto g = mults.pop_ready(cycle)) {
       if (k == 1) {
-        red_fifo.emplace_back(g.products[0], g.last);
+        red_fifo.push({g->products[0], g->last});
       } else {
-        tree.issue(g.products, g.last ? 1 : 0);
+        tree.issue(g->products, g->last ? 1 : 0);
       }
     }
 
     if (k >= 2) {
       tree.tick();
-      if (auto r = tree.take_output()) red_fifo.emplace_back(r->bits, r->tag != 0);
+      if (auto r = tree.take_output()) red_fifo.push({r->bits, r->tag != 0});
     }
 
     std::optional<reduce::Input> rin;
@@ -127,7 +130,7 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
     const bool consumed = red.cycle(rin);
     if (rin.has_value()) {
       if (consumed) {
-        red_fifo.pop_front();
+        red_fifo.pop();
       } else {
         ++stalls;
       }
@@ -149,18 +152,16 @@ MxvOutcome SpmxvEngine::run(const CrsMatrix& a, const std::vector<double>& x) {
       if (channel.can_transfer(elements)) {
         channel.transfer(elements);
         streamed_elements += static_cast<u64>(elements);
-        MultGroup g;
-        g.products.resize(std::max(2u, k), fp::kPosZero);
-        for (std::size_t lane = 0; lane < std::min<std::size_t>(k, remaining);
-             ++lane) {
-          g.products[lane] = fp::mul(fp::to_bits(a.values[elem + lane]),
-                                     xbits[a.col_idx[elem + lane]]);
+        const std::size_t active = std::min<std::size_t>(k, remaining);
+        const bool last = (elem + active == row_end);
+        u64* products = mults.stage(cycle, last);
+        for (std::size_t lane = 0; lane < active; ++lane) {
+          products[lane] = be.mul(vbits[elem + lane], xbits[a.col_idx[elem + lane]]);
         }
-        elem += std::min<std::size_t>(k, remaining);
-        const bool last = (elem == row_end);
-        g.last = last;
-        g.ready = cycle + cfg_.multiplier_stages;
-        mults.push_back(std::move(g));
+        // Pad idle lanes (short tail group, or the placeholder group an
+        // empty row injects) with +0 so the tree sums them away.
+        std::fill(products + active, products + mults.width(), fp::kPosZero);
+        elem += active;
         if (last) {
           ++row;
           if (row < a.rows) elem = a.row_ptr[row];

@@ -1,5 +1,6 @@
 #include "blas3/mm_array.hpp"
 
+#include <cstring>
 #include <deque>
 
 #include "common/util.hpp"
@@ -66,6 +67,11 @@ MmOutcome MmArrayEngine::run(const std::vector<double>& a,
                      cfg_.adder_stages);
   }
   std::vector<OpCursor> cursors(k);
+
+  // Pre-convert both operands once; the issue loop below only indexes bits.
+  std::vector<u64> abits(n * n), bbits(n * n);
+  std::memcpy(abits.data(), a.data(), n * n * sizeof(double));
+  std::memcpy(bbits.data(), b.data(), n * n * sizeof(double));
 
   MmOutcome out;
   out.c.assign(n * n, 0.0);
@@ -137,8 +143,7 @@ MmOutcome MmArrayEngine::run(const std::vector<double>& a,
       const std::size_t col = h * m + cur.c * k + p;
       const std::size_t inner = cur.z * m + cur.q;
       const bool final_ = (cur.z == blocks - 1 && cur.q == m - 1);
-      pes[p].issue_mac(fp::to_bits(a[row * n + inner]),
-                       fp::to_bits(b[inner * n + col]),
+      pes[p].issue_mac(abits[row * n + inner], bbits[inner * n + col],
                        cur.i * cpk + cur.c, final_, row * n + col);
       cur.advance(blocks, m, cpk);
     }

@@ -1,10 +1,12 @@
 #include "blas3/mm_hier.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <cmath>
 
 #include "common/parallel.hpp"
 #include "common/util.hpp"
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "telemetry/session.hpp"
 
@@ -110,13 +112,15 @@ MmHierOutcome MmHierEngine::run(const std::vector<double>& a,
   // Numerics: every C element accumulates its products in ascending inner
   // index — the exact order the PE array produces (validated bit-for-bit
   // against MmArrayEngine in tests), independent of the blocking.
+  std::vector<u64> abits(n * n), bbits(n * n);
+  std::memcpy(abits.data(), a.data(), n * n * sizeof(double));
+  std::memcpy(bbits.data(), b.data(), n * n * sizeof(double));
+  const fp::Backend& be = fp::active_backend();
   parallel_for(0, n, [&](std::size_t row) {
     for (std::size_t col = 0; col < n; ++col) {
       u64 acc = fp::kPosZero;
       for (std::size_t inner = 0; inner < n; ++inner) {
-        acc = fp::add(acc,
-                      fp::mul(fp::to_bits(a[row * n + inner]),
-                              fp::to_bits(b[inner * n + col])));
+        acc = be.add(acc, be.mul(abits[row * n + inner], bbits[inner * n + col]));
       }
       out.c[row * n + col] = fp::from_bits(acc);
     }

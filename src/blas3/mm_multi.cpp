@@ -1,9 +1,11 @@
 #include "blas3/mm_multi.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <cmath>
 
 #include "common/parallel.hpp"
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "telemetry/session.hpp"
 
@@ -136,12 +138,15 @@ MmMultiOutcome MmMultiEngine::run(const std::vector<double>& a,
   // Numerics: ascending-inner accumulation, the exact element-level order of
   // the PE array (bit-identical to MmArrayEngine / MmHierEngine).
   out.c.assign(n * n, 0.0);
+  std::vector<u64> abits(n * n), bbits(n * n);
+  std::memcpy(abits.data(), a.data(), n * n * sizeof(double));
+  std::memcpy(bbits.data(), b.data(), n * n * sizeof(double));
+  const fp::Backend& be = fp::active_backend();
   parallel_for(0, n, [&](std::size_t row) {
     for (std::size_t col = 0; col < n; ++col) {
       u64 acc = fp::kPosZero;
       for (std::size_t inner = 0; inner < n; ++inner) {
-        acc = fp::add(acc, fp::mul(fp::to_bits(a[row * n + inner]),
-                                   fp::to_bits(b[inner * n + col])));
+        acc = be.add(acc, be.mul(abits[row * n + inner], bbits[inner * n + col]));
       }
       out.c[row * n + col] = fp::from_bits(acc);
     }

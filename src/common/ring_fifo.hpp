@@ -1,0 +1,48 @@
+// Fixed-capacity FIFO over a flat ring buffer.
+//
+// The per-cycle engine loops keep a small queue between the adder tree and
+// the reduction circuit (bounded by construction: issue gates on full()).
+// std::deque showed up in profiles — its segmented map churns on every
+// wrap — so this is the minimal replacement: one allocation at construction,
+// conditional-wrap indexing (no division), nothing else.
+//
+// Callers must gate push() on !full() and front()/pop() on !empty(); the
+// class does not check in the hot path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xd {
+
+template <typename T>
+class RingFifo {
+ public:
+  explicit RingFifo(std::size_t capacity) : buf_(capacity) {}
+
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == buf_.size(); }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return buf_.size(); }
+
+  const T& front() const { return buf_[head_]; }
+
+  void push(const T& v) {
+    std::size_t slot = head_ + count_;
+    if (slot >= buf_.size()) slot -= buf_.size();
+    buf_[slot] = v;
+    ++count_;
+  }
+
+  void pop() {
+    if (++head_ == buf_.size()) head_ = 0;
+    --count_;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace xd

@@ -1,0 +1,347 @@
+#include "fp/backend.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace xd::fp {
+
+// ---- native ops ------------------------------------------------------------
+// The exp==0x7FF preamble mirrors fp::add / fp::mul exactly; after it the
+// host FPU only sees finite operands, for which IEEE-754 RNE prescribes a
+// unique bit pattern (including gradual underflow and overflow-to-inf).
+// Keeping both operations out-of-line also guarantees the compiler can never
+// contract a mul feeding an add into a fused multiply-add across the call
+// boundary, which would skip the intermediate rounding softfloat performs.
+
+u64 native_add(u64 a, u64 b) {
+  if (((a & kExpMask) == kExpMask) | ((b & kExpMask) == kExpMask)) [[unlikely]] {
+    if (is_nan(a)) return quiet(a);
+    if (is_nan(b)) return quiet(b);
+    if (is_inf(a)) {
+      if (is_inf(b) && sign_of(a) != sign_of(b)) return kDefaultNaN;  // inf - inf
+      return a;
+    }
+    return b;  // only b is infinite
+  }
+  return to_bits(from_bits(a) + from_bits(b));
+}
+
+u64 native_mul(u64 a, u64 b) {
+  if (((a & kExpMask) == kExpMask) | ((b & kExpMask) == kExpMask)) [[unlikely]] {
+    if (is_nan(a)) return quiet(a);
+    if (is_nan(b)) return quiet(b);
+    if (is_zero(a) || is_zero(b)) return kDefaultNaN;  // 0 * inf
+    return ((a ^ b) & kSignMask) | kPosInf;
+  }
+  return to_bits(from_bits(a) * from_bits(b));
+}
+
+namespace {
+
+void soft_mul_n(const u64* a, const u64* b, u64* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fp::mul(a[i], b[i]);
+}
+
+// exp == 0x7FF, i.e. the operand is NaN or infinite.
+inline bool is_special(u64 x) { return (~x & kExpMask) == 0; }
+
+void native_mul_n(const u64* a, const u64* b, u64* out, std::size_t n) {
+  // One batched scan instead of two branches per lane: if no operand is
+  // NaN/inf, finite x finite can only produce finite results or the RNE
+  // overflow-to-inf — both bit-identical on any conforming host — so the
+  // whole panel multiplies branch-free (and vectorizes).
+  bool special = false;
+  for (std::size_t i = 0; i < n; ++i) special |= is_special(a[i]) | is_special(b[i]);
+  if (special) [[unlikely]] {
+    for (std::size_t i = 0; i < n; ++i) out[i] = native_mul(a[i], b[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = to_bits(from_bits(a[i]) * from_bits(b[i]));
+  }
+}
+
+// Pairwise tree fold, adjacent pairs per level — the AdderTree wiring. Slot i
+// is written only after slots 2i and 2i+1 were read, so it runs in place.
+u64 soft_fold_n(u64* scratch, std::size_t k) {
+  for (std::size_t width = k; width > 1; width /= 2) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      scratch[i] = fp::add(scratch[2 * i], scratch[2 * i + 1]);
+    }
+  }
+  return scratch[0];
+}
+
+u64 native_fold_careful(u64* scratch, std::size_t k) {
+  for (std::size_t width = k; width > 1; width /= 2) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      scratch[i] = native_add(scratch[2 * i], scratch[2 * i + 1]);
+    }
+  }
+  return scratch[0];
+}
+
+u64 native_fold_n(u64* scratch, std::size_t k) {
+  // Fast path mirrors native_mul_n: scan the inputs once, then fold with
+  // plain host adds. Unlike multiplication, two finite partial sums can
+  // overflow to opposite infinities and meet at a later level (inf - inf),
+  // where the host's default NaN need not match softfloat's — so the fast
+  // fold also OR-tracks the exponent bits it produces and redoes the fold
+  // through native_add (whose preamble handles inf/NaN exactly) from a saved
+  // copy in that rare case.
+  bool special = k > 64;
+  for (std::size_t i = 0; i < k; ++i) special |= is_special(scratch[i]);
+  if (special) [[unlikely]] {
+    return native_fold_careful(scratch, k);
+  }
+  u64 orig[64];
+  std::memcpy(orig, scratch, k * sizeof(u64));
+  bool overflowed = false;
+  for (std::size_t width = k; width > 1; width /= 2) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      const u64 s = to_bits(from_bits(scratch[2 * i]) + from_bits(scratch[2 * i + 1]));
+      scratch[i] = s;
+      overflowed |= is_special(s);
+    }
+  }
+  if (!overflowed) [[likely]] {
+    return scratch[0];
+  }
+  std::memcpy(scratch, orig, k * sizeof(u64));
+  return native_fold_careful(scratch, k);
+}
+
+}  // namespace
+
+const Backend& soft_backend() {
+  static const Backend be{&fp::add, &fp::mul, &soft_mul_n, &soft_fold_n,
+                          BackendKind::Soft};
+  return be;
+}
+
+const Backend& native_backend() {
+  static const Backend be{&native_add, &native_mul, &native_mul_n,
+                          &native_fold_n, BackendKind::Native};
+  return be;
+}
+
+// ---- conformance -----------------------------------------------------------
+
+namespace {
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Bias a raw 64-bit pattern toward the interesting exponent bands: full
+/// random patterns alone almost never land on subnormals, near-overflow
+/// values, or operand pairs close enough to cancel.
+u64 shape_pattern(u64 raw, unsigned mode) {
+  switch (mode % 4) {
+    case 0:
+      return raw;  // anything, incl. NaN/inf encodings
+    case 1:        // subnormal / tiny: exponent field 0..2
+      return (raw & (kSignMask | kFracMask)) |
+             (static_cast<u64>(raw >> 52 & 0x3) << kFracBits);
+    case 2: {  // near overflow: exponent 0x7FC..0x7FF
+      const u64 e = 0x7FC + (raw >> 52 & 0x3);
+      return (raw & (kSignMask | kFracMask)) | (e << kFracBits);
+    }
+    default: {  // mid-range, narrow exponent spread (cancellation-prone adds)
+      const u64 e = kBias - 2 + (raw >> 52 & 0x3);
+      return (raw & (kSignMask | kFracMask)) | (e << kFracBits);
+    }
+  }
+}
+
+struct HardCase {
+  const char* what;
+  u64 a, b;
+};
+
+bool check_op(const Backend& be, bool is_add, u64 a, u64 b, const char* what,
+              ConformanceReport& rep) {
+  ++rep.cases;
+  const u64 want = is_add ? fp::add(a, b) : fp::mul(a, b);
+  const u64 got = is_add ? be.add(a, b) : be.mul(a, b);
+  if (got == want) return true;
+  if (rep.first_failure.empty()) {
+    rep.first_failure =
+        cat(is_add ? "add" : "mul", "(0x", std::hex, a, ", 0x", b, ") = 0x",
+            got, ", softfloat says 0x", want, " [", what, "]");
+  }
+  return false;
+}
+
+}  // namespace
+
+ConformanceReport run_conformance(const Backend& candidate, u64 random_cases,
+                                  u64 seed) {
+  ConformanceReport rep;
+  bool ok = true;
+
+  // Named constants for readability below.
+  constexpr u64 kOne = 0x3FF0'0000'0000'0000ull;        // 1.0
+  constexpr u64 kMinSub = 0x0000'0000'0000'0001ull;     // smallest subnormal
+  constexpr u64 kMaxSub = 0x000F'FFFF'FFFF'FFFFull;     // largest subnormal
+  constexpr u64 kMinNorm = 0x0010'0000'0000'0000ull;    // smallest normal
+  constexpr u64 kMaxFinite = 0x7FEF'FFFF'FFFF'FFFFull;  // DBL_MAX
+  constexpr u64 kHalf = 0x3FE0'0000'0000'0000ull;       // 0.5
+  constexpr u64 kSNaN = 0x7FF0'0000'0000'0001ull;       // sNaN, payload 1
+  constexpr u64 kSNaNPay = 0xFFF4'0000'0000'BEEFull;    // -sNaN, big payload
+  constexpr u64 kUlp = 0x3CB0'0000'0000'0000ull;        // 2^-52
+  constexpr u64 kHalfUlp = 0x3CA0'0000'0000'0000ull;    // 2^-53 (exact tie)
+  constexpr u64 kHalfUlpSticky = 0x3CA0'0000'0000'0001ull;  // tie + sticky
+
+  static const HardCase kAddCases[] = {
+      {"round-to-even tie (down)", kOne, kHalfUlp},
+      {"round-to-even tie (up)", kOne | 1, kHalfUlp},
+      {"sticky bit breaks the tie", kOne, kHalfUlpSticky},
+      {"one ulp", kOne, kUlp},
+      {"subnormal + subnormal", kMinSub, kMinSub},
+      {"subnormal carries into normal", kMaxSub, kMinSub},
+      {"gradual underflow on cancellation", kMinNorm, kMinSub | kSignMask},
+      {"exact cancellation -> +0", kOne, kOne | kSignMask},
+      {"(+0) + (-0) = +0", kPosZero, kNegZero},
+      {"(-0) + (-0) = -0", kNegZero, kNegZero},
+      {"overflow to +inf", kMaxFinite, kMaxFinite},
+      {"overflow to -inf", kMaxFinite | kSignMask, kMaxFinite | kSignMask},
+      {"inf - inf -> default NaN", kPosInf, kNegInf},
+      {"inf + finite", kPosInf, kOne},
+      {"sNaN payload quieting (a)", kSNaN, kOne},
+      {"sNaN payload quieting (b)", kOne, kSNaNPay},
+      {"NaN precedence: a's payload wins", kSNaN, kSNaNPay},
+      {"tiny + huge (full alignment shift)", kMinSub, kMaxFinite},
+  };
+  static const HardCase kMulCases[] = {
+      {"exact power-of-two scale", kOne | 7, kHalf},
+      {"significand tie with sticky", kOne | 1, kOne | 1},
+      {"subnormal x subnormal -> rounded zero", kMinSub, kMinSub},
+      {"subnormal result (gradual underflow)", kMinNorm, kHalf},
+      {"subnormal input x normal", kMinSub, kOne | 3},
+      {"underflow with sticky rounding", kMinNorm | 0x5555, kHalf | 1},
+      {"overflow to inf", kMaxFinite, kMaxFinite},
+      {"overflow to -inf", kMaxFinite | kSignMask, kMaxFinite},
+      {"signed zero: (-0) * x", kNegZero, kOne | 9},
+      {"signed zero: (-x) * (+0)", kOne | kSignMask, kPosZero},
+      {"0 * inf -> default NaN", kPosZero, kPosInf},
+      {"inf * finite keeps sign", kNegInf, kOne},
+      {"sNaN payload quieting (a)", kSNaN, kOne},
+      {"sNaN payload quieting (b)", kHalf, kSNaNPay},
+      {"NaN precedence: a's payload wins", kSNaNPay, kSNaN},
+  };
+
+  for (const auto& c : kAddCases) {
+    ok &= check_op(candidate, true, c.a, c.b, c.what, rep);
+    ok &= check_op(candidate, true, c.b, c.a, c.what, rep);  // commuted
+  }
+  for (const auto& c : kMulCases) {
+    ok &= check_op(candidate, false, c.a, c.b, c.what, rep);
+    ok &= check_op(candidate, false, c.b, c.a, c.what, rep);
+  }
+
+  u64 s = seed ? seed : 1;
+  for (u64 i = 0; i < random_cases; ++i) {
+    const u64 r0 = splitmix64(s ^ (2 * i));
+    const u64 r1 = splitmix64(s ^ (2 * i + 1));
+    const u64 a = shape_pattern(r0, static_cast<unsigned>(r1 >> 60));
+    const u64 b = shape_pattern(r1, static_cast<unsigned>(r0 >> 60));
+    ok &= check_op(candidate, true, a, b, "randomized", rep);
+    ok &= check_op(candidate, false, a, b, "randomized", rep);
+  }
+
+  // Batched tree fold: must match the softfloat fold level for level.
+  if (candidate.fold_n) {
+    for (u64 i = 0; i < 64; ++i) {
+      const std::size_t k = std::size_t{2} << (i % 4);  // 2, 4, 8, 16
+      u64 ref[16], got[16];
+      for (std::size_t j = 0; j < k; ++j) {
+        const u64 r = splitmix64(s ^ (0x10000 + 16 * i + j));
+        ref[j] = got[j] = shape_pattern(r, static_cast<unsigned>(r >> 60));
+      }
+      ++rep.cases;
+      const u64 want = soft_fold_n(ref, k);
+      const u64 have = candidate.fold_n(got, k);
+      if (want != have) {
+        ok = false;
+        if (rep.first_failure.empty()) {
+          rep.first_failure = cat("fold_n(k=", k, ") = 0x", std::hex, have,
+                                  ", softfloat says 0x", want);
+        }
+      }
+    }
+  }
+
+  rep.passed = ok;
+  return rep;
+}
+
+// ---- selection -------------------------------------------------------------
+
+namespace {
+
+std::atomic<const Backend*>& active_ptr() {
+  // Seeded lazily from backend_selection() via active_backend(); nullptr
+  // means "not resolved yet".
+  static std::atomic<const Backend*> ptr{nullptr};
+  return ptr;
+}
+
+}  // namespace
+
+BackendSelection resolve_backend(std::string_view requested) {
+  BackendSelection sel;
+  sel.requested = std::string(requested);
+  if (requested == "soft") {
+    sel.backend = &soft_backend();
+    return sel;
+  }
+  require(requested == "auto" || requested == "native",
+          cat("XDBLAS_FP_BACKEND must be auto, native or soft (got '",
+              requested, "')"));
+  sel.conformance = run_conformance(native_backend());
+  if (sel.conformance.passed) {
+    sel.backend = &native_backend();
+  } else {
+    // Even an explicit "native" falls back rather than failing the run: the
+    // soft backend is always correct, and the fp.backend.* gauges (plus this
+    // flag) make the downgrade observable.
+    sel.backend = &soft_backend();
+    sel.fell_back = true;
+  }
+  return sel;
+}
+
+const BackendSelection& backend_selection() {
+  static const BackendSelection sel = [] {
+    const char* env = std::getenv("XDBLAS_FP_BACKEND");
+    return resolve_backend(env && *env ? env : "auto");
+  }();
+  return sel;
+}
+
+const Backend& active_backend() {
+  const Backend* be = active_ptr().load(std::memory_order_acquire);
+  if (!be) [[unlikely]] {
+    be = backend_selection().backend;
+    active_ptr().store(be, std::memory_order_release);
+  }
+  return *be;
+}
+
+ScopedBackend::ScopedBackend(BackendKind kind) {
+  prev_ = &active_backend();  // also forces first-use resolution
+  const Backend* next =
+      kind == BackendKind::Native ? &native_backend() : &soft_backend();
+  active_ptr().store(next, std::memory_order_release);
+}
+
+ScopedBackend::~ScopedBackend() {
+  active_ptr().store(prev_, std::memory_order_release);
+}
+
+}  // namespace xd::fp

@@ -1,6 +1,6 @@
 #include "fp/fpu.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "telemetry/metrics.hpp"
 
@@ -8,103 +8,63 @@ namespace xd::fp {
 
 PipelinedUnit::PipelinedUnit(unsigned stages, Op op) : stages_(stages), op_(op) {
   require(stages >= 1, "pipelined unit needs at least one stage");
-}
-
-void PipelinedUnit::issue(u64 a, u64 b, u64 tag) {
-  if (issued_this_cycle_) {
-    throw SimError("structural hazard: two issues to one FP unit in a cycle");
-  }
-  issued_this_cycle_ = true;
-  ++issued_;
-  pipe_.push_back(InFlight{op_(a, b), tag, cycles_ + stages_});
-}
-
-void PipelinedUnit::tick() {
-  if (output_.has_value()) {
-    throw SimError("FP unit output not consumed before next cycle");
-  }
-  issued_this_cycle_ = false;
-  ++cycles_;
-  if (!pipe_.empty() && pipe_.front().ready_cycle == cycles_) {
-    output_ = FpResult{pipe_.front().bits, pipe_.front().tag};
-    pipe_.pop_front();
-  }
-}
-
-std::optional<FpResult> PipelinedUnit::take_output() {
-  auto r = output_;
-  output_.reset();
-  return r;
+  require(op != nullptr, "pipelined unit needs an arithmetic op");
+  ring_.resize(stages_ + 1);
 }
 
 void PipelinedUnit::publish(telemetry::MetricsRegistry& reg,
                             std::string_view prefix) const {
   reg.counter(cat(prefix, ".ops")).add(issued_);
   reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.counter(cat(prefix, ".retires")).add(retired_);
   reg.gauge(cat(prefix, ".utilization")).set(utilization());
+  reg.counter("fpu.issue").add(issued_);
+  reg.counter("fpu.retire").add(retired_);
 }
 
 void PipelinedUnit::reset() {
-  pipe_.clear();
+  head_ = 0;
+  count_ = 0;
   output_.reset();
   issued_this_cycle_ = false;
   cycles_ = 0;
   issued_ = 0;
+  retired_ = 0;
 }
 
-AdderTree::AdderTree(unsigned k, unsigned stages) : k_(k), stages_(stages) {
+AdderTree::AdderTree(unsigned k, unsigned stages)
+    : k_(k), stages_(stages), fold_n_(active_backend().fold_n) {
   require(k >= 2 && is_pow2(k), "adder tree fan-in must be a power of two >= 2");
   levels_ = log2_floor(k);
+  fold_.resize(k_);
+  ring_.resize(static_cast<std::size_t>(latency()) + 1);
 }
 
 void AdderTree::issue(const std::vector<u64>& operands, u64 tag) {
-  if (issued_this_cycle_) {
-    throw SimError("structural hazard: two issues to one adder tree in a cycle");
-  }
   require(operands.size() == k_,
           cat("adder tree fan-in is ", k_, ", got ", operands.size(), " operands"));
-  issued_this_cycle_ = true;
-  ++issued_;
-  // The tree is fully pipelined, so functionally we can fold the whole vector
-  // at issue time (the per-level order below matches the hardware wiring:
-  // adjacent pairs at each level) and release it after levels * stages cycles.
-  std::vector<u64> level = operands;
-  while (level.size() > 1) {
-    std::vector<u64> next(level.size() / 2);
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      next[i] = fp::add(level[2 * i], level[2 * i + 1]);
-    }
-    level = std::move(next);
-  }
-  pipe_.push_back(InFlight{level[0], tag, cycles_ + latency()});
-}
-
-void AdderTree::tick() {
-  if (output_.has_value()) {
-    throw SimError("adder tree output not consumed before next cycle");
-  }
-  issued_this_cycle_ = false;
-  ++cycles_;
-  if (!pipe_.empty() && pipe_.front().ready_cycle == cycles_) {
-    output_ = FpResult{pipe_.front().bits, pipe_.front().tag};
-    pipe_.pop_front();
-  }
-}
-
-std::optional<FpResult> AdderTree::take_output() {
-  auto r = output_;
-  output_.reset();
-  return r;
+  issue(operands.data(), tag);
 }
 
 void AdderTree::publish(telemetry::MetricsRegistry& reg,
                         std::string_view prefix) const {
   reg.counter(cat(prefix, ".ops")).add(issued_);
   reg.counter(cat(prefix, ".cycles")).add(cycles_);
+  reg.counter(cat(prefix, ".retires")).add(retired_);
   reg.gauge(cat(prefix, ".utilization"))
       .set(cycles_ ? static_cast<double>(issued_) / static_cast<double>(cycles_)
                    : 0.0);
   reg.gauge(cat(prefix, ".adders")).set(static_cast<double>(adders()));
+  reg.counter("fpu.issue").add(issued_);
+  reg.counter("fpu.retire").add(retired_);
+}
+
+MultiplierBank::MultiplierBank(unsigned width, unsigned stages)
+    : width_(width), stages_(stages) {
+  require(width >= 1, "multiplier bank needs at least one lane");
+  require(stages >= 1, "multiplier bank needs at least one stage");
+  slots_.resize(stages_ + 1);
+  buffers_.resize(static_cast<std::size_t>(width_) * capacity());
 }
 
 }  // namespace xd::fp

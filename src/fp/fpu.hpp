@@ -6,23 +6,30 @@
 // GEMM PE array) is the *hazard structure*: a result issued at cycle t is
 // available at cycle t + stages, and one new operation can be issued every
 // cycle. These classes model exactly that, computing the numeric result
-// bit-exactly (fp/softfloat) at issue time and releasing it after the
-// configured latency.
+// bit-exactly (fp/backend: conformance-verified native FPU, or softfloat) at
+// issue time and releasing it after the configured latency.
 //
 // A `tag` travels with every operation so the surrounding architecture can
 // route results (e.g. which reduction-set or which C-element an addition
 // belongs to) without keeping side tables.
+//
+// Timing is structural, never value-dependent: latencies depend only on the
+// stage counts, so swapping the arithmetic backend cannot change any cycle
+// count. The in-flight windows are bounded by the pipeline depth (at most one
+// issue per cycle, every result retires after exactly `stages` ticks), which
+// is why the queues below are fixed rings instead of deques — the steady
+// state allocates nothing.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/util.hpp"
-#include "fp/softfloat.hpp"
+#include "fp/backend.hpp"
 
 namespace xd::telemetry {
 class MetricsRegistry;
@@ -57,28 +64,91 @@ class PipelinedUnit {
 
   /// Issue one operation this cycle. Throws SimError on double issue within
   /// the same cycle (a structural hazard in the surrounding design).
-  void issue(u64 a, u64 b, u64 tag = 0);
+  /// Inline (as are tick/take_output below): these run every simulated
+  /// cycle, so the call overhead itself was measurable.
+  void issue(u64 a, u64 b, u64 tag = 0) {
+    if (issued_this_cycle_) {
+      throw SimError("structural hazard: two issues to one FP unit in a cycle");
+    }
+    if (count_ == ring_.size()) {
+      throw SimError("FP unit ring overflow (more in flight than stages)");
+    }
+    issued_this_cycle_ = true;
+    ++issued_;
+    // head_ + count_ < 2 * size, so one conditional subtract wraps (avoids an
+    // integer division in the per-cycle hot path; size is not a power of two).
+    std::size_t slot = head_ + count_;
+    if (slot >= ring_.size()) slot -= ring_.size();
+    ring_[slot] = InFlight{op_(a, b), tag, cycles_ + stages_};
+    ++count_;
+  }
 
   /// Advance one clock cycle.
-  void tick();
+  void tick() {
+    if (output_.has_value()) {
+      throw SimError("FP unit output not consumed before next cycle");
+    }
+    issued_this_cycle_ = false;
+    ++cycles_;
+    if (count_ != 0 && ring_[head_].ready_cycle == cycles_) {
+      output_ = FpResult{ring_[head_].bits, ring_[head_].tag};
+      if (++head_ == ring_.size()) head_ = 0;
+      --count_;
+      ++retired_;
+    }
+  }
+
+  /// Advance `n` idle cycles at once (no issues in the window). A result may
+  /// complete only on the final cycle; a retire strictly inside the window
+  /// would be silently skipped, so that throws SimError. Callers batch the
+  /// stretches where the unit is known to be draining or empty.
+  void tick_n(u64 n) {
+    if (n == 0) return;
+    if (output_.has_value()) {
+      throw SimError("FP unit output not consumed before next cycle");
+    }
+    issued_this_cycle_ = false;
+    if (count_ != 0 && ring_[head_].ready_cycle < cycles_ + n) {
+      throw SimError("tick_n window would skip an FP unit retire");
+    }
+    cycles_ += n;
+    if (count_ != 0 && ring_[head_].ready_cycle == cycles_) {
+      output_ = FpResult{ring_[head_].bits, ring_[head_].tag};
+      if (++head_ == ring_.size()) head_ = 0;
+      --count_;
+      ++retired_;
+    }
+  }
+
+  /// Cycles until the oldest in-flight result completes (0 when one is due
+  /// now or nothing is in flight) — the safe argument for tick_n.
+  u64 cycles_until_output() const {
+    return count_ ? ring_[head_].ready_cycle - cycles_ : 0;
+  }
 
   /// Result that completed this cycle, if any. Must be consumed before the
   /// next tick(); unconsumed results indicate a design bug and throw.
-  std::optional<FpResult> take_output();
+  std::optional<FpResult> take_output() {
+    auto r = output_;
+    output_.reset();
+    return r;
+  }
 
   unsigned stages() const { return stages_; }
   u64 cycles() const { return cycles_; }
   u64 ops_issued() const { return issued_; }
+  u64 ops_retired() const { return retired_; }
   /// Fraction of elapsed cycles with an issue (pipeline utilization).
   double utilization() const {
     return cycles_ ? static_cast<double>(issued_) / static_cast<double>(cycles_) : 0.0;
   }
   /// True if any operation is still in flight.
-  bool busy() const { return !pipe_.empty(); }
+  bool busy() const { return count_ != 0; }
 
-  /// Snapshot this unit's counters into `reg` under `<prefix>.`: ops and
-  /// cycles (counters), utilization (gauge). Counters accumulate across
-  /// repeated publishes (e.g. one per solver iteration).
+  /// Snapshot this unit's counters into `reg` under `<prefix>.`: ops, cycles
+  /// and retires (counters), utilization (gauge), plus the registry-wide
+  /// fpu.issue / fpu.retire totals. Counters accumulate across repeated
+  /// publishes (e.g. one per solver iteration).
   void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
   void reset();
@@ -92,25 +162,31 @@ class PipelinedUnit {
 
   unsigned stages_;
   Op op_;
-  std::deque<InFlight> pipe_;
+  // Fixed ring: with one issue per cycle and a fixed latency of `stages`
+  // ticks, at most `stages` operations are ever in flight.
+  std::vector<InFlight> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::optional<FpResult> output_;
   bool issued_this_cycle_ = false;
   u64 cycles_ = 0;
   u64 issued_ = 0;
+  u64 retired_ = 0;
 };
 
 /// Pipelined IEEE-754 binary64 adder (default 14 stages per Table 2).
+/// Arithmetic comes from the active backend at construction time.
 class PipelinedAdder : public PipelinedUnit {
  public:
   explicit PipelinedAdder(unsigned stages = kAdderStages)
-      : PipelinedUnit(stages, &fp::add) {}
+      : PipelinedUnit(stages, active_backend().add) {}
 };
 
 /// Pipelined IEEE-754 binary64 multiplier (default 11 stages per Table 2).
 class PipelinedMultiplier : public PipelinedUnit {
  public:
   explicit PipelinedMultiplier(unsigned stages = kMultiplierStages)
-      : PipelinedUnit(stages, &fp::mul) {}
+      : PipelinedUnit(stages, active_backend().mul) {}
 };
 
 /// A balanced binary tree of k-1 pipelined adders reducing k inputs per cycle
@@ -122,10 +198,47 @@ class AdderTree {
   AdderTree(unsigned k, unsigned stages = kAdderStages);
 
   /// Feed one vector of k operands (bits) this cycle; `tag` travels through.
+  /// Inline for the same reason as PipelinedUnit: one call per cycle.
+  void issue(const u64* operands, u64 tag = 0) {
+    if (issued_this_cycle_) {
+      throw SimError("structural hazard: two issues to one adder tree in a cycle");
+    }
+    if (count_ == ring_.size()) {
+      throw SimError("adder tree ring overflow (more in flight than latency)");
+    }
+    issued_this_cycle_ = true;
+    ++issued_;
+    // The tree is fully pipelined, so functionally we can fold the whole
+    // vector at issue time (the backend's fold_n applies the hardware wiring:
+    // adjacent pairs at each level, in place over the scratch buffer) and
+    // release it after levels * stages cycles.
+    std::copy(operands, operands + k_, fold_.data());
+    const u64 root = fold_n_(fold_.data(), k_);
+    std::size_t slot = head_ + count_;
+    if (slot >= ring_.size()) slot -= ring_.size();
+    ring_[slot] = InFlight{root, tag, cycles_ + latency()};
+    ++count_;
+  }
   void issue(const std::vector<u64>& operands, u64 tag = 0);
 
-  void tick();
-  std::optional<FpResult> take_output();
+  void tick() {
+    if (output_.has_value()) {
+      throw SimError("adder tree output not consumed before next cycle");
+    }
+    issued_this_cycle_ = false;
+    ++cycles_;
+    if (count_ != 0 && ring_[head_].ready_cycle == cycles_) {
+      output_ = FpResult{ring_[head_].bits, ring_[head_].tag};
+      if (++head_ == ring_.size()) head_ = 0;
+      --count_;
+      ++retired_;
+    }
+  }
+  std::optional<FpResult> take_output() {
+    auto r = output_;
+    output_.reset();
+    return r;
+  }
 
   unsigned fan_in() const { return k_; }
   unsigned adders() const { return k_ - 1; }
@@ -133,9 +246,11 @@ class AdderTree {
   unsigned latency() const { return levels_ * stages_; }
   u64 cycles() const { return cycles_; }
   u64 ops_issued() const { return issued_; }
+  u64 ops_retired() const { return retired_; }
 
-  /// Snapshot into `reg` under `<prefix>.`: ops, cycles (counters),
-  /// utilization (gauge), adders (gauge, k-1 physical units).
+  /// Snapshot into `reg` under `<prefix>.`: ops, cycles, retires (counters),
+  /// utilization (gauge), adders (gauge, k-1 physical units), plus the
+  /// registry-wide fpu.issue / fpu.retire totals.
   void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
  private:
@@ -147,11 +262,85 @@ class AdderTree {
   unsigned k_;
   unsigned stages_;
   unsigned levels_;
-  std::deque<InFlight> pipe_;
+  Backend::FoldN fold_n_;
+  std::vector<u64> fold_;  // scratch for the per-level pairwise fold
+  std::vector<InFlight> ring_;  // capacity latency()+1, see PipelinedUnit
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::optional<FpResult> output_;
   bool issued_this_cycle_ = false;
   u64 cycles_ = 0;
   u64 issued_ = 0;
+  u64 retired_ = 0;
+};
+
+/// `width` multipliers running in lockstep: one k-wide group of products may
+/// be staged per cycle, and the whole group emerges `stages` cycles later —
+/// the shared feeder for the tree-based engines (dot, row-major GEMV, SpMXV,
+/// node GEMV). The bank owns a ring of preallocated group buffers, so the
+/// steady-state lane loop performs no allocation:
+///
+///   if (auto g = bank.pop_ready(cycle)) tree.issue(g->products, ...);
+///   ...
+///   u64* buf = bank.stage(cycle, last);     // pre-zeroed width-slot buffer
+///   backend.mul_n(apanel, xpanel, buf, lanes);
+///
+/// A popped group's buffer stays valid until `stages`+1 further stage()
+/// calls, far longer than the consume-in-same-cycle the engines need.
+class MultiplierBank {
+ public:
+  MultiplierBank(unsigned width, unsigned stages);
+
+  struct Group {
+    const u64* products;  ///< `width` finished product slots
+    bool last;            ///< caller's last-of-set flag, carried through
+  };
+
+  /// Stage the group issued this cycle; at most one per cycle. Returns the
+  /// group's raw buffer: the caller fills all `width` slots (padding partial
+  /// tail groups with +0 itself -- the bank does not pre-zero).
+  u64* stage(u64 current_cycle, bool last) {
+    if (count_ == capacity()) {
+      throw SimError("multiplier bank ring overflow (more in flight than stages)");
+    }
+    std::size_t slot = head_ + count_;
+    if (slot >= capacity()) slot -= capacity();
+    slots_[slot] = Slot{last, current_cycle + stages_};
+    ++count_;
+    ++issued_;
+    return buffers_.data() + slot * width_;
+  }
+
+  /// The group staged `stages` cycles ago, if any.
+  std::optional<Group> pop_ready(u64 current_cycle) {
+    if (count_ == 0 || slots_[head_].ready_cycle != current_cycle) {
+      return std::nullopt;
+    }
+    Group g{buffers_.data() + head_ * width_, slots_[head_].last};
+    if (++head_ == capacity()) head_ = 0;
+    --count_;
+    return g;
+  }
+
+  unsigned width() const { return width_; }
+  unsigned stages() const { return stages_; }
+  bool empty() const { return count_ == 0; }
+  u64 groups_issued() const { return issued_; }
+
+ private:
+  struct Slot {
+    bool last;
+    u64 ready_cycle;
+  };
+  unsigned width_;
+  unsigned stages_;
+  std::vector<u64> buffers_;  // capacity() slices of `width` words each
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  u64 issued_ = 0;
+
+  std::size_t capacity() const { return slots_.size(); }
 };
 
 }  // namespace xd::fp

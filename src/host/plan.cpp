@@ -44,6 +44,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   hash_combine(seed, k.batch);
   hash_combine(seed, static_cast<std::size_t>(k.placement));
   hash_combine(seed, static_cast<std::size_t>(k.arch));
+  hash_combine(seed, static_cast<std::size_t>(k.backend));
   return seed;
 }
 

@@ -23,13 +23,18 @@
 #include <variant>
 
 #include "blas2/mxv_col.hpp"
+#include "fp/backend.hpp"
 #include "host/op.hpp"
 #include "mem/bram.hpp"
 
 namespace xd::host {
 
 /// The memoization key: every input of plan construction besides the
-/// machine configuration (one cache belongs to one configuration).
+/// machine configuration (one cache belongs to one configuration). The
+/// active fp backend is part of the key: timing never depends on it, but a
+/// plan cached under one backend must not satisfy a lookup made under a
+/// ScopedBackend override, or a backend-equivalence rerun would silently
+/// reuse state from the other arm of the comparison.
 struct PlanKey {
   OpKind kind = OpKind::Dot;
   std::size_t rows = 0;
@@ -38,12 +43,14 @@ struct PlanKey {
   std::size_t batch = 0;
   Placement placement = Placement::Sram;
   GemvArch arch = GemvArch::Tree;
+  fp::BackendKind backend = fp::BackendKind::Soft;
 
   bool operator==(const PlanKey&) const = default;
 
   static PlanKey from(const OpDesc& desc) {
-    return PlanKey{desc.kind, desc.rows,      desc.cols, desc.n,
-                   desc.batch, desc.placement, desc.arch};
+    return PlanKey{desc.kind,  desc.rows,      desc.cols, desc.n,
+                   desc.batch, desc.placement, desc.arch,
+                   fp::active_backend().kind};
   }
 };
 

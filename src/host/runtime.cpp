@@ -171,6 +171,15 @@ void Runtime::publish(telemetry::Session& tel) const {
   tel.gauge("host.runtime.completed").set(static_cast<double>(s.completed));
   tel.gauge("host.runtime.failed").set(static_cast<double>(s.failed));
   tel.gauge("host.runtime.workers").set(static_cast<double>(workers()));
+  // Which arithmetic backend runs the engines, and the evidence behind the
+  // choice: 'native' reflects the live dispatch table (including ScopedBackend
+  // overrides), the other two describe the process-wide startup selection.
+  const fp::BackendSelection& sel = fp::backend_selection();
+  tel.gauge("fp.backend.native")
+      .set(fp::active_backend().kind == fp::BackendKind::Native ? 1.0 : 0.0);
+  tel.gauge("fp.backend.fell_back").set(sel.fell_back ? 1.0 : 0.0);
+  tel.gauge("fp.backend.conformance_cases")
+      .set(static_cast<double>(sel.conformance.cases));
   cache_.publish(tel);
 }
 

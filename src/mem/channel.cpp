@@ -18,18 +18,9 @@ Channel::Channel(double words_per_cycle, std::string name, double burst_words)
   require(words_per_cycle > 0.0, cat("channel ", name_, " needs positive rate"));
 }
 
-void Channel::tick() {
-  ++cycles_;
-  credit_ = std::min(credit_ + rate_, burst_);
-}
-
-void Channel::transfer(double words) {
-  if (credit_ < words) {
-    throw SimError(cat("channel ", name_, " over-subscribed: need ", words,
-                       " credits, have ", credit_));
-  }
-  credit_ -= words;
-  transferred_ += words;
+void Channel::throw_oversubscribed(double words) const {
+  throw SimError(cat("channel ", name_, " over-subscribed: need ", words,
+                     " credits, have ", credit_));
 }
 
 double Channel::utilization() const {

@@ -26,15 +26,23 @@ class Channel {
   /// credit can pool while idle (defaults to one cycle's ceiling).
   Channel(double words_per_cycle, std::string name, double burst_words = 0.0);
 
-  /// Advance one clock cycle: accrue credit.
-  void tick();
+  /// Advance one clock cycle: accrue credit. Inline — engines call this every
+  /// simulated cycle.
+  void tick() {
+    ++cycles_;
+    credit_ = credit_ + rate_ < burst_ ? credit_ + rate_ : burst_;
+  }
 
   /// Can `words` be transferred this cycle?
   bool can_transfer(double words = 1.0) const { return credit_ >= words; }
 
   /// Consume credit for `words`; throws SimError if unavailable (the caller
   /// must check can_transfer first — real designs gate issue on ready lines).
-  void transfer(double words = 1.0);
+  void transfer(double words = 1.0) {
+    if (credit_ < words) throw_oversubscribed(words);
+    credit_ -= words;
+    transferred_ += words;
+  }
 
   double rate() const { return rate_; }
   u64 cycles() const { return cycles_; }
@@ -59,6 +67,8 @@ class Channel {
   }
 
  private:
+  [[noreturn]] void throw_oversubscribed(double words) const;
+
   double rate_;
   double burst_;
   double credit_ = 0.0;

@@ -1,24 +1,41 @@
 #include "reduce/reduction_circuit.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "telemetry/metrics.hpp"
 
 namespace xd::reduce {
 
-// --- Row/Buffer helpers --------------------------------------------------
+// --- Row helpers -----------------------------------------------------------
 
-bool ReductionCircuit::Buffer::fully_drained() const {
-  for (const auto& r : rows) {
-    if (r.in_use) return false;  // a used row is only released by emission
-  }
-  return true;
+void ReductionCircuit::Row::reset() {
+  set_id = 0;
+  in_use = false;
+  complete = false;
+  direct_fill = 0;
+  merge_ptr = 0;
+  occupied_bits = 0;
+  inflight_bits = 0;
+  // `values` keeps its storage; stale words are unreachable once the bitmaps
+  // are cleared.
 }
 
-std::size_t ReductionCircuit::Buffer::occupied_words() const {
-  std::size_t n = 0;
-  for (const auto& r : rows) n += r.occupied_count();
-  return n;
+void ReductionCircuit::Buffer::refresh(unsigned r) {
+  const Row& row = rows[r];
+  const u64 bit = u64{1} << r;
+  const u64 avail = row.occupied_bits & ~row.inflight_bits;
+  if (row.in_use && (avail & (avail - 1)) != 0) {
+    drainable_rows |= bit;
+  } else {
+    drainable_rows &= ~bit;
+  }
+  if (row.in_use && row.complete && row.inflight_bits == 0 &&
+      std::has_single_bit(row.occupied_bits)) {
+    ready_rows |= bit;
+  } else {
+    ready_rows &= ~bit;
+  }
 }
 
 // --- tags -----------------------------------------------------------------
@@ -40,12 +57,14 @@ void ReductionCircuit::split_tag(u64 tag, unsigned& buf, unsigned& row,
 ReductionCircuit::ReductionCircuit(unsigned adder_stages, bool dedicated_drain_adder)
     : alpha_(adder_stages), adder_(adder_stages) {
   require(adder_stages >= 2, "reduction circuit assumes a pipelined adder (alpha >= 2)");
+  require(adder_stages <= 64,
+          "reduction circuit tracks row slots in 64-bit occupancy maps (alpha <= 64)");
   if (dedicated_drain_adder) {
     drain_adder_ = std::make_unique<fp::PipelinedAdder>(adder_stages);
   }
   for (auto& b : bufs_) {
     b.rows.resize(alpha_);
-    for (auto& r : b.rows) r.slots.resize(alpha_);
+    for (auto& r : b.rows) r.values.resize(alpha_);
   }
 }
 
@@ -87,8 +106,7 @@ bool ReductionCircuit::cycle(std::optional<Input> in) {
   scan_for_finals();
 
   stats_.peak_buffer_words =
-      std::max({stats_.peak_buffer_words, bufs_[0].occupied_words(),
-                bufs_[1].occupied_words()});
+      std::max({stats_.peak_buffer_words, bufs_[0].words, bufs_[1].words});
   stats_.peak_out_queue = std::max(stats_.peak_out_queue, out_queue_.size());
   return consumed;
 }
@@ -97,14 +115,14 @@ void ReductionCircuit::handle_writeback(const fp::FpResult& r) {
   unsigned buf, row, slot;
   split_tag(r.tag, buf, row, slot);
   Row& target = bufs_[buf].rows[row];
-  Slot& s = target.slots[slot];
-  if (!s.inflight) {
+  const u64 bit = u64{1} << slot;
+  if (!(target.inflight_bits & bit)) {
     throw SimError("reduction circuit: write-back to a slot that is not in flight");
   }
-  s.bits = r.bits;
-  s.inflight = false;
-  s.occupied = true;
-  --target.inflight_n;
+  target.values[slot] = r.bits;
+  target.inflight_bits &= ~bit;
+  // The slot stayed occupied while the result was in flight.
+  bufs_[buf].refresh(row);
 }
 
 bool ReductionCircuit::try_swap() {
@@ -119,11 +137,12 @@ bool ReductionCircuit::try_swap() {
   }
   in_idx_ = 1 - in_idx_;
   Buffer& fresh_in = bufs_[in_idx_];
-  for (auto& row : fresh_in.rows) {
-    row = Row{};
-    row.slots.resize(alpha_);
-  }
+  for (auto& row : fresh_in.rows) row.reset();
   fresh_in.rows_used = 0;
+  fresh_in.rows_active = 0;
+  fresh_in.words = 0;
+  fresh_in.drainable_rows = 0;
+  fresh_in.ready_rows = 0;
   drain_rr_ = 0;
   ++stats_.swaps;
   return true;
@@ -137,6 +156,7 @@ bool ReductionCircuit::accept_input(const Input& in) {
       bin = &bufs_[in_idx_];
     }
     cur_row_ = bin->rows_used++;
+    ++bin->rows_active;
     Row& row = bin->rows[cur_row_];
     row.in_use = true;
     row.set_id = next_set_id_++;
@@ -149,29 +169,29 @@ bool ReductionCircuit::accept_input(const Input& in) {
   Row& row = bin->rows[cur_row_];
   if (row.direct_fill < alpha_) {
     // Direct write; the adder stays free for the drain path this cycle.
-    Slot& s = row.slots[row.direct_fill++];
-    s.bits = in.bits;
-    s.occupied = true;
-    s.inflight = false;
-    ++row.occupied_n;
+    const unsigned slot = row.direct_fill++;
+    row.values[slot] = in.bits;
+    row.occupied_bits |= u64{1} << slot;
+    ++bin->words;
   } else {
     // Fold path: combine the new element with slot (merge_ptr mod alpha).
     // The slot was last targeted alpha inputs (= alpha cycles) ago, so its
     // write-back has completed; anything else is a genuine RAW hazard.
-    Slot& s = row.slots[row.merge_ptr];
-    if (s.inflight || !s.occupied) {
+    const u64 bit = u64{1} << row.merge_ptr;
+    if ((row.inflight_bits & bit) || !(row.occupied_bits & bit)) {
       throw SimError("reduction circuit: fold path read-after-write hazard");
     }
-    adder_.issue(in.bits, s.bits, make_tag(in_idx_, cur_row_, row.merge_ptr));
-    s.inflight = true;
-    ++row.inflight_n;
+    adder_.issue(in.bits, row.values[row.merge_ptr],
+                 make_tag(in_idx_, cur_row_, row.merge_ptr));
+    row.inflight_bits |= bit;
     adder_issued_ = true;
-    row.merge_ptr = (row.merge_ptr + 1) % alpha_;
+    if (++row.merge_ptr == alpha_) row.merge_ptr = 0;
   }
   if (in.last) {
     row.complete = true;
     cur_row_open_ = false;
   }
+  bin->refresh(cur_row_);
   ++stats_.inputs;
   return true;
 }
@@ -180,69 +200,59 @@ void ReductionCircuit::issue_drain_if_free() {
   // In two-adder mode the drain path owns its adder and never contends with
   // the input fold path.
   if (!drain_adder_ && adder_issued_) return;
-  fp::PipelinedAdder& drain = drain_adder_ ? *drain_adder_ : adder_;
   Buffer& red = bufs_[1 - in_idx_];
-  for (unsigned probe = 0; probe < alpha_; ++probe) {
-    const unsigned ri = (drain_rr_ + probe) % alpha_;
-    Row& row = red.rows[ri];
-    if (!row.in_use || row.available_count() < 2) continue;
-    // Find two available values (occupied, not awaiting a write-back).
-    int first = -1, second = -1;
-    for (unsigned si = 0; si < alpha_; ++si) {
-      const Slot& s = row.slots[si];
-      if (s.occupied && !s.inflight) {
-        if (first < 0) {
-          first = static_cast<int>(si);
-        } else {
-          second = static_cast<int>(si);
-          break;
-        }
-      }
-    }
-    // A row still filling via fold write-backs or down to its final value is
-    // skipped; rows with pending elements of an incomplete set cannot exist
-    // in Buf_red (a set spans exactly one row and rows move at swap).
-    if (second < 0) continue;
-    Slot& a = row.slots[static_cast<unsigned>(first)];
-    Slot& b = row.slots[static_cast<unsigned>(second)];
-    drain.issue(a.bits, b.bits, make_tag(1 - in_idx_, ri, static_cast<unsigned>(first)));
-    a.inflight = true;  // result lands back in `first`
-    b.occupied = false;
-    ++row.inflight_n;
-    --row.occupied_n;
-    if (!drain_adder_) adder_issued_ = true;
-    drain_rr_ = (ri + 1) % alpha_;
-    return;
-  }
+  // Rows with >= 2 available values, cyclic-first-match from drain_rr_ — the
+  // same row the old round-robin probe loop would have picked. Rows still
+  // filling via fold write-backs or down to their final value have their
+  // drainable bit clear; rows with pending elements of an incomplete set
+  // cannot exist in Buf_red (a set spans exactly one row, rows move at swap).
+  if (red.drainable_rows == 0) return;
+  fp::PipelinedAdder& drain = drain_adder_ ? *drain_adder_ : adder_;
+  const u64 from_rr = red.drainable_rows >> drain_rr_;
+  const unsigned ri = static_cast<unsigned>(
+      from_rr != 0 ? drain_rr_ + std::countr_zero(from_rr)
+                   : std::countr_zero(red.drainable_rows));
+  Row& row = red.rows[ri];
+  // The two lowest-index available values (occupied, not awaiting a
+  // write-back) — the same pair the old slot scan used to pick.
+  const u64 avail = row.occupied_bits & ~row.inflight_bits;
+  const u64 rest = avail & (avail - 1);
+  const unsigned first = static_cast<unsigned>(std::countr_zero(avail));
+  const unsigned second = static_cast<unsigned>(std::countr_zero(rest));
+  drain.issue(row.values[first], row.values[second],
+              make_tag(1 - in_idx_, ri, first));
+  row.inflight_bits |= u64{1} << first;  // result lands back in `first`
+  row.occupied_bits &= ~(u64{1} << second);
+  --red.words;
+  red.refresh(ri);
+  if (!drain_adder_) adder_issued_ = true;
+  drain_rr_ = ri + 1 == alpha_ ? 0 : ri + 1;
 }
 
 void ReductionCircuit::scan_for_finals() {
-  // One memory write port: emit at most one completed set per cycle.
+  // One memory write port: emit at most one completed set per cycle — the
+  // lowest-index ready row, as the old row scan emitted.
   Buffer& red = bufs_[1 - in_idx_];
-  for (auto& row : red.rows) {
-    if (!row.in_use || !row.complete) continue;
-    if (row.inflight_count() != 0 || row.occupied_count() != 1) continue;
-    for (auto& s : row.slots) {
-      if (s.occupied) {
-        out_queue_.push_back(SetResult{row.set_id, s.bits});
-        s.occupied = false;
-        --row.occupied_n;
-        break;
-      }
-    }
-    row.in_use = false;
-    ++stats_.sets_completed;
-    if (trace_ && trace_->enabled()) {
-      trace_->emit(cycles_, "reduction", cat("emit: set ", row.set_id));
-    }
-    return;
+  if (red.ready_rows == 0) return;
+  const unsigned ri = static_cast<unsigned>(std::countr_zero(red.ready_rows));
+  Row& row = red.rows[ri];
+  const unsigned slot = static_cast<unsigned>(std::countr_zero(row.occupied_bits));
+  out_queue_.push_back(SetResult{row.set_id, row.values[slot]});
+  row.occupied_bits = 0;
+  --red.words;
+  row.in_use = false;
+  --red.rows_active;
+  red.refresh(ri);
+  ++stats_.sets_completed;
+  if (trace_ && trace_->enabled()) {
+    trace_->emit(cycles_, "reduction", cat("emit: set ", row.set_id));
   }
 }
 
 std::optional<SetResult> ReductionCircuit::take_result() {
   if (out_queue_.empty()) return std::nullopt;
   SetResult r = out_queue_.front();
-  out_queue_.erase(out_queue_.begin());
+  out_queue_.pop_front();
   return r;
 }
 
@@ -261,12 +271,7 @@ void ReductionCircuit::publish(telemetry::MetricsRegistry& reg,
 bool ReductionCircuit::busy() const {
   if (adder_.busy() || !out_queue_.empty()) return true;
   if (drain_adder_ && drain_adder_->busy()) return true;
-  for (const auto& b : bufs_) {
-    for (const auto& r : b.rows) {
-      if (r.in_use) return true;
-    }
-  }
-  return false;
+  return bufs_[0].rows_active != 0 || bufs_[1].rows_active != 0;
 }
 
 }  // namespace xd::reduce

@@ -30,6 +30,8 @@
 // reassociated addition tree, so tests compare against tolerance, not bits.
 #pragma once
 
+#include <bit>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -88,34 +90,47 @@ class ReductionCircuit final : public ReductionCircuitBase {
   void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
  private:
-  struct Slot {
-    u64 bits = 0;
-    bool occupied = false;
-    bool inflight = false;  ///< an adder result will overwrite this slot
-  };
   struct Row {
     u64 set_id = 0;
     bool in_use = false;
     bool complete = false;     ///< last element of the set has arrived
     unsigned direct_fill = 0;  ///< elements written without the adder
     unsigned merge_ptr = 0;    ///< next slot for the fold path (mod alpha)
-    // Incrementally-maintained slot counters: the per-cycle scheduling reads
-    // them instead of scanning all alpha slots.
-    unsigned occupied_n = 0;
-    unsigned inflight_n = 0;
-    std::vector<Slot> slots;
+    // Slot state as bitmaps (alpha <= 64): bit i of occupied_bits means slot
+    // i holds a value, bit i of inflight_bits means an adder result will
+    // overwrite it (inflight slots stay occupied). The per-cycle scheduling
+    // finds candidate slots with popcount/countr_zero instead of scanning.
+    u64 occupied_bits = 0;
+    u64 inflight_bits = 0;
+    std::vector<u64> values;  ///< alpha slot values
 
-    unsigned occupied_count() const { return occupied_n; }
-    unsigned inflight_count() const { return inflight_n; }
-    unsigned available_count() const { return occupied_n - inflight_n; }
-    bool drained() const { return occupied_n == 0 && inflight_n == 0; }
+    unsigned occupied_count() const {
+      return static_cast<unsigned>(std::popcount(occupied_bits));
+    }
+    unsigned inflight_count() const {
+      return static_cast<unsigned>(std::popcount(inflight_bits));
+    }
+    unsigned available_count() const {
+      return static_cast<unsigned>(std::popcount(occupied_bits & ~inflight_bits));
+    }
+    bool drained() const { return occupied_bits == 0 && inflight_bits == 0; }
+    void reset();  ///< back to empty, keeping the slot storage
   };
   struct Buffer {
     std::vector<Row> rows;
-    unsigned rows_used = 0;
+    unsigned rows_used = 0;    ///< rows handed to input sets since the swap
+    unsigned rows_active = 0;  ///< rows whose set has not been emitted yet
+    std::size_t words = 0;     ///< currently-occupied slots across all rows
+    // Per-row scheduling state, refreshed at every row mutation so the
+    // per-cycle drain/emit decisions are bit scans instead of row loops:
+    // bit r of drainable_rows = row r has >= 2 available values; bit r of
+    // ready_rows = row r is down to its completed set's final value.
+    u64 drainable_rows = 0;
+    u64 ready_rows = 0;
 
-    bool fully_drained() const;
-    std::size_t occupied_words() const;
+    bool fully_drained() const { return rows_active == 0; }
+    /// Recompute row r's drainable/ready bits from its current state.
+    void refresh(unsigned r);
   };
 
   // Tag layout for adder operations: buffer index, row, slot.
@@ -140,7 +155,7 @@ class ReductionCircuit final : public ReductionCircuitBase {
   bool adder_issued_ = false;
   u64 cycles_ = 0;
   ReductionStats stats_;
-  std::vector<SetResult> out_queue_;
+  std::deque<SetResult> out_queue_;
   sim::Trace* trace_ = nullptr;
 };
 

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <initializer_list>
 
+#include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "host/context.hpp"
 #include "solver/cg.hpp"
@@ -25,6 +26,21 @@ using host::Runtime;
 
 bool is_solver(FuzzKind k) {
   return k == FuzzKind::JacobiBatch || k == FuzzKind::Cg;
+}
+
+/// The backend-equivalence invariant needs a host whose native FPU passes
+/// conformance; on one that does not (x87, FTZ, non-RNE), there is nothing
+/// to cross-check and the invariant is skipped. Evaluated once.
+bool native_is_conformant() {
+  static const bool ok = fp::run_conformance(fp::native_backend()).passed;
+  return ok;
+}
+
+/// The backend to cross-check the current run against.
+fp::BackendKind other_backend() {
+  return fp::active_backend().kind == fp::BackendKind::Soft
+             ? fp::BackendKind::Native
+             : fp::BackendKind::Soft;
 }
 
 bool bits_equal(double a, double b) {
@@ -237,6 +253,22 @@ std::optional<CheckFailure> check_op(const FuzzCase& fc, CaseData& data) {
     }
   }
 
+  // Backend equivalence: the exact same case, rerun with the other
+  // arithmetic backend, must reproduce every value bit AND every cycle
+  // count — the native fast path is an implementation detail, never an
+  // observable one. This holds in every value mode, including Extreme
+  // (NaN payloads, inf - inf, subnormals), because that is precisely where
+  // the native pre-filters earn their keep.
+  if (native_is_conformant()) {
+    fp::ScopedBackend swap(other_backend());
+    Runtime rt_other(cfg);
+    if (auto d = outcome_diff(base, rt_other.run(data.desc))) {
+      return CheckFailure{
+          "backend-equivalence",
+          cat(backend_name(fp::active_backend().kind), " backend differs: ", *d)};
+    }
+  }
+
   // Differential oracle.
   if (fc.mode != ValueMode::Extreme) {
     if (auto f = check_oracle(fc, data, base)) return f;
@@ -338,6 +370,31 @@ std::optional<CheckFailure> check_solver(const FuzzCase& fc) {
         }
       }
     }
+    // Backend equivalence for the solver path: identical iterates, cycle
+    // counts and solution bits under the other arithmetic backend.
+    if (native_is_conformant()) {
+      fp::ScopedBackend swap(other_backend());
+      host::Context ctx2(fc.config());
+      const auto many2 =
+          solver::jacobi_dense_batch(ctx2, data.a, fc.n, data.rhs, opts);
+      for (std::size_t i = 0; i < many.size(); ++i) {
+        if (many2[i].iterations != many[i].iterations ||
+            many2[i].fpga_cycles != many[i].fpga_cycles) {
+          return CheckFailure{
+              "backend-equivalence",
+              cat("jacobi system ", i, ": other backend iters=",
+                  many2[i].iterations, "/cycles=", many2[i].fpga_cycles,
+                  " != ", many[i].iterations, "/", many[i].fpga_cycles)};
+        }
+        for (std::size_t j = 0; j < fc.n; ++j) {
+          if (!bits_equal(many2[i].x[j], many[i].x[j])) {
+            return CheckFailure{"backend-equivalence",
+                                cat("jacobi system ", i, " x[", j,
+                                    "] differs across backends")};
+          }
+        }
+      }
+    }
     return std::nullopt;
   }
 
@@ -355,6 +412,24 @@ std::optional<CheckFailure> check_solver(const FuzzCase& fc) {
     if (!bits_equal(r1.x[j], r2.x[j])) {
       return CheckFailure{"solver-determinism",
                           cat("reruns differ at x[", j, "]")};
+    }
+  }
+  if (native_is_conformant()) {
+    fp::ScopedBackend swap(other_backend());
+    host::Context ctx2(fc.config());
+    const auto r3 = solver::cg_dense(ctx2, data.a, fc.n, data.b, opts);
+    if (r3.iterations != r1.iterations || r3.fpga_cycles != r1.fpga_cycles) {
+      return CheckFailure{"backend-equivalence",
+                          cat("cg: other backend iters=", r3.iterations,
+                              "/cycles=", r3.fpga_cycles, " != ",
+                              r1.iterations, "/", r1.fpga_cycles)};
+    }
+    for (std::size_t j = 0; j < fc.n; ++j) {
+      if (!bits_equal(r3.x[j], r1.x[j])) {
+        return CheckFailure{
+            "backend-equivalence",
+            cat("cg x[", j, "] differs across backends")};
+      }
     }
   }
   if (!r1.converged) {

@@ -9,6 +9,10 @@
 //                   to the cold-miss run, and a fresh runtime reproduces it
 //   concurrency     submit() and a 3-way run_batch() are bit-identical to
 //                   the sequential run, including cycle counts
+//   backend-equivalence  rerunning under the other fp backend (softfloat vs
+//                   conformance-verified native FPU) is bit-identical —
+//                   values AND cycle counts — for every op and solver kind;
+//                   skipped only on hosts whose FPU fails conformance
 //   telemetry       a run with a live Session produces identical numerics
 //                   and all four exporters emit valid JSON
 //   size-monotone   cycles do not decrease when the problem grows (checked

@@ -1,0 +1,305 @@
+// Backend-selection tests: the conformance gate does its job (native passes
+// on an IEEE-754 RNE host and a deliberately broken backend is rejected),
+// the XDBLAS_FP_BACKEND modes resolve as documented, the batched mul_n /
+// fold_n entry points agree bitwise with softfloat on adversarial operands,
+// and the regression corpus replays clean under BOTH backends.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/ring_fifo.hpp"
+#include "fp/backend.hpp"
+#include "fp/fpu.hpp"
+#include "fp/softfloat.hpp"
+#include "host/plan.hpp"
+#include "testing/fuzz.hpp"
+
+using namespace xd;
+using fp::Backend;
+using fp::BackendKind;
+
+#ifndef XD_CORPUS_FILE
+#define XD_CORPUS_FILE "tests/corpus/regressions.fz"
+#endif
+
+namespace {
+
+/// True on every host this project supports in CI (x86-64 SSE2 / AArch64).
+/// If this ever fails, the suite should say so loudly rather than silently
+/// skip the native coverage.
+bool native_ok() {
+  static const bool ok = fp::run_conformance(fp::native_backend()).passed;
+  return ok;
+}
+
+}  // namespace
+
+TEST(Conformance, NativePassesOnThisHost) {
+  const auto rep = fp::run_conformance(fp::native_backend());
+  EXPECT_TRUE(rep.passed) << rep.first_failure;
+  // Hard-case vector plus the randomized cross-check actually ran.
+  EXPECT_GT(rep.cases, 4096u);
+  EXPECT_TRUE(rep.first_failure.empty());
+}
+
+TEST(Conformance, SoftBackendTriviallyConforms) {
+  const auto rep = fp::run_conformance(fp::soft_backend(), 256);
+  EXPECT_TRUE(rep.passed) << rep.first_failure;
+}
+
+namespace {
+
+// A backend that is subtly wrong: correct except that it flushes subnormal
+// results to zero (the classic FTZ failure mode the gate exists to catch).
+u64 ftz_add(u64 a, u64 b) {
+  const u64 r = fp::add(a, b);
+  return fp::is_subnormal(r) ? (r & fp::kSignMask) : r;
+}
+
+void ftz_mul_n(const u64* a, const u64* b, u64* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = fp::mul(a[i], b[i]);
+}
+
+u64 ftz_fold_n(u64* scratch, std::size_t k) {
+  for (std::size_t width = k; width > 1; width /= 2) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      scratch[i] = ftz_add(scratch[2 * i], scratch[2 * i + 1]);
+    }
+  }
+  return scratch[0];
+}
+
+// A backend whose fold is right at every level but wrong in its wiring:
+// it folds first-half-against-second-half instead of adjacent pairs. Every
+// individual add is IEEE-correct, so only the fold_n cross-check can see it.
+u64 strided_fold_n(u64* scratch, std::size_t k) {
+  for (std::size_t width = k; width > 1; width /= 2) {
+    for (std::size_t i = 0; i < width / 2; ++i) {
+      scratch[i] = fp::add(scratch[i], scratch[i + width / 2]);
+    }
+  }
+  return scratch[0];
+}
+
+}  // namespace
+
+TEST(Conformance, FlushToZeroBackendIsRejected) {
+  Backend bad = fp::soft_backend();
+  bad.add = &ftz_add;
+  bad.mul_n = &ftz_mul_n;
+  bad.fold_n = &ftz_fold_n;
+  const auto rep = fp::run_conformance(bad);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_FALSE(rep.first_failure.empty());
+}
+
+TEST(Conformance, MiswiredFoldIsRejected) {
+  Backend bad = fp::soft_backend();
+  bad.fold_n = &strided_fold_n;
+  const auto rep = fp::run_conformance(bad);
+  EXPECT_FALSE(rep.passed);
+  EXPECT_NE(rep.first_failure.find("fold_n"), std::string::npos)
+      << rep.first_failure;
+}
+
+TEST(Selection, SoftModeForcesSoftfloat) {
+  const auto sel = fp::resolve_backend("soft");
+  EXPECT_EQ(sel.backend->kind, BackendKind::Soft);
+  EXPECT_FALSE(sel.fell_back);
+  EXPECT_EQ(sel.conformance.cases, 0u);  // nothing to verify
+}
+
+TEST(Selection, AutoAndNativeAreConformanceGated) {
+  for (const char* mode : {"auto", "native"}) {
+    const auto sel = fp::resolve_backend(mode);
+    ASSERT_NE(sel.backend, nullptr);
+    if (native_ok()) {
+      EXPECT_EQ(sel.backend->kind, BackendKind::Native) << mode;
+      EXPECT_FALSE(sel.fell_back) << mode;
+    } else {
+      EXPECT_EQ(sel.backend->kind, BackendKind::Soft) << mode;
+      EXPECT_TRUE(sel.fell_back) << mode;
+    }
+    EXPECT_GT(sel.conformance.cases, 0u) << mode;
+  }
+}
+
+TEST(Selection, UnknownModeThrows) {
+  EXPECT_THROW(fp::resolve_backend("fast"), ConfigError);
+  EXPECT_THROW(fp::resolve_backend(""), ConfigError);
+}
+
+TEST(Selection, ScopedBackendSwapsAndRestores) {
+  const BackendKind before = fp::active_backend().kind;
+  {
+    fp::ScopedBackend soft(BackendKind::Soft);
+    EXPECT_EQ(fp::active_backend().kind, BackendKind::Soft);
+    {
+      fp::ScopedBackend native(BackendKind::Native);
+      EXPECT_EQ(fp::active_backend().kind, BackendKind::Native);
+    }
+    EXPECT_EQ(fp::active_backend().kind, BackendKind::Soft);
+  }
+  EXPECT_EQ(fp::active_backend().kind, before);
+}
+
+TEST(PlanKey, DistinguishesBackends) {
+  host::OpDesc desc;
+  desc.kind = host::OpKind::Dot;
+  desc.cols = 8;
+  host::PlanKey soft_key, native_key;
+  {
+    fp::ScopedBackend soft(BackendKind::Soft);
+    soft_key = host::PlanKey::from(desc);
+  }
+  {
+    fp::ScopedBackend native(BackendKind::Native);
+    native_key = host::PlanKey::from(desc);
+  }
+  EXPECT_FALSE(soft_key == native_key);
+  EXPECT_NE(host::PlanKeyHash{}(soft_key), host::PlanKeyHash{}(native_key));
+}
+
+// ---- batched entry points vs softfloat -------------------------------------
+
+namespace {
+
+u64 mix(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Adversarial operand stream: raw patterns, subnormals, near-overflow
+/// magnitudes, NaNs/infs, signed zeros.
+u64 adversarial(u64 i) {
+  const u64 raw = mix(i);
+  switch (i % 6) {
+    case 0: return raw;
+    case 1: return raw & (fp::kSignMask | fp::kFracMask);           // subnormal
+    case 2: return (raw & fp::kSignMask) | fp::kPosInf;             // inf
+    case 3: return (raw & (fp::kSignMask | fp::kFracMask)) | fp::kExpMask;  // NaN
+    case 4: return (raw & (fp::kSignMask | fp::kFracMask)) |
+                   (u64{0x7FD} << fp::kFracBits);                   // huge
+    default: return raw & fp::kSignMask;                            // +/- 0
+  }
+}
+
+}  // namespace
+
+TEST(NativeBatched, MulNMatchesSoftfloatOnAdversarialLanes) {
+  const Backend& native = fp::native_backend();
+  for (std::size_t n : {1u, 3u, 8u, 17u}) {
+    std::vector<u64> a(n), b(n), out(n);
+    for (u64 trial = 0; trial < 512; ++trial) {
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = adversarial(trial * 131 + i);
+        b[i] = adversarial(mix(trial) + 17 * i);
+      }
+      native.mul_n(a.data(), b.data(), out.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], fp::mul(a[i], b[i]))
+            << "lane " << i << " of " << n << ", trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(NativeBatched, FoldNMatchesSoftfloatOnAdversarialTrees) {
+  const Backend& native = fp::native_backend();
+  for (std::size_t k : {2u, 4u, 8u, 16u}) {
+    std::vector<u64> nat(k), soft(k);
+    for (u64 trial = 0; trial < 512; ++trial) {
+      for (std::size_t i = 0; i < k; ++i) {
+        nat[i] = soft[i] = adversarial(trial * 61 + 7 * i);
+      }
+      const u64 have = native.fold_n(nat.data(), k);
+      for (std::size_t width = k; width > 1; width /= 2) {
+        for (std::size_t i = 0; i < width / 2; ++i) {
+          soft[i] = fp::add(soft[2 * i], soft[2 * i + 1]);
+        }
+      }
+      EXPECT_EQ(have, soft[0]) << "k=" << k << ", trial " << trial;
+    }
+  }
+}
+
+TEST(NativeBatched, FoldNCatchesOppositeInfinityCollision) {
+  // Finite inputs whose partial sums overflow to +inf and -inf and then
+  // meet: the fast-path redo must kick in and reproduce softfloat's default
+  // NaN, not the host's.
+  const u64 big = fp::to_bits(1.7e308);
+  const u64 neg_big = fp::to_bits(-1.7e308);
+  std::vector<u64> in{big, big, neg_big, neg_big};
+  std::vector<u64> ref = in;
+  const u64 have = fp::native_backend().fold_n(in.data(), 4);
+  const u64 want = fp::add(fp::add(ref[0], ref[1]), fp::add(ref[2], ref[3]));
+  EXPECT_EQ(have, want);
+}
+
+// ---- engine-level equivalence ----------------------------------------------
+
+TEST(BackendEquivalence, AdderTreeIdenticalUnderBothBackends) {
+  if (!native_ok()) GTEST_SKIP() << "host FPU not conformant";
+  Rng rng(91);
+  const auto vals = rng.vector(64, -1e6, 1e6);
+  std::vector<u64> results[2];
+  const BackendKind kinds[] = {BackendKind::Soft, BackendKind::Native};
+  for (int which = 0; which < 2; ++which) {
+    fp::ScopedBackend sb(kinds[which]);
+    fp::AdderTree tree(4, 3);
+    std::vector<u64> group(4);
+    std::size_t next = 0;
+    for (u64 cycle = 0; cycle < 64; ++cycle) {
+      if (next + 4 <= vals.size()) {
+        for (std::size_t i = 0; i < 4; ++i) group[i] = fp::to_bits(vals[next + i]);
+        tree.issue(group, cycle);
+        next += 4;
+      }
+      tree.tick();
+      if (auto r = tree.take_output()) {
+        results[which].push_back(r->bits);
+        results[which].push_back(r->tag);
+      }
+    }
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(BackendEquivalence, CorpusReplaysCleanUnderBothBackends) {
+  for (const BackendKind kind : {BackendKind::Soft, BackendKind::Native}) {
+    if (kind == BackendKind::Native && !native_ok()) continue;
+    fp::ScopedBackend sb(kind);
+    std::vector<std::string> lines;
+    const auto sum = xd::testing::replay_corpus(
+        XD_CORPUS_FILE, [&](const std::string& s) { lines.push_back(s); });
+    EXPECT_GT(sum.cases_run, 0u);
+    EXPECT_EQ(sum.failures, 0u)
+        << "under " << fp::backend_name(kind) << ": "
+        << (lines.empty() ? "" : lines.front());
+  }
+}
+
+// ---- RingFifo --------------------------------------------------------------
+
+TEST(RingFifo, WrapsAndPreservesFifoOrder) {
+  RingFifo<int> q(3);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.capacity(), 3u);
+  int next_in = 0, next_out = 0;
+  // Push/pop around the ring several times so head wraps repeatedly.
+  for (int round = 0; round < 5; ++round) {
+    while (!q.full()) q.push(next_in++);
+    EXPECT_EQ(q.size(), 3u);
+    q.pop();  // leave a gap, then refill, forcing unaligned wraps
+    ++next_out;
+    q.push(next_in++);
+    while (!q.empty()) {
+      EXPECT_EQ(q.front(), next_out++);
+      q.pop();
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
