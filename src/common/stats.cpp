@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/util.hpp"
+
 namespace xd {
 
 void RunningStats::add(double x) {
@@ -44,6 +46,10 @@ std::string RunningStats::summary() const {
   os << "n=" << n_ << " mean=" << mean() << " sd=" << stddev() << " min=" << min()
      << " max=" << max();
   return os.str();
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {
+  require(buckets >= 1, "Histogram needs at least one bucket");
 }
 
 void Histogram::add(std::size_t value) {

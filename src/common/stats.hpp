@@ -41,7 +41,11 @@ class RunningStats {
 /// overflow bucket and are still counted in max().
 class Histogram {
  public:
-  explicit Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {}
+  /// Throws ConfigError for buckets == 0: a zero-bucket histogram has no
+  /// valid bucket index, and add()'s overflow clamp (counts_.size() - 1)
+  /// would quietly misfile every sample instead of surfacing the bad
+  /// configuration.
+  explicit Histogram(std::size_t buckets);
 
   void add(std::size_t value);
   std::size_t buckets() const { return counts_.size() - 1; }

@@ -28,6 +28,13 @@ enum class GemvArch {
   Column,  ///< column-major, interleaved accumulation (Sec 4.2 arch 2)
 };
 
+/// How the plan layer picks the engine design for an op (see host/tuner.hpp).
+enum class TunePolicy {
+  Fixed,  ///< the configured design, exactly as before (default)
+  Model,  ///< enumerate legal designs, rank with the Sec 4/5 analytic models
+  Probe,  ///< Model, then validate the top-N candidates with short sim runs
+};
+
 /// Machine/design parameters. Defaults describe one Cray XD1 node exactly as
 /// the paper configures it (Tables 3 and 4).
 struct ContextConfig {
@@ -74,6 +81,26 @@ struct ContextConfig {
   /// Plans derived from this configuration are memoized per (op, shape,
   /// placement, arch) in a bounded LRU cache of this many entries.
   std::size_t plan_cache_capacity = 64;
+
+  // ---- design autotuner (host/tuner.hpp) -----------------------------------
+  /// Fixed keeps the configured design; Model ranks the legal candidates with
+  /// the analytic area/perf models; Probe additionally reruns the best few
+  /// through short simulator probes before committing.
+  TunePolicy tune = TunePolicy::Fixed;
+  /// SRAM banks the streaming designs can draw from (XD1: four QDR II banks,
+  /// one word per bank per cycle). Bounds the tree GEMV at k banks and the
+  /// column GEMV at k+1.
+  unsigned sram_banks = 4;
+  /// Total FPGA-attached SRAM in words (XD1: 4 x 4 MB = 2 Mi words). The
+  /// tuner prunes the resident-operand GEMM array when 3 n^2 exceeds it and
+  /// caps hierarchical panel edges at 2 b^2 <= capacity.
+  std::size_t sram_capacity_words = 2ull * 1024 * 1024;
+  /// How many top-ranked candidates TunePolicy::Probe validates in simulation.
+  unsigned tune_probe_top = 3;
+  /// Candidates whose modeled latency is within this fraction of the best are
+  /// treated as ties and broken by area (then by cycle-accuracy preference) —
+  /// the paper's own argument for k = 2 dot over marginally faster k = 4.
+  double tune_tie_fraction = 0.02;
 };
 
 /// Words per cycle across a link of `bytes_per_s` at `clock_mhz`.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "host/tuner.hpp"
 #include "telemetry/session.hpp"
 
 namespace xd::host {
@@ -45,6 +46,7 @@ std::size_t PlanKeyHash::operator()(const PlanKey& k) const {
   hash_combine(seed, static_cast<std::size_t>(k.placement));
   hash_combine(seed, static_cast<std::size_t>(k.arch));
   hash_combine(seed, static_cast<std::size_t>(k.backend));
+  hash_combine(seed, static_cast<std::size_t>(k.tune));
   return seed;
 }
 
@@ -84,6 +86,8 @@ std::size_t gemv_onchip_x_capacity(const ContextConfig& cfg) {
 }
 
 Plan build_plan(const ContextConfig& cfg, const PlanKey& key) {
+  if (key.tune != TunePolicy::Fixed) return build_tuned_plan(cfg, key);
+
   Plan plan;
   plan.key = key;
 
@@ -231,6 +235,14 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
     return it->second.plan;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  if (plan->tune.tuned) {
+    tuned_plans_.fetch_add(1, std::memory_order_relaxed);
+    tune_candidates_.fetch_add(plan->tune.candidates, std::memory_order_relaxed);
+    tune_pruned_.fetch_add(plan->tune.pruned, std::memory_order_relaxed);
+    tune_probes_.fetch_add(plan->tune.probed, std::memory_order_relaxed);
+    tune_probe_cycles_.fetch_add(plan->tune.probe_cycles,
+                                 std::memory_order_relaxed);
+  }
   lru_.push_front(key);
   map_[key] = Entry{plan, lru_.begin()};
   while (map_.size() > capacity_) {
@@ -252,6 +264,17 @@ void PlanCache::publish(telemetry::Session& tel) const {
   tel.gauge("host.plan.evictions").set(static_cast<double>(evictions()));
   tel.gauge("host.plan.size").set(static_cast<double>(size()));
   tel.gauge("host.plan.capacity").set(static_cast<double>(capacity()));
+  // Tuner activity (zero under TunePolicy::Fixed): how many plans went
+  // through design selection, how much of the candidate space the area model
+  // pruned, and what the probe runs cost in simulated cycles.
+  const auto load = [](const std::atomic<u64>& a) {
+    return static_cast<double>(a.load(std::memory_order_relaxed));
+  };
+  tel.gauge("host.tuner.plans").set(load(tuned_plans_));
+  tel.gauge("host.tuner.candidates").set(load(tune_candidates_));
+  tel.gauge("host.tuner.pruned_area").set(load(tune_pruned_));
+  tel.gauge("host.tuner.probes").set(load(tune_probes_));
+  tel.gauge("host.tuner.probe_cycles").set(load(tune_probe_cycles_));
 }
 
 }  // namespace xd::host

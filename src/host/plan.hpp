@@ -44,13 +44,19 @@ struct PlanKey {
   Placement placement = Placement::Sram;
   GemvArch arch = GemvArch::Tree;
   fp::BackendKind backend = fp::BackendKind::Soft;
+  /// The tune policy is part of the key: a tuned plan may resolve to a
+  /// different engine family than the fixed one for the same descriptor, so
+  /// a cache shared across policies (e.g. by tests or the fuzz harness
+  /// flipping cfg.tune) must never satisfy one policy's lookup with the
+  /// other's plan.
+  TunePolicy tune = TunePolicy::Fixed;
 
   bool operator==(const PlanKey&) const = default;
 
-  static PlanKey from(const OpDesc& desc) {
+  static PlanKey from(const OpDesc& desc, TunePolicy tune = TunePolicy::Fixed) {
     return PlanKey{desc.kind,  desc.rows,      desc.cols, desc.n,
                    desc.batch, desc.placement, desc.arch,
-                   fp::active_backend().kind};
+                   fp::active_backend().kind, tune};
   }
 };
 
@@ -66,6 +72,16 @@ using EngineConfig =
                  blas2::SpmxvConfig, blas3::MmArrayConfig, blas3::MmHierConfig,
                  blas3::MmMultiConfig>;
 
+/// What the tuner did while building a plan (host.tuner.* telemetry).
+struct TuneSummary {
+  bool tuned = false;        ///< plan built under Model/Probe policy
+  u64 candidates = 0;        ///< designs enumerated
+  u64 pruned = 0;            ///< rejected by area/BRAM/bank/hazard budgets
+  u64 probed = 0;            ///< candidates validated by simulator probes
+  u64 probe_cycles = 0;      ///< total simulated probe cycles
+  std::string chosen;        ///< engine_signature() of the winner
+};
+
 struct Plan {
   PlanKey key;
   EngineConfig engine;
@@ -74,6 +90,7 @@ struct Plan {
   std::size_t panel_edge = 0;    ///< GEMM: chosen SRAM panel edge b
   std::size_t onchip_capacity = 0;  ///< GEMV: words of x that fit on chip
   bool blocked_gemv = false;     ///< GemvAuto resolved to the blocked variant
+  TuneSummary tune;              ///< empty/default under TunePolicy::Fixed
 };
 
 // ---- configuration-derived helpers hoisted out of Context ------------------
@@ -129,6 +146,12 @@ class PlanCache {
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
+  // Aggregated tuner activity across plan builds (host.tuner.* gauges).
+  std::atomic<u64> tuned_plans_{0};
+  std::atomic<u64> tune_candidates_{0};
+  std::atomic<u64> tune_pruned_{0};
+  std::atomic<u64> tune_probes_{0};
+  std::atomic<u64> tune_probe_cycles_{0};
 };
 
 }  // namespace xd::host

@@ -24,7 +24,7 @@ Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
 
 Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
   desc.validate();
-  const auto plan = cache_.get_or_build(cfg_, PlanKey::from(desc));
+  const auto plan = cache_.get_or_build(cfg_, PlanKey::from(desc, cfg_.tune));
 
   // Staging happens (and is recorded) before the engine runs, so the
   // "staging" span precedes the engine's "compute" span on the timeline.
@@ -49,7 +49,10 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
       break;
     }
     case OpKind::Gemv: {
-      if (desc.arch == GemvArch::Tree) {
+      // Dispatch on what the plan resolved to, not on desc.arch: the tuner
+      // may cross architectures (a tree descriptor can plan onto the
+      // column design and vice versa).
+      if (std::holds_alternative<blas2::MxvTreeConfig>(plan->engine)) {
         blas2::MxvTreeEngine engine(
             with_telemetry(std::get<blas2::MxvTreeConfig>(plan->engine), tel));
         out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x));
@@ -81,25 +84,30 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
       out = to_outcome(engine.run(*desc.sparse, *desc.x), OpKind::Spmxv);
       break;
     }
-    case OpKind::Gemm: {
-      blas3::MmHierEngine engine(
-          with_telemetry(std::get<blas3::MmHierConfig>(plan->engine), tel));
-      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
-      break;
-    }
-    case OpKind::GemmArray: {
-      blas3::MmArrayEngine engine(
-          with_telemetry(std::get<blas3::MmArrayConfig>(plan->engine), tel));
-      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
-      break;
-    }
+    case OpKind::Gemm:
+    case OpKind::GemmArray:
     case OpKind::GemmMulti: {
-      blas3::MmMultiEngine engine(
-          with_telemetry(std::get<blas3::MmMultiConfig>(plan->engine), tel));
-      out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      // Same cross-family dispatch: a tuned Gemm plan can resolve to the
+      // cycle-accurate array or the multi-FPGA pipeline instead of the
+      // hierarchical model.
+      if (std::holds_alternative<blas3::MmArrayConfig>(plan->engine)) {
+        blas3::MmArrayEngine engine(
+            with_telemetry(std::get<blas3::MmArrayConfig>(plan->engine), tel));
+        out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      } else if (std::holds_alternative<blas3::MmMultiConfig>(plan->engine)) {
+        blas3::MmMultiEngine engine(
+            with_telemetry(std::get<blas3::MmMultiConfig>(plan->engine), tel));
+        out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      } else {
+        blas3::MmHierEngine engine(
+            with_telemetry(std::get<blas3::MmHierConfig>(plan->engine), tel));
+        out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+      }
       break;
     }
   }
+  // The Mm outcome adapters hardcode their usual kind; keep the caller's.
+  out.kind = desc.kind;
 
   if (plan->staging_cycles > 0) {
     out.report.staging_cycles = plan->staging_cycles;

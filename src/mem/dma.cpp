@@ -7,9 +7,22 @@ void DmaEngine::start(WordMemory& src, std::size_t src_addr, WordMemory& dst,
   if (active()) throw SimError("DMA engine already has an active transfer");
   src_ = &src;
   dst_ = &dst;
-  src_addr_ = src_addr;
-  dst_addr_ = dst_addr;
   remaining_ = words;
+  // Per-transfer counters: a reused engine must not report the previous
+  // transfer's words/cycles on top of this one's.
+  moved_ = 0;
+  busy_cycles_ = 0;
+  // Forward word-by-word copy corrupts a same-memory transfer whose
+  // destination starts inside the source range (each written word is read
+  // again a few iterations later). Copy back-to-front in that case.
+  reverse_ = &src == &dst && dst_addr > src_addr && dst_addr < src_addr + words;
+  if (reverse_ && words > 0) {
+    src_addr_ = src_addr + words - 1;
+    dst_addr_ = dst_addr + words - 1;
+  } else {
+    src_addr_ = src_addr;
+    dst_addr_ = dst_addr;
+  }
 }
 
 void DmaEngine::tick() {
@@ -20,7 +33,11 @@ void DmaEngine::tick() {
   std::size_t moved = 0;
   while (moved < budget && link_.can_transfer(1.0)) {
     link_.transfer(1.0);
-    dst_->write(dst_addr_++, src_->read(src_addr_++));
+    if (reverse_) {
+      dst_->write(dst_addr_--, src_->read(src_addr_--));
+    } else {
+      dst_->write(dst_addr_++, src_->read(src_addr_++));
+    }
     ++moved;
   }
   remaining_ -= moved;

@@ -24,7 +24,12 @@ class DmaEngine {
       : link_(link), port_cap_(port_cap) {}
 
   /// Begin a transfer of `words` from src[src_addr...] to dst[dst_addr...].
-  /// Only one transfer may be active at a time.
+  /// Only one transfer may be active at a time. Resets the per-transfer
+  /// counters (words_moved, busy_cycles), so they always describe the
+  /// current transfer. Overlapping ranges within the same memory get
+  /// memmove semantics: when the destination starts inside the source
+  /// range, words are copied back-to-front so no source word is clobbered
+  /// before it is read.
   void start(WordMemory& src, std::size_t src_addr, WordMemory& dst,
              std::size_t dst_addr, std::size_t words);
 
@@ -45,6 +50,7 @@ class DmaEngine {
   std::size_t src_addr_ = 0;
   std::size_t dst_addr_ = 0;
   std::size_t remaining_ = 0;
+  bool reverse_ = false;  ///< copy back-to-front (overlap within one memory)
   u64 busy_cycles_ = 0;
   u64 moved_ = 0;
 };

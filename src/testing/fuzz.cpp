@@ -10,6 +10,7 @@
 #include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "host/context.hpp"
+#include "host/tuner.hpp"
 #include "solver/cg.hpp"
 #include "solver/jacobi.hpp"
 #include "telemetry/export.hpp"
@@ -266,6 +267,69 @@ std::optional<CheckFailure> check_op(const FuzzCase& fc, CaseData& data) {
       return CheckFailure{
           "backend-equivalence",
           cat(backend_name(fp::active_backend().kind), " backend differs: ", *d)};
+    }
+  }
+
+  // Tuned-vs-fixed equivalence: rerunning the case under TunePolicy::Model
+  // must pick a buildable design and never change what the op computes.
+  // When the tuner lands on the same design as the fixed configuration
+  // (equal engine signatures) the entire outcome — values, cycles, stalls,
+  // staging — must be bit-identical. When it picks a different design, the
+  // result shape must still match, the values must match bitwise in Exact
+  // mode (integer-valued operands make every summation order exact), and
+  // they must stay within the oracle tolerance in Uniform mode. Extreme
+  // mode makes no cross-design value promise (NaN payloads and inf - inf
+  // are association-sensitive), so only the shape is pinned there.
+  {
+    host::ContextConfig tuned_cfg = cfg;
+    tuned_cfg.tune = host::TunePolicy::Model;
+    try {
+      const host::Plan fixed_plan =
+          host::build_plan(cfg, host::PlanKey::from(data.desc));
+      const host::Plan tuned_plan = host::build_plan(
+          tuned_cfg, host::PlanKey::from(data.desc, host::TunePolicy::Model));
+      Runtime rt_tuned(tuned_cfg);
+      const Outcome tuned = rt_tuned.run(data.desc);
+      const std::string fixed_sig = host::engine_signature(fixed_plan.engine);
+      const std::string tuned_sig = host::engine_signature(tuned_plan.engine);
+      if (fixed_sig == tuned_sig) {
+        if (auto d = outcome_diff(base, tuned)) {
+          return CheckFailure{"tuned-equivalence",
+                              cat("same design (", tuned_sig,
+                                  ") but tuned run differs: ", *d)};
+        }
+      } else {
+        if (tuned.values.size() != base.values.size()) {
+          return CheckFailure{
+              "tuned-equivalence",
+              cat("tuned design ", tuned_sig, " returned ",
+                  tuned.values.size(), " values, fixed ", fixed_sig,
+                  " returned ", base.values.size())};
+        }
+        if (fc.mode == ValueMode::Exact) {
+          for (std::size_t i = 0; i < base.values.size(); ++i) {
+            if (!bits_equal(base.values[i], tuned.values[i])) {
+              return CheckFailure{
+                  "tuned-equivalence",
+                  cat("exact-mode values[", i, "]: tuned ", tuned_sig, " gave ",
+                      tuned.values[i], ", fixed ", fixed_sig, " gave ",
+                      base.values[i])};
+            }
+          }
+        } else if (fc.mode == ValueMode::Uniform) {
+          if (auto f = check_oracle(fc, data, tuned)) {
+            return CheckFailure{"tuned-equivalence",
+                                cat("tuned design ", tuned_sig,
+                                    " misses the oracle: ", f->detail)};
+          }
+        }
+      }
+    } catch (const ConfigError& e) {
+      return CheckFailure{
+          "tuned-equivalence",
+          cat("tuner found no buildable design for a case the fixed "
+              "configuration accepts: ",
+              e.what())};
     }
   }
 

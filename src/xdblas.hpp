@@ -26,6 +26,7 @@
 #include "host/plan.hpp"
 #include "host/reference.hpp"
 #include "host/runtime.hpp"
+#include "host/tuner.hpp"
 #include "machine/system.hpp"
 #include "model/perf_model.hpp"
 #include "model/projections.hpp"

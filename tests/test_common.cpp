@@ -78,6 +78,21 @@ TEST(Histogram, BucketsQuantilesOverflow) {
   EXPECT_EQ(h.quantile(1.0), 10u);  // overflow bucket
 }
 
+TEST(Histogram, RejectsZeroBuckets) {
+  // Regression: Histogram(0) used to construct with only the overflow slot,
+  // so add()'s bucket clamp (min(value, size - 1)) misfiled every sample
+  // into bucket 0 while buckets() reported zero. Zero buckets is now a
+  // configuration error.
+  EXPECT_THROW(Histogram(0), ConfigError);
+  // One bucket stays the smallest valid configuration: bucket 0 + overflow.
+  Histogram h(1);
+  h.add(0);
+  h.add(5);
+  EXPECT_EQ(h.buckets(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
 TEST(Utilization, Fraction) {
   Utilization u;
   for (int i = 0; i < 10; ++i) u.tick(i % 4 == 0);

@@ -8,6 +8,16 @@
 //   xdblas_cli reduce --sets 200 --size 512 [--alpha 14]
 //   xdblas_cli explore [--device XC2VP100]
 //   xdblas_cli batch FILE [--out FILE]
+//   xdblas_cli tune <op> [--n N] [--rows R --cols C] [--batch B]
+//                        [--nnz-per-row Z] [--l L] [--arch tree|col]
+//                        [--policy model|probe] [--banks B] [--from-dram]
+//
+// Tune mode runs the design autotuner (host/tuner.hpp) for one op+shape and
+// prints the ranked candidate table: every enumerated design with its
+// modeled area, clock, latency and bandwidth need, why the infeasible ones
+// were pruned, and which design won. <op> is an op kind name (dot, gemv,
+// gemm, gemm_multi, spmxv, ...). No operands are built — tuning is a pure
+// function of the shape and machine model, so huge shapes are fine.
 //
 // Batch mode reads one op per line (dot / gemv / gemm / spmxv with the same
 // flags as above; '#' comments and blank lines skipped), submits every job
@@ -37,6 +47,7 @@
 
 #include "xdblas.hpp"
 #include "common/random.hpp"
+#include "common/table.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
 
@@ -44,15 +55,35 @@ using namespace xd;
 
 namespace {
 
+/// A malformed command line (junk flag value, overflowing number, ...).
+/// Distinct from ConfigError so main() can answer with the usage text and
+/// exit code 2, the argument-error convention — a simulation that *ran* and
+/// failed still exits 1.
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> kv;
   bool flag(const std::string& name) const { return kv.count(name) > 0; }
+  /// Validated finite double; rejects junk like "--bw-gbs fast" and
+  /// overflowing exponents.
   double num(const std::string& name, double dflt) const {
     const auto it = kv.find(name);
-    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+    if (it == kv.end()) return dflt;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+      throw UsageError(cat("--", name, " expects a number, got '", it->second,
+                           "'"));
+    }
+    return v;
   }
-  /// Validated non-negative integer; rejects junk like "--n -4" or "--n x".
+  /// Validated non-negative integer; rejects junk like "--n -4" or "--n x"
+  /// and values that overflow long long (e.g. --n 99999999999999999999).
   long long integer(const std::string& name, long long dflt) const {
     const auto it = kv.find(name);
     if (it == kv.end()) return dflt;
@@ -60,11 +91,11 @@ struct Args {
     char* end = nullptr;
     const long long v = std::strtoll(it->second.c_str(), &end, 10);
     if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
-      throw ConfigError(cat("--", name, " expects an integer, got '",
-                            it->second, "'"));
+      throw UsageError(cat("--", name, " expects an integer, got '",
+                           it->second, "'"));
     }
     if (v < 0) {
-      throw ConfigError(cat("--", name, " must be non-negative, got ", v));
+      throw UsageError(cat("--", name, " must be non-negative, got ", v));
     }
     return v;
   }
@@ -89,6 +120,9 @@ const std::map<std::string, std::set<std::string>> kCommandFlags = {
     {"reduce", {"sets", "size", "alpha"}},
     {"explore", {"device"}},
     {"batch", {"out"}},
+    {"tune",
+     {"n", "rows", "cols", "batch", "nnz-per-row", "l", "arch", "policy",
+      "banks", "from-dram"}},
 };
 
 int usage() {
@@ -96,6 +130,8 @@ int usage() {
                "usage: xdblas_cli <dot|gemv|gemm|spmxv|reduce|explore> "
                "[--n N] [--k K] ...\n"
                "       xdblas_cli batch FILE [--out FILE]\n"
+               "       xdblas_cli tune <op> [--n N] [--rows R --cols C] "
+               "[--l L] [--policy model|probe] [--banks B]\n"
                "       common flags: --seed S --json --metrics-out FILE "
                "--trace-out FILE --trace-filter STR\n"
                "       (see the file header for per-command options)\n");
@@ -154,6 +190,15 @@ bool parse(int argc, char** argv, Args& a) {
       return false;
     }
     a.kv["file"] = argv[2];
+    first_flag = 3;
+  } else if (a.command == "tune") {
+    // One positional argument: the op kind to tune.
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: tune expects an op argument (dot, gemv, "
+                           "gemm, ...)\n");
+      return false;
+    }
+    a.kv["op"] = argv[2];
     first_flag = 3;
   }
   std::vector<std::string> tokens(argv + first_flag, argv + argc);
@@ -393,6 +438,99 @@ int run_batch(const Args& args) {
   return rc;
 }
 
+/// `xdblas_cli tune <op>`: run the design autotuner for one op+shape and
+/// print the ranked candidate table (or, with --json, a machine-readable
+/// record of every candidate).
+int run_tune(const Args& args) {
+  host::OpKind kind;
+  if (!host::op_kind_from_name(args.str("op", ""), kind)) {
+    throw UsageError(cat("unknown op '", args.str("op", ""),
+                         "' (try dot, gemv, gemm, gemm_array, gemm_multi, "
+                         "spmxv)"));
+  }
+
+  host::ContextConfig cfg;
+  cfg.sram_banks = static_cast<unsigned>(args.integer("banks", 4));
+  cfg.mm_l = static_cast<unsigned>(args.integer("l", 1));
+
+  host::PlanKey key;
+  key.kind = kind;
+  const auto n = static_cast<std::size_t>(args.integer("n", 1024));
+  key.n = n;
+  key.rows = static_cast<std::size_t>(args.integer("rows", static_cast<long long>(n)));
+  key.cols = static_cast<std::size_t>(args.integer("cols", static_cast<long long>(n)));
+  key.batch = static_cast<std::size_t>(args.integer("batch", 0));
+  key.placement = args.flag("from-dram") ? host::Placement::Dram
+                                         : host::Placement::Sram;
+  key.arch = args.str("arch", "tree") == "col" ? host::GemvArch::Column
+                                               : host::GemvArch::Tree;
+  if (!host::tune_policy_from_name(args.str("policy", "model"), key.tune) ||
+      key.tune == host::TunePolicy::Fixed) {
+    throw UsageError(cat("--policy expects 'model' or 'probe', got '",
+                         args.str("policy", "model"), "'"));
+  }
+
+  const host::TuneResult tr = host::tune_op(cfg, key);
+
+  if (args.flag("json")) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("command", args.command);
+    w.kv("op", host::op_kind_name(kind));
+    w.kv("policy", host::tune_policy_name(key.tune));
+    w.kv("considered", static_cast<u64>(tr.considered));
+    w.kv("feasible", static_cast<u64>(tr.feasible));
+    w.kv("pruned", static_cast<u64>(tr.pruned));
+    w.kv("probed", static_cast<u64>(tr.probed));
+    w.kv("winner", tr.winner() ? tr.winner()->name() : std::string());
+    w.key("candidates");
+    w.begin_array();
+    for (const auto& c : tr.ranked) {
+      w.begin_object();
+      w.kv("design", c.name());
+      w.kv("feasible", c.feasible);
+      w.kv("chosen", c.chosen);
+      w.kv("slices", static_cast<u64>(c.area.slices));
+      w.kv("clock_mhz", c.area.clock_mhz);
+      w.kv("bram_words", c.bram_words);
+      w.kv("model_cycles", c.model_cycles);
+      w.kv("model_seconds", c.model_seconds);
+      w.kv("required_words_per_cycle", c.required_words_per_cycle);
+      if (c.probe_cycles > 0) w.kv("probe_cycles", c.probe_cycles);
+      if (!c.why_not.empty()) w.kv("why_not", c.why_not);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return tr.winner() ? 0 : 1;
+  }
+
+  std::printf("tune %s (%s): %zu candidates, %zu feasible, %zu pruned",
+              host::op_kind_name(kind), host::tune_policy_name(key.tune),
+              tr.considered, tr.feasible, tr.pruned);
+  if (tr.probed > 0) {
+    std::printf(", %zu probed (%llu sim cycles)", tr.probed,
+                static_cast<unsigned long long>(tr.probe_cycles));
+  }
+  std::printf("\n");
+  TextTable table({"design", "status", "slices", "MHz", "cycles", "ms",
+                   "words/cyc", "note"});
+  for (const auto& c : tr.ranked) {
+    table.row(c.name(),
+              c.chosen ? "WINNER" : (c.feasible ? "ok" : "pruned"),
+              static_cast<u64>(c.area.slices), TextTable::num(c.area.clock_mhz, 1),
+              c.model_cycles, TextTable::num(c.model_seconds * 1e3, 4),
+              TextTable::num(c.required_words_per_cycle, 3), c.why_not);
+  }
+  std::printf("%s", table.render().c_str());
+  if (!tr.winner()) {
+    std::fprintf(stderr, "error: no feasible design\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,6 +539,7 @@ int main(int argc, char** argv) {
 
   try {
     if (args.command == "batch") return run_batch(args);
+    if (args.command == "tune") return run_tune(args);
     Rng rng(static_cast<u64>(args.integer("seed", 2005)));
     // One session serves all sinks; event tracing only turns on when a trace
     // file was requested (emit sites build strings the fast path avoids).
@@ -520,6 +659,9 @@ int main(int argc, char** argv) {
 
     if (have_report && !json) print_report(report);
     if (!finish(args, session, have_report ? &report : nullptr)) return 1;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
