@@ -48,6 +48,98 @@ std::string RunningStats::summary() const {
   return os.str();
 }
 
+namespace {
+
+/// Sub-buckets per power of two. 16 keeps the relative error under
+/// 100%/(2*16) ~ 3.2% while the key space stays small enough for int.
+constexpr int kSubBuckets = 16;
+constexpr int kNegativeKey = std::numeric_limits<int>::min();
+constexpr int kZeroKey = kNegativeKey + 1;
+
+}  // namespace
+
+int QuantileSketch::key_of(double x) {
+  if (!(x > 0.0)) {
+    // Negative, zero and NaN all fall through the x > 0 test; NaN counts as
+    // zero so the sketch stays total without inventing an ordering for it.
+    return x < 0.0 ? kNegativeKey : kZeroKey;
+  }
+  if (std::isinf(x)) x = std::numeric_limits<double>::max();
+  int exp = 0;
+  const double mant = std::frexp(x, &exp);  // mant in [0.5, 1)
+  int sub = static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard rounding at 1.0
+  if (sub < 0) sub = 0;
+  // frexp exponents span roughly [-1073, 1025]; scaled by kSubBuckets this
+  // stays far inside int range and above the two sentinel keys.
+  return exp * kSubBuckets + sub;
+}
+
+double QuantileSketch::lower_edge(int key) {
+  if (key == kNegativeKey) return -std::numeric_limits<double>::infinity();
+  if (key == kZeroKey) return 0.0;
+  // Floor-divide toward the exponent the key was built from (key may be
+  // negative; C++ integer division truncates toward zero).
+  int exp = key / kSubBuckets;
+  int sub = key % kSubBuckets;
+  if (sub < 0) {
+    sub += kSubBuckets;
+    --exp;
+  }
+  const double mant = 0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets);
+  return std::ldexp(mant, exp);
+}
+
+void QuantileSketch::add(double x) {
+  const int key = key_of(x);
+  const auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), key,
+      [](const std::pair<int, std::uint64_t>& b, int k) { return b.first < k; });
+  if (it != buckets_.end() && it->first == key) {
+    ++it->second;
+  } else {
+    buckets_.insert(it, {key, 1});
+  }
+  ++n_;
+}
+
+void QuantileSketch::merge(const QuantileSketch& o) {
+  if (o.n_ == 0) return;
+  // Two sorted runs; merge into a fresh vector (both are small).
+  std::vector<std::pair<int, std::uint64_t>> out;
+  out.reserve(buckets_.size() + o.buckets_.size());
+  std::size_t i = 0, j = 0;
+  while (i < buckets_.size() || j < o.buckets_.size()) {
+    if (j == o.buckets_.size() ||
+        (i < buckets_.size() && buckets_[i].first < o.buckets_[j].first)) {
+      out.push_back(buckets_[i++]);
+    } else if (i == buckets_.size() || o.buckets_[j].first < buckets_[i].first) {
+      out.push_back(o.buckets_[j++]);
+    } else {
+      out.push_back({buckets_[i].first, buckets_[i].second + o.buckets_[j].second});
+      ++i;
+      ++j;
+    }
+  }
+  buckets_ = std::move(out);
+  n_ += o.n_;
+}
+
+void QuantileSketch::reset() { *this = QuantileSketch{}; }
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n_);
+  std::uint64_t seen = 0;
+  for (const auto& [key, count] : buckets_) {
+    seen += count;
+    if (static_cast<double>(seen) >= target) return lower_edge(key);
+  }
+  return lower_edge(buckets_.back().first);
+}
+
 Histogram::Histogram(std::size_t buckets) : counts_(buckets + 1, 0) {
   require(buckets >= 1, "Histogram needs at least one bucket");
 }

@@ -36,6 +36,49 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Deterministic, mergeable streaming quantile estimator.
+///
+/// Positive samples land in log-linear buckets: 16 linear sub-buckets per
+/// power of two, so a bucket spans at most ~3.2% of its value and
+/// quantile() answers with that relative error. Storage is a sparse sorted
+/// (bucket key -> count) vector, so memory scales with the number of
+/// *distinct magnitudes* seen, not the sample count — bounded by ~2^16 keys
+/// in the worst case, a handful in practice. add() and merge() are pure
+/// integer bookkeeping: results are bit-identical for any interleaving of
+/// the same multiset of samples, which is what lets concurrent telemetry
+/// shards merge without perturbing exports.
+///
+/// Zero, negative and NaN samples collapse into two dedicated low buckets
+/// (telemetry samples — cycle counts, latencies, sizes — are non-negative;
+/// the sketch stays total anyway). quantile() reports a bucket's lower
+/// edge, which is exact for short-mantissa values like integers and powers
+/// of two; callers wanting hard bounds clamp to an exactly tracked
+/// min/max (RunningStats keeps both).
+class QuantileSketch {
+ public:
+  void add(double x);
+  void merge(const QuantileSketch& other);
+  void reset();
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  /// Number of distinct occupied buckets (storage footprint).
+  std::size_t buckets() const { return buckets_.size(); }
+
+  /// Smallest bucket lower edge v such that at least a fraction `q` (0..1)
+  /// of the samples are <= v. Returns 0 for an empty sketch; negative
+  /// samples answer as -inf's bucket edge (clamp with a tracked min).
+  double quantile(double q) const;
+
+ private:
+  static int key_of(double x);
+  static double lower_edge(int key);
+
+  /// Sorted by key; key orders buckets by sample value.
+  std::vector<std::pair<int, std::uint64_t>> buckets_;
+  std::uint64_t n_ = 0;
+};
+
 /// Fixed-bucket histogram for small non-negative integer samples
 /// (e.g. buffer occupancy per cycle). Samples >= bucket count land in the
 /// overflow bucket and are still counted in max().

@@ -52,7 +52,7 @@ class ThreadPool {
     if (workers == 0) workers = 1;
     threads_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      threads_.emplace_back([this] { worker_loop(); });
+      threads_.emplace_back([this, w] { worker_loop(static_cast<int>(w)); });
     }
   }
 
@@ -99,8 +99,14 @@ class ThreadPool {
     return pool;
   }
 
+  /// Index of the pool worker running the calling thread, or -1 off-pool
+  /// (the main thread, or a thread of another pool instance). Telemetry
+  /// uses this to assign merged spans to stable per-worker lanes.
+  static int current_worker_id() { return worker_id_; }
+
  private:
-  void worker_loop() {
+  void worker_loop(int id) {
+    worker_id_ = id;
     for (;;) {
       std::function<void()> task;
       {
@@ -113,6 +119,8 @@ class ThreadPool {
       task();
     }
   }
+
+  static inline thread_local int worker_id_ = -1;
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;

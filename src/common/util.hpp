@@ -4,10 +4,12 @@
 // their own translation units (stats.cpp, random.cpp, table.cpp).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace xd {
 
@@ -48,6 +50,20 @@ std::string cat(const Args&... args) {
   std::ostringstream os;
   detail::format_into(os, args...);
   return os.str();
+}
+
+/// All-strings fast path: identical output, no ostringstream (whose
+/// construction alone dominates short concatenations — this matters for
+/// metric-name building on the telemetry publish path, which runs once per
+/// op). A constrained template is more specialized than the unconstrained
+/// one above, so string-only calls land here automatically.
+template <typename... Args>
+  requires(std::convertible_to<const Args&, std::string_view> && ...)
+std::string cat(const Args&... args) {
+  std::string out;
+  out.reserve((std::string_view(args).size() + ... + 0));
+  (out.append(std::string_view(args)), ...);
+  return out;
 }
 
 /// Require a configuration predicate; throws ConfigError with context.

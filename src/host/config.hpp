@@ -66,16 +66,19 @@ struct ContextConfig {
   /// satisfy m^2/k >= depth; the paper's k = m = 8 design implies <= 8.
   unsigned mm_adder_stages = 8;
 
-  /// Optional telemetry sink, forwarded to every engine a synchronous call
-  /// builds. Engines publish component metrics (mem.* / fpu.* / reduce.* /
-  /// blas*.*) and record phase spans; for Placement::Dram the runtime
-  /// records the "staging" span ahead of the engine's "compute" so the two
-  /// tile the reported total. Null (the default) disables all recording.
+  /// Optional telemetry sink, forwarded to every engine the runtime builds.
+  /// Engines publish component metrics (mem.* / fpu.* / reduce.* / blas*.*)
+  /// and record phase spans; for Placement::Dram the runtime records the
+  /// "staging" span ahead of the engine's "compute" so the two tile the
+  /// reported total. Null (the default) disables all recording.
   ///
-  /// Thread-safety: the session is NOT synchronized. The runtime therefore
-  /// only attaches it on the synchronous path (Context calls,
-  /// Runtime::run); asynchronously submitted jobs execute with engine
-  /// telemetry detached. See docs/runtime.md.
+  /// Thread-safety: a session shared across threads is synchronized through
+  /// Session::lock(). Synchronous calls (Context, Runtime::run) record
+  /// directly under the lock on span lane 0; asynchronously submitted jobs
+  /// record into thread-local shards merged in at completion on per-worker
+  /// lanes, and every op lands a TraceContext in the session's flight
+  /// recorder. Recording never changes outcomes (values, cycles, plans).
+  /// See docs/runtime.md and docs/observability.md.
   telemetry::Session* telemetry = nullptr;
 
   /// Plans derived from this configuration are memoized per (op, shape,

@@ -1,5 +1,7 @@
 #include "host/runtime.hpp"
 
+#include <chrono>
+
 #include "blas2/blocking.hpp"
 #include "telemetry/session.hpp"
 
@@ -15,6 +17,25 @@ Cfg with_telemetry(const Cfg& planned, telemetry::Session* tel) {
   return cfg;
 }
 
+/// Monotonic wall-clock nanoseconds for TraceContext lifecycle stamps.
+u64 now_ns() {
+  return static_cast<u64>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count());
+}
+
+/// Process-wide op sequence: op ids stay unique and submission-ordered even
+/// across Runtime instances (the CLI builds one Runtime per batch line, yet
+/// their flight records must interleave coherently).
+std::atomic<u64> g_op_seq{0};
+
+/// First line of an exception message, for compact flight-recorder records.
+std::string first_line(const char* what) {
+  std::string s(what ? what : "");
+  const auto nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
 }  // namespace
 
 Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
@@ -22,9 +43,11 @@ Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
       pool_(pool ? pool : &ThreadPool::shared()),
       cache_(cfg.plan_cache_capacity) {}
 
-Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
+Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
+                         telemetry::TraceContext* tc) {
   desc.validate();
   const auto plan = cache_.get_or_build(cfg_, PlanKey::from(desc, cfg_.tune));
+  if (tc) tc->plan_ns = now_ns();
 
   // Staging happens (and is recorded) before the engine runs, so the
   // "staging" span precedes the engine's "compute" span on the timeline.
@@ -34,6 +57,7 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
         .set(plan->dram_words);
   }
 
+  if (tc) tc->exec_ns = now_ns();
   Outcome out;
   switch (desc.kind) {
     case OpKind::Dot: {
@@ -114,32 +138,152 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel) {
     out.report.cycles += plan->staging_cycles;
     out.report.dram_words = plan->dram_words;
   }
+  if (tc) tc->cycles = out.report.cycles;
   return out;
 }
 
+void Runtime::observe_latency(telemetry::Session& tel,
+                              const telemetry::TraceContext& tc) const {
+  // Histograms are in microseconds: the sketch's log-linear buckets resolve
+  // sub-microsecond detail poorly anyway, and us keeps exports readable.
+  constexpr double kUs = 1e-3;
+  tel.histogram("host.runtime.queue_wait")
+      .observe(static_cast<double>(tc.queue_wait_ns()) * kUs);
+  tel.histogram("host.runtime.exec")
+      .observe(static_cast<double>(tc.complete_ns - tc.exec_ns) * kUs);
+  tel.histogram("host.runtime.e2e")
+      .observe(static_cast<double>(tc.e2e_ns()) * kUs);
+}
+
 Outcome Runtime::run(const OpDesc& desc) {
+  telemetry::Session* tel = cfg_.telemetry;
+  if (!tel) {
+    // No session: nothing to record, keep the path free of clock reads.
+    try {
+      Outcome out = execute(desc, nullptr);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  }
+
+  telemetry::TraceContext tc;
+  tc.op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+  tc.kind = op_kind_name(desc.kind);
+  tc.lane = 0;
+  tc.submit_ns = tc.dequeue_ns = now_ns();  // synchronous: no queue wait
   try {
-    Outcome out = execute(desc, cfg_.telemetry);
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    if (cfg_.telemetry) publish(*cfg_.telemetry);
+    Outcome out;
+    {
+      // Hold the session lock for the whole op so the synchronous path
+      // records directly (bit-identical to single-threaded telemetry) even
+      // while pool workers are merging shards into the same session.
+      // Engines only ever parallel_for with caller participation, so no
+      // pool task is awaited while the lock is held.
+      auto lock = tel->lock();
+      out = execute(desc, tel, &tc);
+      tc.complete_ns = now_ns();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      observe_latency(*tel, tc);
+      publish(*tel);
+    }
+    tel->flight().record(tc);
     return out;
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tc.complete_ns = now_ns();
+    tc.failed = true;
+    tc.error = first_line(e.what());
+    tel->flight().record(tc);
+    throw;
   } catch (...) {
     failed_.fetch_add(1, std::memory_order_relaxed);
+    tc.complete_ns = now_ns();
+    tc.failed = true;
+    tel->flight().record(tc);
     throw;
   }
 }
 
 std::future<Outcome> Runtime::submit(const OpDesc& desc) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return pool_->submit([this, desc]() -> Outcome {
+  queued_.fetch_add(1, std::memory_order_relaxed);
+
+  // Captured on the caller thread: the session pointer, whether its event
+  // trace wants shard events, and the submission stamps.
+  telemetry::Session* tel = cfg_.telemetry;
+  const bool trace_on = tel && tel->trace().enabled();
+  const u64 op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+  const u64 submit_ns = now_ns();
+  if (tel) {
+    auto lock = tel->lock();
+    tel->gauge("host.runtime.queue_depth")
+        .set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  }
+
+  return pool_->submit([this, desc, tel, trace_on, op_id, submit_ns]() -> Outcome {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+    telemetry::TraceContext tc;
+    tc.op_id = op_id;
+    tc.kind = op_kind_name(desc.kind);
+    const int worker = ThreadPool::current_worker_id();
+    tc.lane = worker < 0 ? 0 : static_cast<unsigned>(worker) + 1;
+    tc.submit_ns = submit_ns;
+    tc.dequeue_ns = now_ns();
+
     try {
-      // Telemetry detached: the session is not synchronized and concurrent
-      // jobs would race on it (see the thread-safety contract above).
-      Outcome out = execute(desc, nullptr);
-      completed_.fetch_add(1, std::memory_order_relaxed);
+      Outcome out;
+      if (!tel) {
+        out = execute(desc, nullptr);
+        tc.complete_ns = now_ns();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        // Record into a thread-local shard session — no sharing, no lock —
+        // then fold it into the shared session at completion. The shard is
+        // reused across jobs on this worker; its small trace ring only
+        // matters when the main session's tracing is enabled.
+        static thread_local telemetry::Session shard(/*trace_capacity=*/512,
+                                                     /*flight_capacity=*/1);
+        shard.reset_for_reuse();
+        shard.trace().set_enabled(trace_on);
+        out = execute(desc, &shard, &tc);
+        tc.complete_ns = now_ns();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        in_flight_.fetch_sub(1, std::memory_order_relaxed);
+        {
+          auto lock = tel->lock();
+          tel->merge_unlocked(shard, tc.lane);
+          observe_latency(*tel, tc);
+          publish(*tel);
+        }
+        tel->flight().record(tc);
+      }
       return out;
+    } catch (const std::exception& e) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      if (tel) {
+        // The shard may hold open spans / partial metrics from the aborted
+        // op; it is discarded (cleared at the next job), never merged.
+        tc.complete_ns = now_ns();
+        tc.failed = true;
+        tc.error = first_line(e.what());
+        tel->flight().record(tc);
+      }
+      throw;
     } catch (...) {
       failed_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      if (tel) {
+        tc.complete_ns = now_ns();
+        tc.failed = true;
+        tel->flight().record(tc);
+      }
       throw;
     }
   });
@@ -170,6 +314,8 @@ RuntimeStats Runtime::stats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.queued = queued_.load(std::memory_order_relaxed);
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -179,6 +325,8 @@ void Runtime::publish(telemetry::Session& tel) const {
   tel.gauge("host.runtime.completed").set(static_cast<double>(s.completed));
   tel.gauge("host.runtime.failed").set(static_cast<double>(s.failed));
   tel.gauge("host.runtime.workers").set(static_cast<double>(workers()));
+  tel.gauge("host.runtime.queue_depth").set(static_cast<double>(s.queued));
+  tel.gauge("host.runtime.in_flight").set(static_cast<double>(s.in_flight));
   // Which arithmetic backend runs the engines, and the evidence behind the
   // choice: 'native' reflects the live dispatch table (including ScopedBackend
   // overrides), the other two describe the process-wide startup selection.

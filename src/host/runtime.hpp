@@ -7,16 +7,26 @@
 //   auto fut = rt.submit(OpDesc::gemv(a, n, n, x));   // async, pooled
 //   Outcome out = fut.get();                          // value or exception
 //
-// run() executes on the calling thread and records telemetry into the
-// configuration's session; submit() executes on the shared worker pool.
-// Engine simulations are deterministic and self-contained, so N concurrent
-// submits produce bit-identical values and cycle counts to N sequential
-// runs — tests/test_runtime.cpp holds this invariant.
+// run() executes on the calling thread; submit() executes on the shared
+// worker pool. Engine simulations are deterministic and self-contained, so
+// N concurrent submits produce bit-identical values and cycle counts to N
+// sequential runs — tests/test_runtime.cpp holds this invariant.
 //
 // Thread-safety contract: Runtime itself is thread-safe (the plan cache is
-// mutex-guarded, the stats are atomic). telemetry::Session is NOT — so
-// asynchronously submitted jobs run with engine telemetry detached, and
-// only the serialized run() path records spans/metrics into the session.
+// mutex-guarded, the stats are atomic), and so is telemetry on a shared
+// session. run() records directly into the session under its lock; a
+// submitted job records into a thread-local shard session and folds it in
+// at completion (Session::merge), so concurrent submits observe full
+// spans and metrics — there is no detached mode. Recording never perturbs
+// outcomes: telemetry is not part of the PlanKey and engines compute
+// identically with or without it (the fuzz harness's telemetry-neutrality
+// invariant covers both run() and submit()).
+//
+// Every operation also stamps a telemetry::TraceContext (per-op id +
+// submit/dequeue/plan/exec/complete wall-clock edges) and deposits it in
+// the session's flight recorder; queue-wait / exec / end-to-end latencies
+// feed the host.runtime.* histograms with p50/p95/p99 exports.
+//
 // Operand vectors referenced by an OpDesc must stay alive until its future
 // has been consumed.
 #pragma once
@@ -27,12 +37,18 @@
 #include "common/thread_pool.hpp"
 #include "host/plan.hpp"
 
+namespace xd::telemetry {
+struct TraceContext;
+}
+
 namespace xd::host {
 
 struct RuntimeStats {
   u64 submitted = 0;  ///< jobs handed to submit()/run_batch()
   u64 completed = 0;  ///< jobs finished successfully (sync + async)
   u64 failed = 0;     ///< jobs that ended in an exception
+  u64 queued = 0;     ///< submitted but not yet picked up by a worker
+  u64 in_flight = 0;  ///< currently executing on a worker
 };
 
 class Runtime {
@@ -40,12 +56,15 @@ class Runtime {
   /// `pool` defaults to the process-wide shared pool.
   explicit Runtime(const ContextConfig& cfg, ThreadPool* pool = nullptr);
 
-  /// Execute on the calling thread, with telemetry recorded into the
-  /// configuration's session (the synchronous Context facade path).
+  /// Execute on the calling thread, with telemetry recorded directly into
+  /// the configuration's session under its lock (the synchronous Context
+  /// facade path — lane 0 of the span timeline).
   Outcome run(const OpDesc& desc);
 
   /// Execute on the worker pool; the future carries the Outcome or the
-  /// exception (ConfigError and friends) the job raised.
+  /// exception (ConfigError and friends) the job raised. Telemetry records
+  /// into a thread-local shard and merges into the session at completion,
+  /// on lane worker-id + 1.
   std::future<Outcome> submit(const OpDesc& desc);
 
   /// Submit every descriptor, then wait for all of them in order. Throws
@@ -59,11 +78,16 @@ class Runtime {
   unsigned workers() const { return pool_->size(); }
 
   /// Set the host.runtime.* gauges (and the cache's host.plan.*) from the
-  /// current counters. Called automatically at the end of every run().
+  /// current counters. Called automatically at the end of every run() and
+  /// every completed submit(). The caller must hold the session's lock or
+  /// otherwise have exclusive access to it.
   void publish(telemetry::Session& tel) const;
 
  private:
-  Outcome execute(const OpDesc& desc, telemetry::Session* tel);
+  Outcome execute(const OpDesc& desc, telemetry::Session* tel,
+                  telemetry::TraceContext* tc = nullptr);
+  void observe_latency(telemetry::Session& tel,
+                       const telemetry::TraceContext& tc) const;
 
   ContextConfig cfg_;
   ThreadPool* pool_;
@@ -71,6 +95,8 @@ class Runtime {
   std::atomic<u64> submitted_{0};
   std::atomic<u64> completed_{0};
   std::atomic<u64> failed_{0};
+  std::atomic<u64> queued_{0};
+  std::atomic<u64> in_flight_{0};
 };
 
 }  // namespace xd::host

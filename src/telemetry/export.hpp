@@ -21,19 +21,28 @@ namespace xd::telemetry {
 
 std::string metrics_to_json(const MetricsRegistry& reg);
 
-/// Header "name,kind,count,value,mean,stddev,min,max"; one line per metric.
+/// Header "name,kind,count,value,mean,stddev,min,max,p50,p95,p99"; one line
+/// per metric, fields quoted per RFC 4180 when they contain commas/quotes.
 std::string metrics_to_csv(const MetricsRegistry& reg);
 
 std::string report_to_json(const host::PerfReport& r);
 
-/// Spans only (no trace events), as a JSON array of {name, begin, end, depth}.
+/// Spans only (no trace events), as a JSON array of
+/// {name, begin, end, depth, lane}.
 std::string spans_to_json(const SpanRecorder& spans);
 
 /// Chrome trace_event export: spans become complete ("X") events, retained
 /// trace events become instant ("i") events. `clock_mhz <= 0` falls back to
 /// 1 cycle == 1 us. `trace_filter` (when non-empty) keeps only trace events
-/// whose source contains it; spans are always exported.
+/// whose source contains it; spans are always exported. Each recording lane
+/// maps to its own tid (0 = caller thread, w+1 = pool worker w) with a
+/// thread_name metadata event, so concurrent batches render as parallel
+/// per-worker tracks in chrome://tracing or Perfetto.
 std::string chrome_trace_json(const Session& session, double clock_mhz,
                               std::string_view trace_filter = {});
+
+/// Flight-recorder dump: {capacity, total, errors, records: [...]}, records
+/// oldest-first with per-op lifecycle timestamps (see TraceContext).
+std::string flight_to_json(const FlightRecorder& flight);
 
 }  // namespace xd::telemetry

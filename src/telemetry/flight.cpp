@@ -1,0 +1,50 @@
+#include "telemetry/flight.hpp"
+
+namespace xd::telemetry {
+
+void FlightRecorder::record(const TraceContext& tc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(tc);
+  } else {
+    ring_[head_] = tc;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++total_;
+  if (tc.failed) ++errors_;
+}
+
+std::vector<TraceContext> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceContext> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+u64 FlightRecorder::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+u64 FlightRecorder::errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return errors_;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+  errors_ = 0;
+}
+
+}  // namespace xd::telemetry

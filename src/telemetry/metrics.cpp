@@ -36,17 +36,22 @@ bool MetricsRegistry::valid_name(std::string_view name) {
 }
 
 Metric& MetricsRegistry::get(std::string_view name, MetricKind kind) {
-  require(valid_name(name),
-          cat("invalid metric name '", name,
-              "' (want dot-separated lower-case segments of [a-z0-9_-])"));
+  // Error messages are built only on the failure paths: this accessor is on
+  // the recording hot path, and an eagerly evaluated cat() here used to
+  // dominate the cost of every counter/gauge/histogram touch.
+  if (!valid_name(name)) {
+    throw ConfigError(
+        cat("invalid metric name '", name,
+            "' (want dot-separated lower-case segments of [a-z0-9_-])"));
+  }
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     it = metrics_.emplace(std::string(name), Metric{}).first;
     it->second.kind = kind;
-  } else {
-    require(it->second.kind == kind,
-            cat("metric '", name, "' already registered as ",
-                kind_name(it->second.kind), ", requested as ", kind_name(kind)));
+  } else if (it->second.kind != kind) {
+    throw ConfigError(cat("metric '", name, "' already registered as ",
+                          kind_name(it->second.kind), ", requested as ",
+                          kind_name(kind)));
   }
   return it->second;
 }
@@ -61,6 +66,63 @@ Gauge MetricsRegistry::gauge(std::string_view name) {
 
 HistogramMetric MetricsRegistry::histogram(std::string_view name) {
   return HistogramMetric(get(name, MetricKind::Histogram));
+}
+
+double MetricsRegistry::percentile(const Metric& m, double q) {
+  if (m.sketch.empty()) return 0.0;
+  const double v = m.sketch.quantile(q);
+  return std::min(std::max(v, m.dist.min()), m.dist.max());
+}
+
+double HistogramMetric::percentile(double q) const {
+  return MetricsRegistry::percentile(*m_, q);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  // Both maps are sorted, so a single co-iteration replaces a per-name
+  // log-time find: the runtime merges a worker shard after every completed
+  // op, and this walk is what keeps that merge cheap for small ops.
+  auto mit = metrics_.begin();
+  for (const auto& [name, theirs] : other.metrics_) {
+    // Untouched entries carry no recordings — either freshly created or
+    // left over in a reset_values() shard from an earlier op of a different
+    // kind. Merging one would leak a stale gauge name (with value 0) into
+    // this registry, so skip them entirely.
+    if (!theirs.touched) continue;
+    while (mit != metrics_.end() && mit->first < name) ++mit;
+    if (mit == metrics_.end() || mit->first != name) {
+      mit = metrics_.emplace_hint(mit, name, Metric{});
+      mit->second.kind = theirs.kind;
+    } else if (mit->second.kind != theirs.kind) {
+      throw ConfigError(cat("metric '", name, "' already registered as ",
+                            kind_name(mit->second.kind), ", merged as ",
+                            kind_name(theirs.kind)));
+    }
+    Metric& mine = mit->second;
+    mine.touched = true;
+    switch (theirs.kind) {
+      case MetricKind::Counter:
+        mine.count += theirs.count;
+        break;
+      case MetricKind::Gauge:
+        mine.value = theirs.value;
+        break;
+      case MetricKind::Histogram:
+        mine.dist.merge(theirs.dist);
+        mine.sketch.merge(theirs.sketch);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [name, m] : metrics_) {
+    m.touched = false;
+    m.count = 0;
+    m.value = 0.0;
+    m.dist.reset();
+    m.sketch.reset();
+  }
 }
 
 bool MetricsRegistry::contains(std::string_view name) const {

@@ -37,16 +37,21 @@ enum class MetricKind { Counter, Gauge, Histogram };
 /// The registry's storage record; handles below are typed views of it.
 struct Metric {
   MetricKind kind = MetricKind::Counter;
+  bool touched = false;  ///< any recording since creation / reset_values()
   u64 count = 0;        ///< counter value
   double value = 0.0;   ///< gauge value
-  RunningStats dist;    ///< histogram samples
+  RunningStats dist;    ///< histogram moments/extremes
+  QuantileSketch sketch;  ///< histogram percentiles (p50/p95/p99 exports)
 };
 
 /// Monotonically increasing count (events, cycles, words moved).
 class Counter {
  public:
   explicit Counter(Metric& m) : m_(&m) {}
-  void add(u64 delta = 1) { m_->count += delta; }
+  void add(u64 delta = 1) {
+    m_->count += delta;
+    m_->touched = true;
+  }
   u64 value() const { return m_->count; }
 
  private:
@@ -57,19 +62,31 @@ class Counter {
 class Gauge {
  public:
   explicit Gauge(Metric& m) : m_(&m) {}
-  void set(double v) { m_->value = v; }
+  void set(double v) {
+    m_->value = v;
+    m_->touched = true;
+  }
   double value() const { return m_->value; }
 
  private:
   Metric* m_;
 };
 
-/// Streaming distribution (count / mean / stddev / min / max / sum).
+/// Streaming distribution (count / mean / stddev / min / max / sum, plus
+/// percentiles through the bucketed quantile sketch).
 class HistogramMetric {
  public:
   explicit HistogramMetric(Metric& m) : m_(&m) {}
-  void observe(double sample) { m_->dist.add(sample); }
+  void observe(double sample) {
+    m_->dist.add(sample);
+    m_->sketch.add(sample);
+    m_->touched = true;
+  }
   const RunningStats& stats() const { return m_->dist; }
+  /// Sketch quantile clamped to the exactly tracked [min, max], so constant
+  /// distributions report their value exactly and no percentile ever leaves
+  /// the observed range.
+  double percentile(double q) const;
 
  private:
   Metric* m_;
@@ -89,6 +106,13 @@ class MetricsRegistry {
   bool empty() const { return metrics_.empty(); }
   void clear() { metrics_.clear(); }
 
+  /// Zero every metric's recorded values but keep the map nodes (names,
+  /// kinds, handle addresses). Much cheaper than clear() + re-registration,
+  /// so per-op shard sessions reuse their maps across ops; merge_from()
+  /// skips entries untouched since the reset, so a stale gauge from an
+  /// earlier op on the same shard never leaks into a later merge.
+  void reset_values();
+
   /// All registered names, sorted (map order).
   std::vector<std::string> names() const;
 
@@ -98,9 +122,21 @@ class MetricsRegistry {
     for (const auto& [name, metric] : metrics_) fn(name, metric);
   }
 
+  /// Merge another registry into this one: counters add, gauges take the
+  /// other's value (last write wins), histograms combine their moments and
+  /// sketches. Used by Session::merge to fold per-worker shards into the
+  /// shared registry; histogram counts and sketch percentiles are exact
+  /// under any merge order. Throws ConfigError when a name exists in both
+  /// registries with different kinds.
+  void merge_from(const MetricsRegistry& other);
+
   /// Valid names are non-empty dot-separated segments of [a-z0-9_-];
   /// no leading/trailing/double dots.
   static bool valid_name(std::string_view name);
+
+  /// Clamped sketch quantile of a histogram metric (see
+  /// HistogramMetric::percentile).
+  static double percentile(const Metric& m, double q);
 
  private:
   Metric& get(std::string_view name, MetricKind kind);

@@ -36,10 +36,40 @@ void SpanRecorder::phase(std::string_view name, u64 cycles) {
   done_.push_back(std::move(s));
 }
 
+void SpanRecorder::merge_from(const SpanRecorder& other, unsigned lane) {
+  if (!other.open_.empty()) {
+    throw SimError(cat("SpanRecorder::merge_from: source still has ",
+                       other.open_.size(), " open span(s)"));
+  }
+  const u64 offset = lane_cursor(lane);
+  for (const Span& s : other.done_) {
+    Span merged = s;
+    merged.begin = offset + s.begin;
+    merged.end = offset + s.end;
+    merged.lane = lane;
+    done_.push_back(std::move(merged));
+  }
+  const u64 advanced = offset + other.cursor_;
+  if (lane == 0) {
+    set_cursor(advanced);
+  } else {
+    if (lane_cursors_.size() < lane) lane_cursors_.resize(lane, 0);
+    u64& cur = lane_cursors_[lane - 1];
+    cur = advanced < cur ? cur : advanced;
+  }
+}
+
+u64 SpanRecorder::lane_cursor(unsigned lane) const {
+  if (lane == 0) return cursor_;
+  return lane <= lane_cursors_.size() ? lane_cursors_[lane - 1] : 0;
+}
+
 std::vector<Span> SpanRecorder::spans() const {
   std::vector<Span> out = done_;
   std::stable_sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
-    return a.begin != b.begin ? a.begin < b.begin : a.depth < b.depth;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.depth < b.depth;
   });
   return out;
 }
@@ -56,6 +86,7 @@ void SpanRecorder::clear() {
   done_.clear();
   open_.clear();
   cursor_ = 0;
+  lane_cursors_.clear();
 }
 
 }  // namespace xd::telemetry

@@ -29,6 +29,11 @@ struct Span {
   u64 begin = 0;
   u64 end = 0;        ///< exclusive
   unsigned depth = 0; ///< nesting level (0 = top)
+  /// Which execution lane recorded the span: 0 is the recorder's own
+  /// timeline (the synchronous path); merged worker shards land on lane
+  /// worker-id + 1. The Chrome exporter renders one track per lane, so a
+  /// concurrent batch shows as parallel per-worker tracks.
+  unsigned lane = 0;
   u64 cycles() const { return end - begin; }
 };
 
@@ -46,9 +51,21 @@ class SpanRecorder {
   /// Append a closed span of `cycles` at the cursor and advance it.
   void phase(std::string_view name, u64 cycles);
 
+  /// Append every completed span of `other` onto `lane`'s timeline. Each
+  /// incoming span keeps its shape but is offset by the lane's cursor, so
+  /// successive merges tile the lane the way sequential phase() calls tile
+  /// lane 0; the lane cursor then advances past the merged run. Lane 0 is
+  /// this recorder's own timeline (merging there is equivalent to having
+  /// recorded the spans directly). Throws SimError if `other` still has
+  /// open spans — a shard must be fully closed before it is merged.
+  void merge_from(const SpanRecorder& other, unsigned lane);
+
   /// End of the recorded timeline; phases append here.
   u64 cursor() const { return cursor_; }
   void set_cursor(u64 cycle) { cursor_ = cycle < cursor_ ? cursor_ : cycle; }
+
+  /// End of a merge lane's timeline (lane 0 == cursor()).
+  u64 lane_cursor(unsigned lane) const;
 
   unsigned open_depth() const { return static_cast<unsigned>(open_.size()); }
 
@@ -66,6 +83,7 @@ class SpanRecorder {
   std::vector<Span> done_;
   std::vector<Span> open_;  ///< stack of currently open spans
   u64 cursor_ = 0;
+  std::vector<u64> lane_cursors_;  ///< per-lane merge cursors, lanes >= 1
 };
 
 /// RAII helper: opens a span on construction, closes it on destruction with

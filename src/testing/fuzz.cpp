@@ -366,6 +366,40 @@ std::optional<CheckFailure> check_op(const FuzzCase& fc, CaseData& data) {
                             cat(e.what, " export is invalid JSON: ", err)};
       }
     }
+
+    // Concurrent neutrality: worker-pool submission with the session
+    // attached records through thread-local shards and the merge path, and
+    // must still reproduce the detached run bit for bit — values, cycles,
+    // stalls, everything.
+    if (auto d = outcome_diff(base, rt_tel.submit(data.desc).get())) {
+      return CheckFailure{
+          "telemetry-concurrent",
+          cat("attached submit() differs from detached run(): ", *d)};
+    }
+    const auto touts = rt_tel.run_batch({data.desc, data.desc});
+    for (std::size_t i = 0; i < touts.size(); ++i) {
+      if (auto d = outcome_diff(base, touts[i])) {
+        return CheckFailure{
+            "telemetry-concurrent",
+            cat("attached run_batch()[", i, "] differs: ", *d)};
+      }
+    }
+    // Those submissions also landed in the flight recorder; its export must
+    // be strict JSON like every other sink.
+    {
+      std::string err;
+      const std::string fj = telemetry::flight_to_json(tel.flight());
+      if (!telemetry::json_validate(fj, &err)) {
+        return CheckFailure{"telemetry-json",
+                            cat("flight export is invalid JSON: ", err)};
+      }
+      if (tel.flight().total() < 3) {
+        return CheckFailure{
+            "telemetry-concurrent",
+            cat("flight recorder saw ", tel.flight().total(),
+                " completions, expected at least 3 (1 submit + 2 batch)")};
+      }
+    }
   }
 
   // Cycle count monotone in problem size.

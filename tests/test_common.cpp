@@ -93,6 +93,80 @@ TEST(Histogram, RejectsZeroBuckets) {
   EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(QuantileSketch, ExactForPowersOfTwoAndIntegers) {
+  // Bucket lower edges are exact for short-mantissa values, so a stream of
+  // small integers answers its quantiles exactly.
+  QuantileSketch s;
+  for (double v : {1.0, 2.0, 4.0, 8.0, 16.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.2), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 16.0);
+}
+
+TEST(QuantileSketch, RelativeErrorBound) {
+  // 16 sub-buckets per octave: any positive sample's bucket lower edge is
+  // within ~3.2% below the sample.
+  QuantileSketch s;
+  Rng rng(77);
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.001, 1e6);
+    vals.push_back(v);
+    s.add(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double est = s.quantile(q);
+    const double exact =
+        vals[static_cast<std::size_t>(q * (vals.size() - 1))];
+    EXPECT_NEAR(est, exact, exact * 0.04) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesCombinedStreamBitwise) {
+  // Integer-count buckets: merging shards is bit-identical to one stream,
+  // regardless of interleaving — the property concurrent telemetry relies
+  // on.
+  QuantileSketch a, b, all;
+  Rng rng(78);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(0.1, 1e4);
+    ((i % 3 == 0) ? a : b).add(v);
+    all.add(v);
+  }
+  QuantileSketch merged_ab = a, merged_ba = b;
+  merged_ab.merge(b);
+  merged_ba.merge(a);
+  EXPECT_EQ(merged_ab.count(), all.count());
+  EXPECT_EQ(merged_ab.buckets(), all.buckets());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged_ab.quantile(q), all.quantile(q)) << "q=" << q;
+    EXPECT_EQ(merged_ba.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, NonPositiveAndNonFiniteSamples) {
+  QuantileSketch s;
+  s.add(-5.0);
+  s.add(0.0);
+  s.add(std::nan(""));
+  s.add(std::numeric_limits<double>::infinity());
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 5u);
+  // Negatives sort below zero/NaN, which sort below positives; callers clamp
+  // with a tracked min/max (RunningStats) for hard bounds.
+  EXPECT_LT(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.6), 0.0);
+  EXPECT_GE(s.quantile(1.0), 2.0);
+  QuantileSketch empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  s.reset();
+  EXPECT_TRUE(s.empty());
+}
+
 TEST(Utilization, Fraction) {
   Utilization u;
   for (int i = 0; i < 10; ++i) u.tick(i % 4 == 0);

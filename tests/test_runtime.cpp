@@ -13,6 +13,9 @@
 #include "common/random.hpp"
 #include "host/context.hpp"
 #include "host/runtime.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/session.hpp"
 
 using namespace xd;
 using host::Context;
@@ -306,6 +309,175 @@ TEST(Runtime, FailedBatchStillSettlesEveryJob) {
   EXPECT_EQ(stats.submitted, 2u);
   EXPECT_EQ(stats.completed + stats.failed, 2u);
   EXPECT_EQ(stats.failed, 1u);
+}
+
+// ---- concurrent telemetry --------------------------------------------------
+// Submitted jobs used to run with telemetry detached; they now record into
+// thread-local shards merged into the shared session. These tests hold the
+// new contract: full recording under concurrency, without perturbing
+// outcomes.
+
+TEST(RuntimeTelemetry, ConcurrentSubmitsRecordFullTelemetry) {
+  const auto jobs = make_gemv_jobs(8, 96);
+
+  telemetry::Session tel;
+  ContextConfig cfg;
+  cfg.telemetry = &tel;
+  Runtime rt(cfg);
+
+  // Detached reference for outcome bit-identity (telemetry-neutrality).
+  Runtime detached({});
+
+  std::vector<std::future<Outcome>> futs, futs_ref;
+  for (const auto& j : jobs) {
+    futs.push_back(rt.submit(OpDesc::gemv(j.a, j.n, j.n, j.x)));
+    futs_ref.push_back(detached.submit(OpDesc::gemv(j.a, j.n, j.n, j.x)));
+  }
+  u64 total_cycles = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Outcome got = futs[j].get();
+    const Outcome want = futs_ref[j].get();
+    ASSERT_EQ(got.values.size(), want.values.size());
+    for (std::size_t i = 0; i < got.values.size(); ++i) {
+      ASSERT_EQ(got.values[i], want.values[i]) << "job " << j;
+    }
+    ASSERT_EQ(got.report.cycles, want.report.cycles) << "job " << j;
+    total_cycles += got.report.cycles;
+  }
+
+  // Engine metrics and spans from every job landed in the session.
+  EXPECT_TRUE(tel.metrics().contains("fpu.issue"));
+  EXPECT_EQ(tel.spans().total_cycles("compute"), total_cycles);
+
+  // Latency attribution histograms carry one sample per op and export
+  // percentiles.
+  const telemetry::Metric* e2e = tel.metrics().find("host.runtime.e2e");
+  ASSERT_NE(e2e, nullptr);
+  EXPECT_EQ(e2e->dist.count(), jobs.size());
+  EXPECT_GT(telemetry::MetricsRegistry::percentile(*e2e, 0.95), 0.0);
+  const telemetry::Metric* qw = tel.metrics().find("host.runtime.queue_wait");
+  ASSERT_NE(qw, nullptr);
+  EXPECT_EQ(qw->dist.count(), jobs.size());
+
+  // After all futures settled, the sampled gauges must read drained.
+  EXPECT_DOUBLE_EQ(tel.metrics().find("host.runtime.queue_depth")->value, 0.0);
+  EXPECT_DOUBLE_EQ(tel.metrics().find("host.runtime.in_flight")->value, 0.0);
+
+  // Every op left a flight record, and the exports stay valid JSON.
+  EXPECT_EQ(tel.flight().total(), jobs.size());
+  EXPECT_EQ(tel.flight().errors(), 0u);
+  EXPECT_TRUE(telemetry::json_validate(telemetry::flight_to_json(tel.flight())));
+  EXPECT_TRUE(telemetry::json_validate(telemetry::metrics_to_json(tel.metrics())));
+  EXPECT_TRUE(telemetry::json_validate(telemetry::chrome_trace_json(tel, 200.0)));
+}
+
+TEST(RuntimeTelemetry, ConcurrentCountersMatchSequentialRecording) {
+  // Order-independent telemetry (counters, histogram counts, span totals)
+  // must come out identical whether the ops ran sequentially through run()
+  // or concurrently through submit().
+  const auto jobs = make_gemv_jobs(6, 64);
+
+  telemetry::Session seq_tel;
+  ContextConfig seq_cfg;
+  seq_cfg.telemetry = &seq_tel;
+  Runtime seq(seq_cfg);
+  for (const auto& j : jobs) seq.run(OpDesc::gemv(j.a, j.n, j.n, j.x));
+
+  telemetry::Session con_tel;
+  ContextConfig con_cfg;
+  con_cfg.telemetry = &con_tel;
+  Runtime con(con_cfg);
+  std::vector<std::future<Outcome>> futs;
+  for (const auto& j : jobs) {
+    futs.push_back(con.submit(OpDesc::gemv(j.a, j.n, j.n, j.x)));
+  }
+  for (auto& f : futs) f.get();
+
+  con_tel.metrics().for_each([&](const std::string& name,
+                                 const telemetry::Metric& m) {
+    if (name.rfind("host.runtime.", 0) == 0) return;  // wall-clock metrics
+    const telemetry::Metric* s = seq_tel.metrics().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    if (m.kind == telemetry::MetricKind::Counter) {
+      EXPECT_EQ(m.count, s->count) << name;
+    } else if (m.kind == telemetry::MetricKind::Histogram) {
+      EXPECT_EQ(m.dist.count(), s->dist.count()) << name;
+      EXPECT_EQ(m.dist.min(), s->dist.min()) << name;
+      EXPECT_EQ(m.dist.max(), s->dist.max()) << name;
+    }
+  });
+  EXPECT_EQ(con_tel.spans().total_cycles("compute"),
+            seq_tel.spans().total_cycles("compute"));
+  EXPECT_EQ(con_tel.spans().spans().size(), seq_tel.spans().spans().size());
+}
+
+TEST(RuntimeTelemetry, RunStampsTraceContextLifecycle) {
+  Rng rng(21);
+  const auto a = rng.matrix(48, 48);
+  const auto x = rng.vector(48);
+
+  telemetry::Session tel;
+  ContextConfig cfg;
+  cfg.telemetry = &tel;
+  Runtime rt(cfg);
+  const Outcome out = rt.run(OpDesc::gemv(a, 48, 48, x));
+
+  const auto snap = tel.flight().snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  const telemetry::TraceContext& tc = snap.front();
+  EXPECT_STREQ(tc.kind, "gemv");
+  EXPECT_EQ(tc.lane, 0u);  // synchronous path records on the caller lane
+  EXPECT_EQ(tc.dequeue_ns, tc.submit_ns);  // no queue wait on run()
+  EXPECT_GE(tc.plan_ns, tc.submit_ns);
+  EXPECT_GE(tc.exec_ns, tc.plan_ns);
+  EXPECT_GE(tc.complete_ns, tc.exec_ns);
+  EXPECT_EQ(tc.cycles, out.report.cycles);
+  EXPECT_FALSE(tc.failed);
+}
+
+TEST(RuntimeTelemetry, FailuresLandInTheFlightRecorder) {
+  Rng rng(22);
+  const auto a = rng.matrix(32, 32);
+  const auto x_bad = rng.vector(16);
+
+  telemetry::Session tel;
+  ContextConfig cfg;
+  cfg.telemetry = &tel;
+  Runtime rt(cfg);
+
+  EXPECT_THROW(rt.run(OpDesc::gemv(a, 32, 32, x_bad)), ConfigError);
+  auto fut = rt.submit(OpDesc::gemv(a, 32, 32, x_bad));
+  EXPECT_THROW(fut.get(), ConfigError);
+
+  EXPECT_EQ(tel.flight().total(), 2u);
+  EXPECT_EQ(tel.flight().errors(), 2u);
+  for (const auto& tc : tel.flight().snapshot()) {
+    EXPECT_TRUE(tc.failed);
+    EXPECT_FALSE(tc.error.empty());
+    EXPECT_GT(tc.complete_ns, 0u);
+  }
+  // The failed shard was discarded, not merged: no spans recorded.
+  EXPECT_TRUE(tel.spans().empty());
+}
+
+TEST(RuntimeTelemetry, FlightRingBoundsRetainedHistory) {
+  Rng rng(23);
+  const auto u = rng.vector(32);
+  const auto v = rng.vector(32);
+
+  telemetry::Session tel(/*trace_capacity=*/4096, /*flight_capacity=*/4);
+  ContextConfig cfg;
+  cfg.telemetry = &tel;
+  Runtime rt(cfg);
+  for (int i = 0; i < 7; ++i) rt.run(OpDesc::dot(u, v));
+
+  EXPECT_EQ(tel.flight().size(), 4u);
+  EXPECT_EQ(tel.flight().total(), 7u);
+  const auto snap = tel.flight().snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GT(snap[i].op_id, snap[i - 1].op_id);  // oldest-first, in order
+  }
 }
 
 TEST(Runtime, ContextFacadeSharesTheRuntime) {

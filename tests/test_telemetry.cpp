@@ -209,10 +209,12 @@ TEST(Export, MetricsJsonGolden) {
 
   const std::string json = metrics_to_json(reg);
   EXPECT_TRUE(json_validate(json)) << json;
+  // p50 of {4, 8} is the first sample covering half the mass: 4. The
+  // samples are powers of two, so the sketch reports them exactly.
   EXPECT_EQ(json,
             R"({"blas1.dot.runs":{"kind":"counter","value":2},)"
             R"("blas1.dot.vector_words":{"kind":"histogram","count":2,"sum":12,)"
-            R"("mean":6,"stddev":2,"min":4,"max":8},)"
+            R"("mean":6,"stddev":2,"min":4,"max":8,"p50":4,"p95":8,"p99":8},)"
             R"("fpu.dot.utilization":{"kind":"gauge","value":0.5}})");
 }
 
@@ -222,9 +224,9 @@ TEST(Export, MetricsCsv) {
   reg.gauge("b.rate").set(1.5);
   const std::string csv = metrics_to_csv(reg);
   EXPECT_EQ(csv,
-            "name,kind,count,value,mean,stddev,min,max\n"
-            "a.count,counter,3,3,,,,\n"
-            "b.rate,gauge,1,1.5,,,,\n");
+            "name,kind,count,value,mean,stddev,min,max,p50,p95,p99\n"
+            "a.count,counter,3,3,,,,,,,\n"
+            "b.rate,gauge,1,1.5,,,,,,,\n");
 }
 
 TEST(Export, ReportJsonFiniteOnDegenerateReports) {
@@ -274,7 +276,175 @@ TEST(Export, SpansJson) {
   rec.phase("compute", 10);
   const std::string json = spans_to_json(rec);
   EXPECT_TRUE(json_validate(json)) << json;
-  EXPECT_EQ(json, R"([{"name":"compute","begin":0,"end":10,"depth":0}])");
+  EXPECT_EQ(json,
+            R"([{"name":"compute","begin":0,"end":10,"depth":0,"lane":0}])");
+}
+
+// ---- span lane merging -----------------------------------------------------
+
+TEST(SpanMerge, ShardsLandOnTheirLanesAndTile) {
+  SpanRecorder main;
+  main.phase("staging", 10);  // lane 0, [0, 10)
+
+  SpanRecorder shard_a;
+  shard_a.phase("compute", 30);
+  SpanRecorder shard_b;
+  shard_b.phase("compute", 50);
+
+  main.merge_from(shard_a, 1);  // worker 0 -> lane 1
+  main.merge_from(shard_b, 2);  // worker 1 -> lane 2
+  main.merge_from(shard_a, 1);  // second op on worker 0 tiles after the first
+
+  EXPECT_EQ(main.lane_cursor(0), 10u);
+  EXPECT_EQ(main.lane_cursor(1), 60u);  // 30 + 30
+  EXPECT_EQ(main.lane_cursor(2), 50u);
+
+  const auto spans = main.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // (begin, lane, depth) order: lane-0 staging, then the three merged runs.
+  EXPECT_EQ(spans[0].name, "staging");
+  EXPECT_EQ(spans[0].lane, 0u);
+  EXPECT_EQ(spans[1].lane, 1u);
+  EXPECT_EQ(spans[1].begin, 0u);
+  EXPECT_EQ(spans[1].end, 30u);
+  EXPECT_EQ(spans[2].lane, 2u);
+  EXPECT_EQ(spans[3].lane, 1u);
+  EXPECT_EQ(spans[3].begin, 30u);  // tiled after shard_a's first merge
+  EXPECT_EQ(spans[3].end, 60u);
+
+  // Per-name totals aggregate across lanes.
+  EXPECT_EQ(main.total_cycles("compute"), 110u);
+}
+
+TEST(SpanMerge, Lane0EquivalentToDirectRecordingAndOpenSpansThrow) {
+  SpanRecorder direct;
+  direct.phase("a", 5);
+  direct.phase("b", 7);
+
+  SpanRecorder main, shard;
+  main.phase("a", 5);
+  shard.phase("b", 7);
+  main.merge_from(shard, 0);
+  EXPECT_EQ(spans_to_json(main), spans_to_json(direct));
+  EXPECT_EQ(main.cursor(), direct.cursor());
+
+  SpanRecorder open;
+  open.begin("unfinished");
+  EXPECT_THROW(main.merge_from(open, 1), SimError);
+}
+
+// ---- session merge ---------------------------------------------------------
+
+TEST(SessionMerge, MetricsCombineAcrossShards) {
+  Session main;
+  main.counter("ops").add(2);
+  main.histogram("lat").observe(10.0);
+
+  Session shard;
+  shard.counter("ops").add(3);
+  shard.gauge("depth").set(4.0);
+  shard.histogram("lat").observe(20.0);
+  shard.phase("compute", 9);
+
+  main.merge(shard, 1);
+  EXPECT_EQ(main.counter("ops").value(), 5u);
+  EXPECT_DOUBLE_EQ(main.gauge("depth").value(), 4.0);
+  EXPECT_EQ(main.histogram("lat").stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(main.histogram("lat").stats().max(), 20.0);
+  EXPECT_DOUBLE_EQ(main.histogram("lat").percentile(0.99), 20.0);
+  EXPECT_EQ(main.spans().total_cycles("compute"), 9u);
+
+  // Kind mismatch across shards is a configuration error, not silent data.
+  Session bad;
+  bad.gauge("ops").set(1.0);
+  EXPECT_THROW(main.merge(bad, 1), ConfigError);
+}
+
+TEST(SessionMerge, TraceEventsReEmitOnlyWhenEnabled) {
+  Session shard;
+  shard.trace().set_enabled(true);
+  shard.trace().emit(3, "reduce.buf", "swap");
+
+  Session off;  // tracing disabled (the default): shard events are dropped
+  off.merge(shard, 1);
+  EXPECT_EQ(off.trace().size(), 0u);
+
+  Session on;
+  on.trace().set_enabled(true);
+  on.merge(shard, 1);
+  ASSERT_EQ(on.trace().size(), 1u);
+  EXPECT_EQ(on.trace().events().front().what, "swap");
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+TEST(Flight, RingKeepsNewestAndCountsTotals) {
+  FlightRecorder fr(3);
+  for (u64 i = 0; i < 5; ++i) {
+    TraceContext tc;
+    tc.op_id = i;
+    tc.failed = (i == 4);
+    fr.record(tc);
+  }
+  EXPECT_EQ(fr.size(), 3u);
+  EXPECT_EQ(fr.capacity(), 3u);
+  EXPECT_EQ(fr.total(), 5u);
+  EXPECT_EQ(fr.errors(), 1u);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().op_id, 2u);  // oldest retained
+  EXPECT_EQ(snap.back().op_id, 4u);
+  EXPECT_TRUE(snap.back().failed);
+  fr.clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.total(), 0u);
+}
+
+TEST(Flight, JsonExportValidatesAndCarriesLifecycle) {
+  FlightRecorder fr(8);
+  TraceContext tc;
+  tc.op_id = 7;
+  tc.kind = "gemv";
+  tc.lane = 2;
+  tc.submit_ns = 100;
+  tc.dequeue_ns = 150;
+  tc.plan_ns = 160;
+  tc.exec_ns = 170;
+  tc.complete_ns = 300;
+  tc.cycles = 1234;
+  fr.record(tc);
+  TraceContext bad;
+  bad.op_id = 8;
+  bad.failed = true;
+  bad.error = "ConfigError: \"x\" too short";
+  fr.record(bad);
+
+  const std::string json = flight_to_json(fr);
+  EXPECT_TRUE(json_validate(json)) << json;
+  EXPECT_NE(json.find("\"op_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gemv\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_ns\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ns\":200"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":true"), std::string::npos);
+  EXPECT_NE(json.find("too short"), std::string::npos);
+}
+
+TEST(Export, ChromeTracePerLaneTids) {
+  Session tel;
+  tel.phase("staging", 10);  // lane 0
+  Session shard;
+  shard.phase("compute", 20);
+  tel.merge(shard, 3);  // worker 2 -> lane 3
+
+  const std::string trace = chrome_trace_json(tel, 100.0);
+  EXPECT_TRUE(json_validate(trace)) << trace;
+  // Spans carry their lane both as the tid and in args (the CI smoke greps
+  // the args form), and each lane gets a thread_name metadata event.
+  EXPECT_NE(trace.find("\"lane\":0"), std::string::npos);
+  EXPECT_NE(trace.find("\"lane\":3"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"caller\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"worker 2\""), std::string::npos);
 }
 
 // ---- circular trace buffer -------------------------------------------------

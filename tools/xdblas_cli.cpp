@@ -32,6 +32,14 @@
 //   --trace-out FILE     write a Chrome trace_event JSON (chrome://tracing /
 //                        Perfetto); also enables event tracing in the run
 //   --trace-filter STR   keep only trace events whose source contains STR
+//   --flight-out FILE    write the flight recorder (last-N per-op trace
+//                        contexts) as JSON; also dumped to stderr when a
+//                        run dies with an error
+//
+// In batch mode the telemetry session is shared by every concurrent job:
+// worker shards merge into it at op completion, so the metrics/trace/flight
+// exports cover the whole batch and the Chrome trace shows one track per
+// pool worker.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -107,7 +115,7 @@ struct Args {
 
 /// Flags valid for every command.
 const std::set<std::string> kCommonFlags = {
-    "seed", "json", "metrics-out", "trace-out", "trace-filter"};
+    "seed", "json", "metrics-out", "trace-out", "trace-filter", "flight-out"};
 
 /// Flags that take no value; every other flag requires one.
 const std::set<std::string> kBoolFlags = {"json", "from-dram"};
@@ -133,7 +141,7 @@ int usage() {
                "       xdblas_cli tune <op> [--n N] [--rows R --cols C] "
                "[--l L] [--policy model|probe] [--banks B]\n"
                "       common flags: --seed S --json --metrics-out FILE "
-               "--trace-out FILE --trace-filter STR\n"
+               "--trace-out FILE --trace-filter STR --flight-out FILE\n"
                "       (see the file header for per-command options)\n");
   return 2;
 }
@@ -290,6 +298,11 @@ bool finish(const Args& args, telemetry::Session& tel,
                                                  args.str("trace-filter", ""))) &&
          ok;
   }
+  if (args.flag("flight-out")) {
+    ok = write_file(args.str("flight-out", ""),
+                    telemetry::flight_to_json(tel.flight())) &&
+         ok;
+  }
   return ok;
 }
 
@@ -320,6 +333,14 @@ int run_batch(const Args& args) {
     return 1;
   }
 
+  // One shared session for the whole batch when any telemetry output was
+  // requested: concurrent jobs merge their worker shards into it, so the
+  // exports aggregate every op and the Chrome trace gets per-worker tracks.
+  const bool want_tel = args.flag("json") || args.flag("metrics-out") ||
+                        args.flag("trace-out") || args.flag("flight-out");
+  telemetry::Session session;
+  if (args.flag("trace-out")) session.trace().set_enabled(true);
+
   static const std::set<std::string> kBatchOps = {"dot", "gemv", "gemm",
                                                   "spmxv"};
   std::deque<BatchJob> jobs;  // deque: stable addresses for OpDesc pointers
@@ -348,7 +369,8 @@ int run_batch(const Args& args) {
                    line_no);
       return 1;
     }
-    for (const char* f : {"json", "metrics-out", "trace-out", "trace-filter"}) {
+    for (const char* f :
+         {"json", "metrics-out", "trace-out", "trace-filter", "flight-out"}) {
       if (la.flag(f)) {
         std::fprintf(stderr,
                      "error: %s:%zu: '--%s' is per-process, not per-line\n",
@@ -358,7 +380,8 @@ int run_batch(const Args& args) {
     }
 
     Rng rng(static_cast<u64>(la.integer("seed", 2005)));
-    host::ContextConfig cfg;  // telemetry stays detached: jobs run pooled
+    host::ContextConfig cfg;
+    if (want_tel) cfg.telemetry = &session;  // shards merge on completion
     if (la.command == "dot") {
       cfg.dot_k = static_cast<unsigned>(la.integer("k", 2));
       cfg.dot_mem_bytes_per_s = la.num("bw-gbs", 5.5) * 1e9;
@@ -434,6 +457,11 @@ int run_batch(const Args& args) {
     if (!write_file(args.str("out", ""), out)) return 1;
   } else {
     std::fputs(out.c_str(), stdout);
+  }
+  if (want_tel) {
+    // Batch --json appends one aggregate summary record after the per-job
+    // JSONL records (the writer emits a single line, keeping stdout JSONL).
+    if (!finish(args, session, nullptr)) return 1;
   }
   return rc;
 }
@@ -537,13 +565,15 @@ int main(int argc, char** argv) {
   Args args;
   if (!parse(argc, argv, args)) return usage();
 
+  // One session serves all sinks (declared outside the try so the flight
+  // recorder survives into the error handler for a post-mortem dump).
+  telemetry::Session session;
   try {
     if (args.command == "batch") return run_batch(args);
     if (args.command == "tune") return run_tune(args);
     Rng rng(static_cast<u64>(args.integer("seed", 2005)));
-    // One session serves all sinks; event tracing only turns on when a trace
-    // file was requested (emit sites build strings the fast path avoids).
-    telemetry::Session session;
+    // Event tracing only turns on when a trace file was requested (emit
+    // sites build strings the fast path avoids).
     if (args.flag("trace-out")) session.trace().set_enabled(true);
     const bool json = args.flag("json");
 
@@ -664,6 +694,15 @@ int main(int argc, char** argv) {
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // Post-mortem: the ops leading up to the failure, to stderr and (when
+    // requested) the --flight-out file.
+    if (session.flight().total() > 0) {
+      const std::string dump = telemetry::flight_to_json(session.flight());
+      std::fprintf(stderr, "flight recorder: %s\n", dump.c_str());
+      if (args.flag("flight-out")) {
+        write_file(args.str("flight-out", ""), dump);
+      }
+    }
     return 1;
   }
   return 0;
