@@ -1,5 +1,6 @@
 #include "host/plan.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "host/tuner.hpp"
@@ -209,6 +210,216 @@ Plan build_plan(const ContextConfig& cfg, const PlanKey& key) {
   return plan;
 }
 
+// ---- graph plans -----------------------------------------------------------
+
+namespace {
+
+/// Per-slot DRAM staging decomposition of one node, consistent with the
+/// single-op totals build_plan derives: a Dram dot stages both operand
+/// vectors (2*cols at the dot clock), a Dram gemv streams A and writes y
+/// back (rows*cols + rows at the gemv clock) with x assumed SRAM-resident,
+/// and every other kind stages nothing today.
+struct StagedWords {
+  double in[3] = {0.0, 0.0, 0.0};  ///< indexed by OperandSlot
+  double out = 0.0;                ///< result writeback
+  double wpc = 0.0;                ///< staging link words/cycle (node clock)
+  double total() const { return in[0] + in[1] + in[2] + out; }
+};
+
+StagedWords staged_words_for(const ContextConfig& cfg, const OpDesc& d) {
+  StagedWords w;
+  if (d.placement != Placement::Dram) return w;
+  switch (d.kind) {
+    case OpKind::Dot:
+      w.in[0] = static_cast<double>(d.cols);
+      w.in[1] = static_cast<double>(d.cols);
+      w.wpc = words_per_cycle(cfg.gemv_dram_bytes_per_s, cfg.dot_clock_mhz);
+      break;
+    case OpKind::Gemv:
+      w.in[0] = static_cast<double>(d.rows) * static_cast<double>(d.cols);
+      w.out = static_cast<double>(d.rows);
+      w.wpc = words_per_cycle(cfg.gemv_dram_bytes_per_s, cfg.gemv_clock_mhz);
+      break;
+    default:
+      break;  // no DRAM staging modeled for the other kinds
+  }
+  return w;
+}
+
+/// Resident words an operand slot pins when a chain retains it for reuse.
+double slot_words(const OpDesc& d, OperandSlot s) {
+  return static_cast<double>(op_slot_len(d, s));
+}
+
+}  // namespace
+
+GraphPlan build_graph_plan(const ContextConfig& cfg, const GraphDesc& g) {
+  g.validate();
+
+  GraphPlan gp;
+  gp.signature = g.signature();
+  gp.order = g.topo_order();
+  gp.node_plans.reserve(g.nodes.size());
+  for (const auto& node : g.nodes)
+    gp.node_plans.push_back(std::make_shared<const Plan>(
+        build_plan(cfg, PlanKey::from(node.desc, cfg.tune))));
+
+  const double capacity = static_cast<double>(cfg.sram_capacity_words);
+  const double bank_words =
+      capacity / static_cast<double>(cfg.sram_banks ? cfg.sram_banks : 1);
+
+  // Chain partition, greedy in topological order. A chain is a set of
+  // nodes executed back-to-back on the fabric with a shared SRAM resident
+  // set: retained external operands (staged once for the whole chain) and
+  // double-buffered forwarding banks for fused edges.
+  struct ChainState {
+    double resident = 0.0;
+    std::unordered_map<const void*, double> retained;  ///< operand -> words
+  };
+  std::vector<ChainState> chains;
+  gp.chain_of.assign(g.nodes.size(), -1);
+  gp.edge_fused.assign(g.edges.size(), false);
+
+  std::vector<StagedWords> words(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i)
+    words[i] = staged_words_for(cfg, g.nodes[i].desc);
+  // in_skipped[v][slot]: the staging of that operand is not paid (edge
+  // forwarded it, or an earlier chain member staged the same vector).
+  std::vector<std::array<bool, 3>> in_skipped(g.nodes.size(),
+                                              {false, false, false});
+
+  for (std::size_t v : gp.order) {
+    const OpDesc& d = g.nodes[v].desc;
+
+    // 1) Try to join a producer's chain across a fusable edge: the
+    // intermediate must fit a double-buffered forwarding bank and the
+    // chain's resident set must absorb it. First eligible edge (in edge
+    // order) wins; determinism over optimality at this scale.
+    int chain = -1;
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+      const GraphEdge& e = g.edges[ei];
+      if (e.to != v) continue;
+      const int cu = gp.chain_of[e.from];
+      if (cu < 0) continue;
+      const double w = static_cast<double>(op_output_len(g.nodes[e.from].desc));
+      if (2.0 * w > bank_words) continue;  // fallback: DRAM staging
+      if (chains[static_cast<std::size_t>(cu)].resident + 2.0 * w > capacity)
+        continue;
+      chain = cu;
+      break;
+    }
+
+    // 2) Otherwise join a chain that already retains one of this node's
+    // DRAM-staged external operands (the Jacobi sweep: many GEMVs sharing
+    // one A matrix, no edges between them).
+    if (chain < 0) {
+      for (std::size_t ci = 0; ci < chains.size() && chain < 0; ++ci) {
+        for (OperandSlot s :
+             {OperandSlot::A, OperandSlot::B, OperandSlot::X}) {
+          const auto* p = [&]() -> const std::vector<double>* {
+            switch (s) {
+              case OperandSlot::A: return d.a;
+              case OperandSlot::B: return d.b;
+              case OperandSlot::X: return d.x;
+            }
+            return nullptr;
+          }();
+          if (!p || words[v].in[static_cast<std::size_t>(s)] <= 0.0) continue;
+          if (chains[ci].retained.count(p)) {
+            chain = static_cast<int>(ci);
+            break;
+          }
+        }
+      }
+    }
+
+    if (chain < 0) {
+      chains.emplace_back();
+      chain = static_cast<int>(chains.size()) - 1;
+    }
+    ChainState& cs = chains[static_cast<std::size_t>(chain)];
+    gp.chain_of[v] = chain;
+
+    // Fuse every in-edge whose producer sits in this chain and whose
+    // forwarding buffer fits; the rest fall back to DRAM staging.
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+      const GraphEdge& e = g.edges[ei];
+      if (e.to != v || gp.chain_of[e.from] != chain) continue;
+      const double w = static_cast<double>(op_output_len(g.nodes[e.from].desc));
+      if (2.0 * w > bank_words || cs.resident + 2.0 * w > capacity) continue;
+      gp.edge_fused[ei] = true;
+      ++gp.fused_edges;
+      cs.resident += 2.0 * w;
+      in_skipped[v][static_cast<std::size_t>(e.slot)] = true;
+    }
+
+    // Retain this node's external vector operands for chain reuse when they
+    // fit (a retained operand that a later member would have re-staged is
+    // the shared-staging win; x-type operands are SRAM-resident by the
+    // single-op model and retaining them lets e.g. a CG dot reuse p for
+    // free). Operands that do not fit are streamed, not retained: no
+    // sharing for them — that is the capacity-fallback path.
+    for (OperandSlot s : {OperandSlot::A, OperandSlot::B, OperandSlot::X}) {
+      const auto* p = [&]() -> const std::vector<double>* {
+        switch (s) {
+          case OperandSlot::A: return d.a;
+          case OperandSlot::B: return d.b;
+          case OperandSlot::X: return d.x;
+        }
+        return nullptr;
+      }();
+      if (!p || op_slot_len(d, s) == 0) continue;
+      const auto it = cs.retained.find(p);
+      if (it != cs.retained.end()) {
+        if (words[v].in[static_cast<std::size_t>(s)] > 0.0 &&
+            !in_skipped[v][static_cast<std::size_t>(s)]) {
+          in_skipped[v][static_cast<std::size_t>(s)] = true;
+          ++gp.shared_operands;
+        }
+        continue;
+      }
+      const double w = slot_words(d, s);
+      if (cs.resident + w <= capacity) {
+        cs.retained.emplace(p, w);
+        cs.resident += w;
+      }
+    }
+  }
+  gp.chains = chains.size();
+
+  // A non-kept result whose every consumer edge is fused never leaves the
+  // fabric: its DRAM writeback is skipped. (keep=true results still pay
+  // the writeback even when also forwarded — the host asked for them.)
+  std::vector<bool> skip_out(g.nodes.size(), false);
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].keep || words[i].out <= 0.0) continue;
+    bool all_fused = true;
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei)
+      if (g.edges[ei].from == i && !gp.edge_fused[ei]) all_fused = false;
+    skip_out[i] = all_fused;
+  }
+
+  // Per-node staging budgets. The unfused figure must reproduce the
+  // single-op plan exactly (one ceil over the node's total words).
+  gp.staging.resize(g.nodes.size());
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    NodeStaging& st = gp.staging[i];
+    const StagedWords& w = words[i];
+    st.unfused_words = w.total();
+    st.unfused_cycles =
+        st.unfused_words > 0.0 ? staging_cycles_for(st.unfused_words, w.wpc) : 0;
+    double fused = 0.0;
+    for (std::size_t s = 0; s < 3; ++s)
+      if (!in_skipped[i][s]) fused += w.in[s];
+    if (!skip_out[i]) fused += w.out;
+    st.fused_words = fused;
+    st.fused_cycles = fused > 0.0 ? staging_cycles_for(fused, w.wpc) : 0;
+    gp.staging_saved_cycles += st.unfused_cycles - st.fused_cycles;
+    gp.staging_saved_words += st.unfused_words - st.fused_words;
+  }
+  return gp;
+}
+
 std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
                                                     const PlanKey& key) {
   {
@@ -253,9 +464,51 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
   return plan;
 }
 
+std::shared_ptr<const GraphPlan> PlanCache::get_or_build_graph(
+    const ContextConfig& cfg, const GraphDesc& g) {
+  // Backend and tune policy key the entry for the same reasons they key
+  // PlanKey; the signature covers everything structural about the graph.
+  const std::string key =
+      cat(static_cast<int>(fp::active_backend().kind), ':',
+          static_cast<int>(cfg.tune), '|', g.signature());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = graph_map_.find(key);
+    if (it != graph_map_.end()) {
+      graph_hits_.fetch_add(1, std::memory_order_relaxed);
+      graph_lru_.splice(graph_lru_.begin(), graph_lru_, it->second.pos);
+      return it->second.plan;
+    }
+  }
+
+  auto plan = std::make_shared<const GraphPlan>(build_graph_plan(cfg, g));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = graph_map_.find(key);
+  if (it != graph_map_.end()) {
+    graph_hits_.fetch_add(1, std::memory_order_relaxed);
+    graph_lru_.splice(graph_lru_.begin(), graph_lru_, it->second.pos);
+    return it->second.plan;
+  }
+  graph_misses_.fetch_add(1, std::memory_order_relaxed);
+  graph_lru_.push_front(key);
+  graph_map_[key] = GraphEntry{plan, graph_lru_.begin()};
+  while (graph_map_.size() > capacity_) {
+    graph_map_.erase(graph_lru_.back());
+    graph_lru_.pop_back();
+    graph_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return map_.size();
+}
+
+std::size_t PlanCache::graph_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return graph_map_.size();
 }
 
 void PlanCache::publish(telemetry::Session& tel) const {
@@ -264,6 +517,13 @@ void PlanCache::publish(telemetry::Session& tel) const {
   tel.gauge("host.plan.evictions").set(static_cast<double>(evictions()));
   tel.gauge("host.plan.size").set(static_cast<double>(size()));
   tel.gauge("host.plan.capacity").set(static_cast<double>(capacity()));
+  // Graph-plan entries are accounted separately: host.plan.{hits,misses}
+  // stay a pure single-op hit-rate, undiluted by graph keys.
+  tel.gauge("host.plan.graphs").set(static_cast<double>(graph_size()));
+  tel.gauge("host.plan.graph_hits").set(static_cast<double>(graph_hits()));
+  tel.gauge("host.plan.graph_misses").set(static_cast<double>(graph_misses()));
+  tel.gauge("host.plan.graph_evictions")
+      .set(static_cast<double>(graph_evictions()));
   // Tuner activity (zero under TunePolicy::Fixed): how many plans went
   // through design selection, how much of the candidate space the area model
   // pruned, and what the probe runs cost in simulated cycles.

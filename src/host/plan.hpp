@@ -24,6 +24,7 @@
 
 #include "blas2/mxv_col.hpp"
 #include "fp/backend.hpp"
+#include "host/graph.hpp"
 #include "host/op.hpp"
 #include "mem/bram.hpp"
 
@@ -113,6 +114,53 @@ std::size_t gemv_onchip_x_capacity(const ContextConfig& cfg);
 /// that the shapes allow happens here, once per distinct key.
 Plan build_plan(const ContextConfig& cfg, const PlanKey& key);
 
+// ---- graph plans -----------------------------------------------------------
+
+/// Per-node staging budget inside a graph plan. `unfused_*` is exactly what
+/// the node's single-op Plan would pay (per-op execution); `fused_*` is
+/// what it pays inside its chain, after SRAM forwarding skipped edge-fed
+/// operand stagings, chain-shared externals were staged once, and
+/// non-kept, fully-forwarded results dropped their writeback. Cycles are in
+/// the node's own staging clock domain (== its engine clock).
+struct NodeStaging {
+  u64 fused_cycles = 0;
+  double fused_words = 0.0;
+  u64 unfused_cycles = 0;
+  double unfused_words = 0.0;
+};
+
+/// The planned execution of a GraphDesc: one single-op Plan per node (built
+/// directly, NOT through the single-op LRU — graph planning must not evict
+/// hot single-op entries or dilute their hit-rate telemetry), the
+/// deterministic topological order, the chain partition, and the staging
+/// deltas fusion buys. Value-independent: two graphs with equal
+/// signature() get byte-identical plans.
+struct GraphPlan {
+  std::string signature;
+  std::vector<std::shared_ptr<const Plan>> node_plans;  ///< per node index
+  std::vector<std::size_t> order;    ///< topological execution order
+  std::vector<NodeStaging> staging;  ///< per node index
+  std::vector<bool> edge_fused;      ///< per edge: forwarded on-chip
+  std::vector<int> chain_of;         ///< chain id per node index
+  std::size_t chains = 0;
+  u64 fused_edges = 0;
+  u64 shared_operands = 0;  ///< external stagings skipped by chain sharing
+  /// Per-op-minus-fused staging, summed across nodes; each node's term is
+  /// in that node's own clock domain (the runtime normalizes when it
+  /// aggregates into a GraphOutcome).
+  u64 staging_saved_cycles = 0;
+  double staging_saved_words = 0.0;
+};
+
+/// Partition the DAG into fusable chains and derive each node's fused
+/// staging budget under the tuner's SRAM model (cfg.sram_banks /
+/// cfg.sram_capacity_words): a forwarded intermediate needs a
+/// double-buffered bank (2*words <= capacity/banks), a chain's resident
+/// set (retained shared operands + live forwarding buffers) must fit total
+/// capacity, and any edge that does not fit falls back to full DRAM
+/// staging. Validates the graph; throws ConfigError.
+GraphPlan build_graph_plan(const ContextConfig& cfg, const GraphDesc& g);
+
 class PlanCache {
  public:
   explicit PlanCache(std::size_t capacity = 64)
@@ -123,11 +171,26 @@ class PlanCache {
   std::shared_ptr<const Plan> get_or_build(const ContextConfig& cfg,
                                            const PlanKey& key);
 
+  /// Return the cached graph plan for `g`, keyed by backend + tune policy +
+  /// GraphDesc::signature(). Graph entries live in their own LRU with their
+  /// own hit/miss/eviction counters and the same capacity budget, so graph
+  /// traffic never evicts single-op plans or skews host.plan.{hits,misses}.
+  std::shared_ptr<const GraphPlan> get_or_build_graph(const ContextConfig& cfg,
+                                                      const GraphDesc& g);
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
+  std::size_t graph_size() const;
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
   u64 evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  u64 graph_hits() const { return graph_hits_.load(std::memory_order_relaxed); }
+  u64 graph_misses() const {
+    return graph_misses_.load(std::memory_order_relaxed);
+  }
+  u64 graph_evictions() const {
+    return graph_evictions_.load(std::memory_order_relaxed);
+  }
 
   /// Set the host.plan.* gauges from the current counters (publish-at-end
   /// idiom; idempotent, unlike counter adds).
@@ -143,9 +206,19 @@ class PlanCache {
     std::list<PlanKey>::iterator pos;
   };
   std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
+  /// Graph plans: a separate LRU keyed by the graph cache key string.
+  std::list<std::string> graph_lru_;
+  struct GraphEntry {
+    std::shared_ptr<const GraphPlan> plan;
+    std::list<std::string>::iterator pos;
+  };
+  std::unordered_map<std::string, GraphEntry> graph_map_;
   std::atomic<u64> hits_{0};
   std::atomic<u64> misses_{0};
   std::atomic<u64> evictions_{0};
+  std::atomic<u64> graph_hits_{0};
+  std::atomic<u64> graph_misses_{0};
+  std::atomic<u64> graph_evictions_{0};
   // Aggregated tuner activity across plan builds (host.tuner.* gauges).
   std::atomic<u64> tuned_plans_{0};
   std::atomic<u64> tune_candidates_{0};

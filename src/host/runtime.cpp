@@ -58,17 +58,30 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
   }
 
   if (tc) tc->exec_ns = now_ns();
+  Outcome out = run_engine(*plan, desc, tel);
+
+  if (plan->staging_cycles > 0) {
+    out.report.staging_cycles = plan->staging_cycles;
+    out.report.cycles += plan->staging_cycles;
+    out.report.dram_words = plan->dram_words;
+  }
+  if (tc) tc->cycles = out.report.cycles;
+  return out;
+}
+
+Outcome Runtime::run_engine(const Plan& plan, const OpDesc& desc,
+                            telemetry::Session* tel) {
   Outcome out;
   switch (desc.kind) {
     case OpKind::Dot: {
       blas1::DotEngine engine(
-          with_telemetry(std::get<blas1::DotConfig>(plan->engine), tel));
+          with_telemetry(std::get<blas1::DotConfig>(plan.engine), tel));
       out = to_outcome(engine.run({*desc.a}, {*desc.b}), OpKind::Dot);
       break;
     }
     case OpKind::DotBatch: {
       blas1::DotEngine engine(
-          with_telemetry(std::get<blas1::DotConfig>(plan->engine), tel));
+          with_telemetry(std::get<blas1::DotConfig>(plan.engine), tel));
       out = to_outcome(engine.run(*desc.us, *desc.vs));
       break;
     }
@@ -76,27 +89,27 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
       // Dispatch on what the plan resolved to, not on desc.arch: the tuner
       // may cross architectures (a tree descriptor can plan onto the
       // column design and vice versa).
-      if (std::holds_alternative<blas2::MxvTreeConfig>(plan->engine)) {
+      if (std::holds_alternative<blas2::MxvTreeConfig>(plan.engine)) {
         blas2::MxvTreeEngine engine(
-            with_telemetry(std::get<blas2::MxvTreeConfig>(plan->engine), tel));
+            with_telemetry(std::get<blas2::MxvTreeConfig>(plan.engine), tel));
         out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x));
       } else {
         blas2::MxvColEngine engine(
-            with_telemetry(std::get<blas2::MxvColConfig>(plan->engine), tel));
+            with_telemetry(std::get<blas2::MxvColConfig>(plan.engine), tel));
         out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x));
       }
       break;
     }
     case OpKind::GemvAuto: {
       const auto tc =
-          with_telemetry(std::get<blas2::MxvTreeConfig>(plan->engine), tel);
-      if (!plan->blocked_gemv) {
+          with_telemetry(std::get<blas2::MxvTreeConfig>(plan.engine), tel);
+      if (!plan.blocked_gemv) {
         blas2::MxvTreeEngine engine(tc);
         out = to_outcome(engine.run(*desc.a, desc.rows, desc.cols, *desc.x),
                          OpKind::GemvAuto);
       } else {
         out = to_outcome(
-            blas2::run_blocked_gemv_tree(tc, plan->onchip_capacity, *desc.a,
+            blas2::run_blocked_gemv_tree(tc, plan.onchip_capacity, *desc.a,
                                          desc.rows, desc.cols, *desc.x),
             OpKind::GemvAuto);
       }
@@ -104,7 +117,7 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
     }
     case OpKind::Spmxv: {
       blas2::SpmxvEngine engine(
-          with_telemetry(std::get<blas2::SpmxvConfig>(plan->engine), tel));
+          with_telemetry(std::get<blas2::SpmxvConfig>(plan.engine), tel));
       out = to_outcome(engine.run(*desc.sparse, *desc.x), OpKind::Spmxv);
       break;
     }
@@ -114,17 +127,17 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
       // Same cross-family dispatch: a tuned Gemm plan can resolve to the
       // cycle-accurate array or the multi-FPGA pipeline instead of the
       // hierarchical model.
-      if (std::holds_alternative<blas3::MmArrayConfig>(plan->engine)) {
+      if (std::holds_alternative<blas3::MmArrayConfig>(plan.engine)) {
         blas3::MmArrayEngine engine(
-            with_telemetry(std::get<blas3::MmArrayConfig>(plan->engine), tel));
+            with_telemetry(std::get<blas3::MmArrayConfig>(plan.engine), tel));
         out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
-      } else if (std::holds_alternative<blas3::MmMultiConfig>(plan->engine)) {
+      } else if (std::holds_alternative<blas3::MmMultiConfig>(plan.engine)) {
         blas3::MmMultiEngine engine(
-            with_telemetry(std::get<blas3::MmMultiConfig>(plan->engine), tel));
+            with_telemetry(std::get<blas3::MmMultiConfig>(plan.engine), tel));
         out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
       } else {
         blas3::MmHierEngine engine(
-            with_telemetry(std::get<blas3::MmHierConfig>(plan->engine), tel));
+            with_telemetry(std::get<blas3::MmHierConfig>(plan.engine), tel));
         out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
       }
       break;
@@ -132,14 +145,83 @@ Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
   }
   // The Mm outcome adapters hardcode their usual kind; keep the caller's.
   out.kind = desc.kind;
-
-  if (plan->staging_cycles > 0) {
-    out.report.staging_cycles = plan->staging_cycles;
-    out.report.cycles += plan->staging_cycles;
-    out.report.dram_words = plan->dram_words;
-  }
-  if (tc) tc->cycles = out.report.cycles;
   return out;
+}
+
+GraphOutcome Runtime::execute_graph(const GraphDesc& g,
+                                    telemetry::Session* tel,
+                                    telemetry::TraceContext* tc) {
+  g.validate();
+  const auto plan = cache_.get_or_build_graph(cfg_, g);
+  if (tc) tc->plan_ns = now_ns();
+  if (tc) tc->exec_ns = now_ns();
+
+  GraphOutcome go;
+  go.nodes.resize(g.nodes.size());
+
+  // Nodes run in the planned topological order; an edge-fed operand slot is
+  // patched to the producer's already-computed value vector. Within a fused
+  // chain that models SRAM forwarding; across chains it models the DRAM
+  // round trip — either way the values are identical, only the staging
+  // cycle accounting differs (the bit-identity invariant the fuzz harness
+  // holds fused execution to).
+  for (const std::size_t idx : plan->order) {
+    OpDesc d = g.nodes[idx].desc;
+    for (const auto& e : g.edges) {
+      if (e.to != idx) continue;
+      const std::vector<double>* src = &go.nodes[e.from].values;
+      switch (e.slot) {
+        case OperandSlot::A: d.a = src; break;
+        case OperandSlot::B: d.b = src; break;
+        case OperandSlot::X: d.x = src; break;
+      }
+    }
+    d.validate();
+
+    const NodeStaging& st = plan->staging[idx];
+    if (st.fused_cycles > 0 && tel) {
+      tel->phase("staging", st.fused_cycles);
+      tel->gauge(cat("mem.dram.", op_kind_name(d.kind), ".words"))
+          .set(st.fused_words);
+    }
+    Outcome out = run_engine(*plan->node_plans[idx], d, tel);
+    if (st.fused_cycles > 0 || st.unfused_cycles > 0) {
+      out.report.staging_cycles = st.fused_cycles;
+      out.report.cycles += st.fused_cycles;
+      out.report.dram_words = st.fused_words;
+    }
+    go.nodes[idx] = std::move(out);
+  }
+
+  // Aggregate report, normalized into node 0's clock domain the same way
+  // solver::cg absorbs dot-clock cycles into the GEMV clock.
+  const double ref_clock = go.nodes[0].report.clock_mhz;
+  const auto normalize = [&](u64 cycles, double clock) -> u64 {
+    if (clock <= 0.0 || ref_clock <= 0.0 || clock == ref_clock) return cycles;
+    return static_cast<u64>(static_cast<double>(cycles) * ref_clock / clock);
+  };
+  go.report.design = cat("graph[", g.nodes.size(), " nodes]");
+  go.report.clock_mhz = ref_clock;
+  go.node_staging_saved.resize(go.nodes.size());
+  for (std::size_t i = 0; i < go.nodes.size(); ++i) {
+    const PerfReport& r = go.nodes[i].report;
+    go.report.cycles += normalize(r.cycles, r.clock_mhz);
+    go.report.compute_cycles += normalize(r.compute_cycles, r.clock_mhz);
+    go.report.staging_cycles += normalize(r.staging_cycles, r.clock_mhz);
+    go.report.stall_cycles += normalize(r.stall_cycles, r.clock_mhz);
+    go.report.flops += r.flops;
+    go.report.sram_words += r.sram_words;
+    go.report.dram_words += r.dram_words;
+    const NodeStaging& st = plan->staging[i];
+    go.node_staging_saved[i] = st.unfused_cycles - st.fused_cycles;
+    go.staging_saved_cycles +=
+        normalize(st.unfused_cycles - st.fused_cycles, r.clock_mhz);
+    go.staging_saved_words += st.unfused_words - st.fused_words;
+  }
+  go.fused_edges = plan->fused_edges;
+  go.shared_operands = plan->shared_operands;
+  if (tc) tc->cycles = go.report.cycles;
+  return go;
 }
 
 void Runtime::observe_latency(telemetry::Session& tel,
@@ -307,6 +389,127 @@ std::vector<Outcome> Runtime::run_batch(const std::vector<OpDesc>& descs) {
   }
   if (first_error) std::rethrow_exception(first_error);
   return outs;
+}
+
+GraphOutcome Runtime::run_graph(const GraphDesc& g) {
+  telemetry::Session* tel = cfg_.telemetry;
+  if (!tel) {
+    try {
+      GraphOutcome out = execute_graph(g, nullptr);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    } catch (...) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  }
+
+  telemetry::TraceContext tc;
+  tc.op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+  tc.kind = "graph";
+  tc.lane = 0;
+  tc.submit_ns = tc.dequeue_ns = now_ns();
+  try {
+    GraphOutcome out;
+    {
+      auto lock = tel->lock();
+      out = execute_graph(g, tel, &tc);
+      tc.complete_ns = now_ns();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      observe_latency(*tel, tc);
+      publish(*tel);
+    }
+    tel->flight().record(tc);
+    return out;
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tc.complete_ns = now_ns();
+    tc.failed = true;
+    tc.error = first_line(e.what());
+    tel->flight().record(tc);
+    throw;
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    tc.complete_ns = now_ns();
+    tc.failed = true;
+    tel->flight().record(tc);
+    throw;
+  }
+}
+
+std::future<GraphOutcome> Runtime::submit_graph(const GraphDesc& g) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_relaxed);
+
+  telemetry::Session* tel = cfg_.telemetry;
+  const bool trace_on = tel && tel->trace().enabled();
+  const u64 op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+  const u64 submit_ns = now_ns();
+  if (tel) {
+    auto lock = tel->lock();
+    tel->gauge("host.runtime.queue_depth")
+        .set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
+  }
+
+  return pool_->submit(
+      [this, g, tel, trace_on, op_id, submit_ns]() -> GraphOutcome {
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+        telemetry::TraceContext tc;
+        tc.op_id = op_id;
+        tc.kind = "graph";
+        const int worker = ThreadPool::current_worker_id();
+        tc.lane = worker < 0 ? 0 : static_cast<unsigned>(worker) + 1;
+        tc.submit_ns = submit_ns;
+        tc.dequeue_ns = now_ns();
+
+        try {
+          GraphOutcome out;
+          if (!tel) {
+            out = execute_graph(g, nullptr);
+            tc.complete_ns = now_ns();
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            in_flight_.fetch_sub(1, std::memory_order_relaxed);
+          } else {
+            static thread_local telemetry::Session shard(
+                /*trace_capacity=*/512, /*flight_capacity=*/1);
+            shard.reset_for_reuse();
+            shard.trace().set_enabled(trace_on);
+            out = execute_graph(g, &shard, &tc);
+            tc.complete_ns = now_ns();
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            in_flight_.fetch_sub(1, std::memory_order_relaxed);
+            {
+              auto lock = tel->lock();
+              tel->merge_unlocked(shard, tc.lane);
+              observe_latency(*tel, tc);
+              publish(*tel);
+            }
+            tel->flight().record(tc);
+          }
+          return out;
+        } catch (const std::exception& e) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          in_flight_.fetch_sub(1, std::memory_order_relaxed);
+          if (tel) {
+            tc.complete_ns = now_ns();
+            tc.failed = true;
+            tc.error = first_line(e.what());
+            tel->flight().record(tc);
+          }
+          throw;
+        } catch (...) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          in_flight_.fetch_sub(1, std::memory_order_relaxed);
+          if (tel) {
+            tc.complete_ns = now_ns();
+            tc.failed = true;
+            tel->flight().record(tc);
+          }
+          throw;
+        }
+      });
 }
 
 RuntimeStats Runtime::stats() const {

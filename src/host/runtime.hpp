@@ -71,6 +71,19 @@ class Runtime {
   /// the first failed job's exception after all jobs settled.
   std::vector<Outcome> run_batch(const std::vector<OpDesc>& descs);
 
+  /// Execute an op DAG on the calling thread: plan the chain partition
+  /// (cached by graph signature), then run the nodes in topological order
+  /// with producer results forwarded into edge-fed operand slots and the
+  /// fused staging budgets from the GraphPlan in place of the per-op ones.
+  /// Node outcomes are bit-identical to per-op execution — fusion changes
+  /// staging cycle accounting, never values or compute cycles.
+  GraphOutcome run_graph(const GraphDesc& g);
+
+  /// run_graph on the worker pool; one job executes the whole graph (fused
+  /// chains are sequential by construction). Same telemetry shard/merge
+  /// discipline as submit().
+  std::future<GraphOutcome> submit_graph(const GraphDesc& g);
+
   PlanCache& plan_cache() { return cache_; }
   const PlanCache& plan_cache() const { return cache_; }
   RuntimeStats stats() const;
@@ -86,6 +99,10 @@ class Runtime {
  private:
   Outcome execute(const OpDesc& desc, telemetry::Session* tel,
                   telemetry::TraceContext* tc = nullptr);
+  Outcome run_engine(const Plan& plan, const OpDesc& desc,
+                     telemetry::Session* tel);
+  GraphOutcome execute_graph(const GraphDesc& g, telemetry::Session* tel,
+                             telemetry::TraceContext* tc = nullptr);
   void observe_latency(telemetry::Session& tel,
                        const telemetry::TraceContext& tc) const;
 

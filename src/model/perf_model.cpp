@@ -1,5 +1,7 @@
 #include "model/perf_model.hpp"
 
+#include <cmath>
+
 namespace xd::model {
 
 double mm_device_peak_flops(const machine::FpgaDevice& dev,
@@ -65,6 +67,61 @@ GemmDesignPoint gemm_naive_multi(std::size_t n, unsigned k, unsigned l,
                          kl, 2.0 * static_cast<double>(m) * m,
                          dn * dn * dn / kl,
                          3.0 * kl / static_cast<double>(m)};
+}
+
+namespace {
+
+u64 stage_cycles(double words, double wpc) {
+  return words > 0.0 ? static_cast<u64>(std::ceil(words / wpc)) : 0;
+}
+
+}  // namespace
+
+u64 unfused_chain_staging_cycles(const std::vector<ChainStage>& stages) {
+  u64 total = 0;
+  for (const auto& s : stages)
+    total += stage_cycles(s.fresh_in_words + s.reused_in_words +
+                              s.writeback_words,
+                          s.wpc);
+  return total;
+}
+
+u64 fused_chain_staging_cycles(const std::vector<ChainStage>& stages) {
+  u64 total = 0;
+  for (const auto& s : stages)
+    total += stage_cycles(s.fresh_in_words +
+                              (s.keep ? s.writeback_words : 0.0),
+                          s.wpc);
+  return total;
+}
+
+std::vector<ChainStage> cg_step_chain(std::size_t n, double wpc_gemv,
+                                      double wpc_dot) {
+  const double dn = static_cast<double>(n);
+  std::vector<ChainStage> chain(2);
+  // Stage 0: GEMV streams A (n^2 fresh words) and writes ap back — keep:
+  // the host consumes ap to update the residual.
+  chain[0] = ChainStage{dn * dn, 0.0, dn, true, wpc_gemv};
+  // Stage 1: dot(p, ap). Both operands are reused on-chip when fused: ap
+  // arrives over the forwarding bank, p is chain-resident from the GEMV's
+  // x. A dot produces one scalar; no writeback is modeled (the single-op
+  // dot never stages its result either).
+  chain[1] = ChainStage{0.0, 2.0 * dn, 0.0, true, wpc_dot};
+  return chain;
+}
+
+std::vector<ChainStage> jacobi_sweep_chain(std::size_t n, std::size_t systems,
+                                           double wpc) {
+  const double dn = static_cast<double>(n);
+  std::vector<ChainStage> chain(systems);
+  for (std::size_t s = 0; s < systems; ++s) {
+    // Every system streams the shared R once per sweep when unfused; fused,
+    // only the first stage stages it (the rest reuse the resident copy).
+    // Each keeps its own y writeback.
+    chain[s] = s == 0 ? ChainStage{dn * dn, 0.0, dn, true, wpc}
+                      : ChainStage{0.0, dn * dn, dn, true, wpc};
+  }
+  return chain;
 }
 
 GemmDesignPoint gemm_hier_multi(std::size_t n, unsigned k, unsigned l,

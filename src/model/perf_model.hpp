@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "common/util.hpp"
 #include "machine/area.hpp"
@@ -76,6 +77,42 @@ inline double mm_hier_sram_words_per_cycle(unsigned k, unsigned l, std::size_t b
                                     static_cast<double>(b);
   return 2.0 + cpanel;
 }
+
+// ---- Fused-chain staging (op-graph fusion; docs/runtime.md) ----------------
+// The host runtime fuses op DAGs into SRAM-resident chains: edge-forwarded
+// intermediates and chain-shared operands skip their DRAM staging, and a
+// non-kept intermediate skips its writeback. These formulas mirror the plan
+// layer's per-node decomposition exactly — one ceil(words / wpc) per stage
+// — so model and cycle sim agree to the cycle on staging (the fused-chain
+// cross-validation in tests/test_graph_fusion.cpp).
+
+/// One stage of a chain, described by its DRAM staging word budget.
+struct ChainStage {
+  double fresh_in_words = 0.0;   ///< external inputs staged either way
+  double reused_in_words = 0.0;  ///< edge-forwarded / chain-shared inputs
+  double writeback_words = 0.0;  ///< result words written back to DRAM
+  bool keep = true;              ///< host needs the result in DRAM
+  double wpc = 0.0;  ///< staging link words/cycle at this stage's clock
+};
+
+/// Per-op execution: every stage pays all of its words.
+u64 unfused_chain_staging_cycles(const std::vector<ChainStage>& stages);
+
+/// Fused execution: reused inputs skipped, non-kept writebacks skipped.
+/// Assumes the chain fit the SRAM budget (capacity fallback = unfused).
+u64 fused_chain_staging_cycles(const std::vector<ChainStage>& stages);
+
+/// The CG-step flagship chain: a Dram GEMV (streams A, writes ap back — the
+/// host updates r with it) feeding a Dram dot whose other operand p is
+/// chain-resident from the GEMV's x. Stage 0 at the GEMV clock, stage 1 at
+/// the dot clock.
+std::vector<ChainStage> cg_step_chain(std::size_t n, double wpc_gemv,
+                                      double wpc_dot);
+
+/// The Jacobi-sweep flagship chain: `systems` Dram GEMVs sharing one R
+/// matrix (staged once per sweep when fused), each writing its y back.
+std::vector<ChainStage> jacobi_sweep_chain(std::size_t n, std::size_t systems,
+                                           double wpc);
 
 // ---- Related-work design points (Sec 2.2) ----------------------------------
 // The paper positions its GEMM design against its own precursor [30] and the

@@ -21,12 +21,6 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
   res.x.assign(n, 0.0);
   res.clock_mhz = ctx.config().gemv_clock_mhz;
 
-  auto fpga_gemv = [&](const std::vector<double>& v) {
-    auto out = ctx.gemv(a, n, n, v);
-    res.fpga_cycles += out.report.cycles;
-    res.fpga_flops += out.report.flops;
-    return out.y;
-  };
   auto absorb_dot = [&](const host::Outcome& out) {
     // Normalize the dot design's cycles (its own clock) into GEMV-clock
     // cycles so the aggregate uses one clock domain.
@@ -36,16 +30,50 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
     res.fpga_flops += out.report.flops;
     return out.values.at(0);
   };
-  // The two dots of each step are independent of one another, so they go
-  // through the runtime as one concurrent batch (numerics and cycle counts
-  // are identical to sequential calls — each job simulates on its own).
+  auto absorb_saved = [&](const host::GraphOutcome& go) {
+    // GraphOutcome savings are in the graph's node-0 clock domain.
+    res.staging_saved_cycles += static_cast<u64>(
+        static_cast<double>(go.staging_saved_cycles) * res.clock_mhz /
+        go.report.clock_mhz);
+  };
+  // The step's GEMV and the p . Ap dot run as one fused graph: ap streams
+  // into the dot's second slot over an SRAM forwarding bank instead of
+  // round-tripping through DRAM, and p stays chain-resident from the
+  // GEMV's x (all of it moot under Placement::Sram, where nothing stages).
+  // Node outcomes are bit-identical to per-op execution, so the cycle
+  // accounting below matches the historical per-op arithmetic exactly.
+  auto fpga_gemv_dot = [&](const std::vector<double>& v) {
+    host::GraphDesc g;
+    g.nodes.push_back(
+        {"ap", host::OpDesc::gemv(a, n, n, v, opts.placement), true});
+    host::OpDesc pap;
+    pap.kind = host::OpKind::Dot;
+    pap.placement = opts.placement;
+    pap.cols = n;
+    pap.a = &v;  // b is edge-fed from the GEMV
+    g.nodes.push_back({"pap", pap, true});
+    g.edges.push_back({0, 1, host::OperandSlot::B});
+    auto go = ctx.runtime().run_graph(g);
+    res.fpga_cycles += go.nodes[0].report.cycles;
+    res.fpga_flops += go.nodes[0].report.flops;
+    const double p_ap = absorb_dot(go.nodes[1]);
+    absorb_saved(go);
+    return std::pair<std::vector<double>, double>{
+        std::move(go.nodes[0].values), p_ap};
+  };
+  // The two dots of each step are independent; as a two-node edgeless graph
+  // they share the chain-resident r, staging it once under Dram placement.
   auto fpga_dot2 = [&](const std::vector<double>& u1,
                        const std::vector<double>& v1,
                        const std::vector<double>& u2,
                        const std::vector<double>& v2) {
-    const auto outs = ctx.runtime().run_batch(
-        {host::OpDesc::dot(u1, v1), host::OpDesc::dot(u2, v2)});
-    return std::pair<double, double>{absorb_dot(outs[0]), absorb_dot(outs[1])};
+    host::GraphDesc g;
+    g.nodes.push_back({"d0", host::OpDesc::dot(u1, v1, opts.placement), true});
+    g.nodes.push_back({"d1", host::OpDesc::dot(u2, v2, opts.placement), true});
+    auto go = ctx.runtime().run_graph(g);
+    absorb_saved(go);
+    return std::pair<double, double>{absorb_dot(go.nodes[0]),
+                                     absorb_dot(go.nodes[1])};
   };
 
   std::vector<double> r = b;  // x0 = 0
@@ -61,9 +89,7 @@ SolveResult cg_dense(const host::Context& ctx, const std::vector<double>& a,
       res.converged = true;
       break;
     }
-    const auto ap = fpga_gemv(p);
-    const double p_ap =
-        absorb_dot(ctx.runtime().run(host::OpDesc::dot(p, ap)));
+    const auto [ap, p_ap] = fpga_gemv_dot(p);
     require(p_ap != 0.0, "cg_dense: breakdown (A not SPD?)");
     const double alpha = rz_old / p_ap;
     for (std::size_t i = 0; i < n; ++i) {

@@ -37,12 +37,14 @@ SolveResult jacobi_dense(const host::Context& ctx, const std::vector<double>& a,
   res.x.assign(n, 0.0);
   for (res.iterations = 0; res.iterations < opts.max_iterations;
        ++res.iterations) {
-    const auto rx = ctx.gemv(r, n, n, res.x);
+    const auto rx = ctx.runtime().run(
+        host::OpDesc::gemv(r, n, n, res.x, opts.placement));
     res.fpga_cycles += rx.report.cycles;
     res.fpga_flops += rx.report.flops;
     res.clock_mhz = rx.report.clock_mhz;
     std::vector<double> next(n);
-    for (std::size_t i = 0; i < n; ++i) next[i] = (b[i] - rx.y[i]) / diag[i];
+    for (std::size_t i = 0; i < n; ++i)
+      next[i] = (b[i] - rx.values[i]) / diag[i];
     res.x.swap(next);
 
     res.residual_norm = l2_residual(host::ref_gemv(a, n, n, res.x), b);
@@ -76,22 +78,30 @@ std::vector<SolveResult> jacobi_dense_batch(
   for (auto& s : res) s.x.assign(n, 0.0);
 
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
-    // One concurrent R x per unconverged system.
+    // One R x per unconverged system, as a single fused sweep graph: every
+    // node is a GEMV against the same R, so under Placement::Dram the
+    // chain stages R once for the whole sweep instead of once per system
+    // (per-node values and compute cycles stay bit-identical to per-op
+    // execution; under Sram nothing stages and the outcomes match the old
+    // run_batch path exactly).
     std::vector<std::size_t> active;
-    std::vector<host::OpDesc> descs;
+    host::GraphDesc g;
     for (std::size_t s = 0; s < bs.size(); ++s) {
       if (res[s].converged) continue;
       active.push_back(s);
-      descs.push_back(host::OpDesc::gemv(r, n, n, res[s].x));
+      g.nodes.push_back({cat("sys", s),
+                         host::OpDesc::gemv(r, n, n, res[s].x, opts.placement),
+                         true});
     }
     if (active.empty()) break;
-    auto outs = ctx.runtime().run_batch(descs);
+    auto go = ctx.runtime().run_graph(g);
 
     for (std::size_t j = 0; j < active.size(); ++j) {
       SolveResult& sr = res[active[j]];
-      const auto& rx = outs[j];
+      const auto& rx = go.nodes[j];
       sr.fpga_cycles += rx.report.cycles;
       sr.fpga_flops += rx.report.flops;
+      sr.staging_saved_cycles += go.node_staging_saved[j];
       sr.clock_mhz = rx.report.clock_mhz;
       ++sr.iterations;
       const std::vector<double>& b = bs[active[j]];

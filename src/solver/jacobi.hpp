@@ -20,6 +20,13 @@ namespace xd::solver {
 struct SolveOptions {
   int max_iterations = 500;
   double tolerance = 1e-10;  ///< on ||b - A x||_2
+  /// Where each iteration's FPGA op operands live. Sram (the default)
+  /// matches the historical behavior exactly — no staging either way.
+  /// Dram charges DRAM staging per op, and the fused graph plans the
+  /// solvers now run on (CG's GEMV->DOT step chain, Jacobi's shared-R
+  /// sweep) recover most of it; the recovered cycles are reported in
+  /// SolveResult::staging_saved_cycles.
+  host::Placement placement = host::Placement::Sram;
 };
 
 struct SolveResult {
@@ -29,6 +36,9 @@ struct SolveResult {
   double residual_norm = 0.0;
   u64 fpga_cycles = 0;   ///< simulated cycles spent in BLAS calls
   u64 fpga_flops = 0;
+  /// Staging cycles the fused graph plans avoided vs per-op execution
+  /// (zero under Placement::Sram, where nothing stages to begin with).
+  u64 staging_saved_cycles = 0;
   double clock_mhz = 0.0;
 
   double fpga_seconds() const {
@@ -47,10 +57,13 @@ SolveResult jacobi_dense(const host::Context& ctx, const std::vector<double>& a,
                          const SolveOptions& opts = {});
 
 /// Dense Jacobi for many right-hand sides sharing one A: the systems march
-/// in lockstep and each iteration submits every still-unconverged system's
-/// R x product through the runtime as one concurrent batch. Results are
-/// per-system identical (bit-for-bit, including fpga_cycles) to running
-/// jacobi_dense once per b.
+/// in lockstep and each iteration runs every still-unconverged system's
+/// R x product as one fused sweep graph (Runtime::run_graph), which stages
+/// the shared R once per sweep under Placement::Dram. Values are
+/// per-system identical (bit-for-bit) to running jacobi_dense once per b;
+/// under the default Sram placement fpga_cycles match bit-for-bit too,
+/// while under Dram the batch spends fewer staging cycles than the
+/// singles (the difference is reported in staging_saved_cycles).
 std::vector<SolveResult> jacobi_dense_batch(
     const host::Context& ctx, const std::vector<double>& a, std::size_t n,
     const std::vector<std::vector<double>>& bs, const SolveOptions& opts = {});

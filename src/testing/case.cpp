@@ -44,6 +44,13 @@ constexpr NamePair kKinds[] = {
     {"gemm_multi", static_cast<int>(FuzzKind::GemmMulti)},
     {"jacobi_batch", static_cast<int>(FuzzKind::JacobiBatch)},
     {"cg", static_cast<int>(FuzzKind::Cg)},
+    {"graph", static_cast<int>(FuzzKind::Graph)},
+};
+
+constexpr NamePair kGraphForms[] = {
+    {"random", static_cast<int>(GraphForm::Random)},
+    {"cg_step", static_cast<int>(GraphForm::CgStep)},
+    {"jacobi_sweep", static_cast<int>(GraphForm::JacobiSweep)},
 };
 
 constexpr NamePair kModes[] = {
@@ -75,6 +82,12 @@ const char* sabotage_name(Sabotage s) { return name_of(kSabotages, s); }
 bool sabotage_from_name(std::string_view name, Sabotage& out) {
   return parse_name(kSabotages, name, out);
 }
+const char* graph_form_name(GraphForm form) {
+  return name_of(kGraphForms, form);
+}
+bool graph_form_from_name(std::string_view name, GraphForm& out) {
+  return parse_name(kGraphForms, name, out);
+}
 
 host::ContextConfig FuzzCase::config() const {
   host::ContextConfig cfg;
@@ -91,6 +104,7 @@ host::ContextConfig FuzzCase::config() const {
         std::max(1u, cfg.mm_m * cfg.mm_m / std::max(1u, cfg.mm_k));
     cfg.mm_adder_stages = std::min(cfg.mm_adder_stages, slots);
   }
+  if (sram_cap) cfg.sram_capacity_words = sram_cap;
   return cfg;
 }
 
@@ -105,11 +119,13 @@ std::string FuzzCase::to_line() const {
   }
   if (mode != ValueMode::Exact) os << " mode=" << value_mode_name(mode);
   if (sabotage != Sabotage::None) os << " err=" << sabotage_name(sabotage);
+  if (gform != GraphForm::Random) os << " gform=" << graph_form_name(gform);
   if (rows) os << " rows=" << rows;
   if (cols) os << " cols=" << cols;
   if (n) os << " n=" << n;
   if (batch) os << " batch=" << batch;
   if (nnz_per_row) os << " nnz=" << nnz_per_row;
+  if (sram_cap) os << " scap=" << sram_cap;
   os << " vseed=" << vseed;
   if (dot_k) os << " dot_k=" << dot_k;
   if (gemv_k) os << " gemv_k=" << gemv_k;
@@ -164,6 +180,9 @@ FuzzCase FuzzCase::from_line(const std::string& line) {
     } else if (key == "err") {
       require(sabotage_from_name(val, fc.sabotage),
               cat("fuzz case: unknown sabotage '", val, "'"));
+    } else if (key == "gform") {
+      require(graph_form_from_name(val, fc.gform),
+              cat("fuzz case: unknown graph form '", val, "'"));
     } else if (key == "rows") {
       fc.rows = as_u64();
     } else if (key == "cols") {
@@ -174,6 +193,8 @@ FuzzCase FuzzCase::from_line(const std::string& line) {
       fc.batch = as_u64();
     } else if (key == "nnz") {
       fc.nnz_per_row = as_u64();
+    } else if (key == "scap") {
+      fc.sram_cap = as_u64();
     } else if (key == "vseed") {
       fc.vseed = as_u64();
     } else if (key == "dot_k") {
@@ -284,6 +305,114 @@ std::vector<double> draw_diag_dominant(Rng& rng, std::size_t n, bool symmetric) 
     a[i * n + i] = static_cast<double>(n) + 1.0 + rng.uniform();
   }
   return a;
+}
+
+/// Build the DAG for a FuzzKind::Graph case. Operand vectors live in
+/// data.pool (stable addresses), edge-fed slots stay null for the runtime
+/// to patch, and edges always point from a lower to a higher node index so
+/// GraphDesc order is itself topological.
+void materialize_graph(const FuzzCase& fc, CaseData& data, Rng& rng) {
+  using host::OpDesc;
+  using host::OperandSlot;
+  const std::size_t len = std::max<std::size_t>(1, fc.n);
+  const auto vec = [&](std::size_t sz) -> const std::vector<double>* {
+    data.pool.push_back(draw_vector(rng, sz, fc.mode));
+    return &data.pool.back();
+  };
+  const auto gemv_desc = [&](const std::vector<double>* mat,
+                             const std::vector<double>* x) {
+    OpDesc d;
+    d.kind = host::OpKind::Gemv;
+    d.placement = fc.placement;
+    d.rows = d.cols = len;
+    d.a = mat;
+    d.x = x;
+    return d;
+  };
+  const auto dot_desc = [&](const std::vector<double>* u,
+                            const std::vector<double>* v) {
+    OpDesc d;
+    d.kind = host::OpKind::Dot;
+    d.placement = fc.placement;
+    d.cols = len;
+    d.a = u;
+    d.b = v;
+    return d;
+  };
+
+  switch (fc.gform) {
+    case GraphForm::CgStep: {
+      // GEMV -> DOT on slot B, with the GEMV's x shared as the dot's first
+      // operand — exactly solver::cg's fused step chain.
+      const auto* mat = vec(len * len);
+      const auto* x = vec(len);
+      data.graph.nodes.push_back({"ap", gemv_desc(mat, x), true});
+      data.graph.nodes.push_back({"pap", dot_desc(x, nullptr), true});
+      data.graph.edges.push_back({0, 1, OperandSlot::B});
+      return;
+    }
+    case GraphForm::JacobiSweep: {
+      // Edgeless GEMVs sharing one matrix — solver::jacobi's batch sweep.
+      const auto* mat = vec(len * len);
+      const std::size_t systems = std::max<std::size_t>(2, fc.batch);
+      for (std::size_t s = 0; s < systems; ++s) {
+        data.graph.nodes.push_back(
+            {cat("sys", s), gemv_desc(mat, vec(len)), true});
+      }
+      return;
+    }
+    case GraphForm::Random:
+      break;
+  }
+
+  // Random DAG over dot/gemv/spmxv. Only length-len producers (gemv,
+  // spmxv) can feed edges — dot yields a scalar. Matrices are sometimes
+  // shared between gemv nodes, vector slots sometimes edge-fed, keep flags
+  // random: the planner must handle every mix.
+  const std::size_t count =
+      std::min<std::size_t>(4, std::max<std::size_t>(2, fc.batch));
+  std::vector<std::size_t> producers;
+  const std::vector<double>* shared_mat = nullptr;
+  bool have_sparse = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Feed the slot from an earlier producer about half the time one
+    // exists; the slots of one node are distinct, so no duplicate
+    // (to, slot) pair can arise.
+    const auto edge_or = [&](OperandSlot slot) -> const std::vector<double>* {
+      if (!producers.empty() && rng.uniform_int(0, 1) == 0) {
+        const auto from = producers[rng.uniform_int(0, producers.size() - 1)];
+        data.graph.edges.push_back({from, i, slot});
+        return nullptr;
+      }
+      return vec(len);
+    };
+    const u64 roll = rng.uniform_int(1, 100);
+    OpDesc d;
+    if (roll <= 40) {
+      d = dot_desc(edge_or(OperandSlot::A), edge_or(OperandSlot::B));
+    } else if (roll <= 80) {
+      const std::vector<double>* mat = shared_mat;
+      if (!mat || rng.uniform_int(0, 1) == 0) {
+        mat = vec(len * len);
+        shared_mat = mat;
+      }
+      d = gemv_desc(mat, edge_or(OperandSlot::X));
+      producers.push_back(i);
+    } else {
+      if (!have_sparse) {
+        data.sparse = draw_sparse(rng, len, len, std::min<std::size_t>(len, 4),
+                                  fc.mode);
+        have_sparse = true;
+      }
+      d.kind = host::OpKind::Spmxv;
+      d.rows = d.cols = len;
+      d.sparse = &data.sparse;
+      d.x = edge_or(OperandSlot::X);
+      producers.push_back(i);
+    }
+    data.graph.nodes.push_back(
+        {cat("n", i), d, rng.uniform_int(1, 100) <= 80});
+  }
 }
 
 }  // namespace
@@ -402,6 +531,10 @@ void materialize(const FuzzCase& fc, CaseData& data) {
     case FuzzKind::Cg: {
       data.a = draw_diag_dominant(rng, fc.n, /*symmetric=*/true);
       data.b = draw_vector(rng, fc.n, ValueMode::Uniform);
+      break;
+    }
+    case FuzzKind::Graph: {
+      materialize_graph(fc, data, rng);
       break;
     }
   }

@@ -11,18 +11,21 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <string>
 #include <string_view>
 
 #include "blas2/spmxv.hpp"
 #include "common/random.hpp"
+#include "host/graph.hpp"
 #include "host/op.hpp"
 
 namespace xd::testing {
 
-/// Everything the fuzzer can exercise: the eight OpDesc kinds plus the two
+/// Everything the fuzzer can exercise: the eight OpDesc kinds, the two
 /// solver drivers (which run *through* the runtime but are checked with
-/// solver-level invariants).
+/// solver-level invariants), and fused op graphs (small DAGs over the
+/// fusable kinds, checked fused-vs-unfused).
 enum class FuzzKind {
   Dot,
   DotBatch,
@@ -34,10 +37,20 @@ enum class FuzzKind {
   GemmMulti,
   JacobiBatch,
   Cg,
+  Graph,
 };
 
 const char* fuzz_kind_name(FuzzKind kind);
 bool fuzz_kind_from_name(std::string_view name, FuzzKind& out);
+
+/// Shape of a FuzzKind::Graph case. The two named forms mirror the fused
+/// chains the solvers actually run (CG's GEMV->DOT step, Jacobi's shared-A
+/// sweep); Random draws an arbitrary 2-4 node DAG over dot/gemv/spmxv with
+/// edges from any length-n producer into any length-n slot.
+enum class GraphForm { Random, CgStep, JacobiSweep };
+
+const char* graph_form_name(GraphForm form);
+bool graph_form_from_name(std::string_view name, GraphForm& out);
 
 /// How operand values are drawn. The mode decides which oracle comparison
 /// is sound (see docs/testing.md):
@@ -78,13 +91,20 @@ struct FuzzCase {
   ValueMode mode = ValueMode::Exact;
   Sabotage sabotage = Sabotage::None;
 
+  GraphForm gform = GraphForm::Random;  ///< FuzzKind::Graph chain shape
+
   std::size_t rows = 0;   ///< GEMV/SpMXV/solvers
   std::size_t cols = 0;   ///< dot length; GEMV/SpMXV cols
-  std::size_t n = 0;      ///< GEMM edge; solver system size
-  std::size_t batch = 0;  ///< DotBatch pairs; JacobiBatch right-hand sides
+  std::size_t n = 0;      ///< GEMM edge; solver system size; Graph vector len
+  std::size_t batch = 0;  ///< DotBatch pairs; JacobiBatch rhs; Graph nodes
   std::size_t nnz_per_row = 0;  ///< SpMXV target nonzeros per row
 
   u64 vseed = 1;  ///< seed for operand value/structure generation
+
+  /// Override of ContextConfig::sram_capacity_words (0 keeps the default).
+  /// Lets tiny graph cases exercise the planner's capacity-fallback path
+  /// without multi-second shapes.
+  std::size_t sram_cap = 0;
 
   // Machine-configuration overrides; 0 keeps the ContextConfig default.
   unsigned dot_k = 0;
@@ -117,7 +137,11 @@ struct CaseData {
   std::vector<std::vector<double>> us, vs;
   blas2::CrsMatrix sparse;
   std::vector<std::vector<double>> rhs;  ///< solver right-hand sides
-  host::OpDesc desc;                     ///< unset for solver kinds
+  host::OpDesc desc;                     ///< unset for solver/graph kinds
+  host::GraphDesc graph;                 ///< set for FuzzKind::Graph
+  /// Graph operand storage: a deque keeps every vector's address stable as
+  /// more operands are drawn, so node OpDescs can point into it.
+  std::deque<std::vector<double>> pool;
 
   CaseData() = default;
   CaseData(const CaseData&) = delete;

@@ -553,6 +553,181 @@ std::optional<CheckFailure> check_solver(const FuzzCase& fc) {
   return std::nullopt;
 }
 
+/// Full comparison of two graph outcomes: every node outcome bitwise, plus
+/// the aggregate report and the fusion accounting.
+std::optional<std::string> graph_diff(const host::GraphOutcome& want,
+                                      const host::GraphOutcome& got) {
+  if (want.nodes.size() != got.nodes.size()) {
+    return cat("node count ", got.nodes.size(), " != ", want.nodes.size());
+  }
+  for (std::size_t i = 0; i < want.nodes.size(); ++i) {
+    if (auto d = outcome_diff(want.nodes[i], got.nodes[i])) {
+      return cat("node ", i, ": ", *d);
+    }
+  }
+  if (want.report.cycles != got.report.cycles) {
+    return cat("aggregate cycles ", got.report.cycles,
+               " != ", want.report.cycles);
+  }
+  if (want.fused_edges != got.fused_edges ||
+      want.shared_operands != got.shared_operands ||
+      want.staging_saved_cycles != got.staging_saved_cycles) {
+    return cat("fusion accounting (edges/shared/saved) ", got.fused_edges, "/",
+               got.shared_operands, "/", got.staging_saved_cycles, " != ",
+               want.fused_edges, "/", want.shared_operands, "/",
+               want.staging_saved_cycles);
+  }
+  return std::nullopt;
+}
+
+std::optional<CheckFailure> check_graph(const FuzzCase& fc, CaseData& data) {
+  const host::ContextConfig cfg = fc.config();
+
+  Runtime rt(cfg);
+  const host::GraphOutcome base = rt.run_graph(data.graph);
+  if (base.nodes.size() != data.graph.nodes.size()) {
+    return CheckFailure{"graph-shape",
+                        cat("run_graph returned ", base.nodes.size(),
+                            " outcomes for ", data.graph.nodes.size(),
+                            " nodes")};
+  }
+
+  // The core fusion contract: replaying every node as a stand-alone op —
+  // with edge-fed slots resolved to the fused producer results — must
+  // reproduce the fused values bit for bit and the engine compute cycle
+  // for cycle; only the staging accounting may differ, and that difference
+  // must be exactly the per-node savings the graph reported.
+  Runtime single(cfg);
+  for (std::size_t i = 0; i < data.graph.nodes.size(); ++i) {
+    host::OpDesc d = data.graph.nodes[i].desc;
+    for (const auto& e : data.graph.edges) {
+      if (e.to != i) continue;
+      const std::vector<double>* src = &base.nodes[e.from].values;
+      switch (e.slot) {
+        case host::OperandSlot::A: d.a = src; break;
+        case host::OperandSlot::B: d.b = src; break;
+        case host::OperandSlot::X: d.x = src; break;
+      }
+    }
+    const Outcome lone = single.run(d);
+    const Outcome& fused = base.nodes[i];
+    if (lone.values.size() != fused.values.size()) {
+      return CheckFailure{"graph-fused-values",
+                          cat("node ", i, ": fused returned ",
+                              fused.values.size(), " values, unfused ",
+                              lone.values.size())};
+    }
+    for (std::size_t j = 0; j < lone.values.size(); ++j) {
+      if (!bits_equal(lone.values[j], fused.values[j])) {
+        return CheckFailure{
+            "graph-fused-values",
+            cat("node ", i, " values[", j, "]: fused ", fused.values[j],
+                " != unfused ", lone.values[j], " (bits 0x", std::hex,
+                fp::to_bits(fused.values[j]), " vs 0x",
+                fp::to_bits(lone.values[j]), ")")};
+      }
+    }
+    const u64 fused_compute = fused.report.cycles - fused.report.staging_cycles;
+    const u64 lone_compute = lone.report.cycles - lone.report.staging_cycles;
+    if (fused_compute != lone_compute ||
+        fused.report.flops != lone.report.flops ||
+        fused.report.stall_cycles != lone.report.stall_cycles) {
+      return CheckFailure{
+          "graph-fused-compute",
+          cat("node ", i, ": fused compute/flops/stalls ", fused_compute, "/",
+              fused.report.flops, "/", fused.report.stall_cycles,
+              " != unfused ", lone_compute, "/", lone.report.flops, "/",
+              lone.report.stall_cycles)};
+    }
+    if (lone.report.staging_cycles < fused.report.staging_cycles) {
+      return CheckFailure{"graph-staging",
+                          cat("node ", i, ": fused staging ",
+                              fused.report.staging_cycles,
+                              " exceeds unfused ", lone.report.staging_cycles)};
+    }
+    const u64 saved = lone.report.staging_cycles - fused.report.staging_cycles;
+    if (saved != base.node_staging_saved[i]) {
+      return CheckFailure{
+          "graph-staging",
+          cat("node ", i, ": actual staging gap ", saved,
+              " != reported node_staging_saved ", base.node_staging_saved[i])};
+    }
+    if (fc.placement == host::Placement::Sram &&
+        (fused.report.staging_cycles != 0 || saved != 0)) {
+      return CheckFailure{"graph-staging",
+                          cat("node ", i, ": SRAM placement staged ",
+                              fused.report.staging_cycles, " cycles (saved ",
+                              saved, ")")};
+    }
+  }
+
+  // Graph-plan-cache hit must reproduce the cold miss exactly.
+  const host::GraphOutcome warm = rt.run_graph(data.graph);
+  if (rt.plan_cache().graph_hits() == 0) {
+    return CheckFailure{"graph-plan-cache",
+                        "second run did not hit the graph plan cache"};
+  }
+  if (auto d = graph_diff(base, warm)) {
+    return CheckFailure{"graph-plan-cache", cat("cache-hit rerun differs: ", *d)};
+  }
+
+  // A fresh runtime must reproduce it, and submit_graph() == run_graph().
+  Runtime fresh(cfg);
+  if (auto d = graph_diff(base, fresh.run_graph(data.graph))) {
+    return CheckFailure{"graph-determinism", cat("fresh runtime differs: ", *d)};
+  }
+  if (auto d = graph_diff(base, rt.submit_graph(data.graph).get())) {
+    return CheckFailure{"graph-concurrency",
+                        cat("submit_graph() differs from run_graph(): ", *d)};
+  }
+
+  // Backend equivalence: fused execution under the other arithmetic backend
+  // is bit-identical — values AND cycles — for every node.
+  if (native_is_conformant()) {
+    fp::ScopedBackend swap(other_backend());
+    Runtime rt_other(cfg);
+    if (auto d = graph_diff(base, rt_other.run_graph(data.graph))) {
+      return CheckFailure{
+          "backend-equivalence",
+          cat(backend_name(fp::active_backend().kind), " backend differs: ", *d)};
+    }
+  }
+
+  // A live telemetry session must not perturb the graph run, and the
+  // exporters must stay valid JSON with graph phases recorded.
+  {
+    telemetry::Session tel;
+    host::ContextConfig tcfg = cfg;
+    tcfg.telemetry = &tel;
+    Runtime rt_tel(tcfg);
+    if (auto d = graph_diff(base, rt_tel.run_graph(data.graph))) {
+      return CheckFailure{"telemetry",
+                          cat("live session changed the graph run: ", *d)};
+    }
+    if (auto d = graph_diff(base, rt_tel.submit_graph(data.graph).get())) {
+      return CheckFailure{
+          "telemetry-concurrent",
+          cat("attached submit_graph() differs: ", *d)};
+    }
+    const struct {
+      const char* what;
+      std::string text;
+    } exports[] = {
+        {"metrics", telemetry::metrics_to_json(tel.metrics())},
+        {"report", telemetry::report_to_json(base.report)},
+    };
+    for (const auto& e : exports) {
+      std::string err;
+      if (!telemetry::json_validate(e.text, &err)) {
+        return CheckFailure{"telemetry-json",
+                            cat(e.what, " export is invalid JSON: ", err)};
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
 // ---- generation ------------------------------------------------------------
 
 u64 splitmix64(u64 x) {
@@ -600,6 +775,7 @@ FuzzCase generate_case(u64 seed, u64 index) {
   else if (kind_roll <= 80) fc.kind = FuzzKind::GemmArray;
   else if (kind_roll <= 86) fc.kind = FuzzKind::GemmMulti;
   else if (kind_roll <= 93) fc.kind = FuzzKind::JacobiBatch;
+  else if (kind_roll <= 96) fc.kind = FuzzKind::Graph;
   else fc.kind = FuzzKind::Cg;
 
   fc.mode = is_solver(fc.kind) ? ValueMode::Uniform : pick_mode(rng);
@@ -713,6 +889,27 @@ FuzzCase generate_case(u64 seed, u64 index) {
     case FuzzKind::Cg:
       fc.n = static_cast<std::size_t>(rng.uniform_int(4, 32));
       break;
+    case FuzzKind::Graph: {
+      fc.n = static_cast<std::size_t>(rng.uniform_int(4, 96));
+      fc.batch = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      const u64 form = rng.uniform_int(1, 100);
+      if (form <= 50) fc.gform = GraphForm::Random;
+      else if (form <= 80) fc.gform = GraphForm::CgStep;
+      else fc.gform = GraphForm::JacobiSweep;
+      // Fusion only has staging to recover under DRAM placement, so weight
+      // it heavily; the Sram cases pin the zero-staging parity instead.
+      if (rng.uniform_int(1, 100) <= 65) fc.placement = host::Placement::Dram;
+      const unsigned gks[] = {0, 1, 2, 8};
+      fc.gemv_k = gks[rng.uniform_int(0, 3)];
+      const unsigned dks[] = {0, 1, 4, 8};
+      fc.dot_k = dks[rng.uniform_int(0, 3)];
+      // ~25%: shrink the SRAM so chain operands cannot stay resident and
+      // the planner's per-edge DRAM-staging fallback triggers.
+      if (rng.uniform_int(1, 100) <= 25) {
+        fc.sram_cap = static_cast<std::size_t>(rng.uniform_int(8, 4 * fc.n));
+      }
+      break;
+    }
   }
   return fc;
 }
@@ -722,6 +919,7 @@ std::optional<CheckFailure> check_case(const FuzzCase& fc) {
     if (is_solver(fc.kind)) return check_solver(fc);
     CaseData data;
     materialize(fc, data);
+    if (fc.kind == FuzzKind::Graph) return check_graph(fc, data);
     if (fc.expect_error()) return check_error_paths(fc, data);
     return check_op(fc, data);
   } catch (const std::exception& e) {
@@ -742,6 +940,7 @@ u64 shrink_measure(const FuzzCase& fc) {
   m += static_cast<u64>(fc.mode);
   m += (fc.dot_k ? 1 : 0) + (fc.gemv_k ? 1 : 0) + (fc.mm_k ? 1 : 0) +
        (fc.mm_m ? 1 : 0) + (fc.mm_b ? 1 : 0) + (fc.mm_l ? 1 : 0);
+  if (fc.sram_cap) ++m;
   if (fc.vseed != 1) ++m;
   return m;
 }
@@ -799,6 +998,11 @@ std::vector<FuzzCase> shrink_candidates(const FuzzCase& fc) {
   if (fc.mm_b) {
     FuzzCase c = fc;
     c.mm_b = 0;
+    push(c);
+  }
+  if (fc.sram_cap) {
+    FuzzCase c = fc;
+    c.sram_cap = 0;
     push(c);
   }
   if (fc.vseed != 1) {

@@ -25,6 +25,12 @@
 //   solver          jacobi_dense_batch == per-rhs jacobi_dense bitwise;
 //                   cg_dense is deterministic, converges, and its reported
 //                   residual matches an independent recomputation
+//   graph-fused-*   a fused DAG run (run_graph) reproduces per-node
+//                   single-op execution bit for bit — values and engine
+//                   compute cycles — with the staging gap exactly equal to
+//                   the reported per-node savings; checked under both fp
+//                   backends, through the graph plan cache, and through
+//                   submit_graph()
 //
 // A failing case is shrunk to a minimal reproducing FuzzCase (greedy
 // candidate descent on a strictly decreasing size measure) and appended to

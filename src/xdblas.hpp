@@ -22,6 +22,7 @@
 #include "common/thread_pool.hpp"
 #include "host/blas_compat.hpp"
 #include "host/context.hpp"
+#include "host/graph.hpp"
 #include "host/op.hpp"
 #include "host/plan.hpp"
 #include "host/reference.hpp"

@@ -100,15 +100,21 @@ TEST(FuzzGenerate, DeterministicPerSeedAndIndex) {
 }
 
 TEST(FuzzGenerate, MaterializedCasesAreHonestUnlessSabotaged) {
-  // Every non-sabotaged generated case must pass OpDesc::validate (solver
-  // kinds have no descriptor and are skipped).
+  // Every non-sabotaged generated case must pass validation: OpDesc::validate
+  // for single-op kinds, GraphDesc::validate for graph kinds (whose node
+  // descs legitimately carry null edge-fed slots). Solver kinds have no
+  // descriptor and are skipped.
   for (u64 i = 0; i < 150; ++i) {
     const FuzzCase fc = generate_case(13, i);
     if (fc.kind == FuzzKind::JacobiBatch || fc.kind == FuzzKind::Cg) continue;
     CaseData data;
     materialize(fc, data);
     if (fc.sabotage == Sabotage::None) {
-      EXPECT_NO_THROW(data.desc.validate()) << fc.to_line();
+      if (fc.kind == FuzzKind::Graph) {
+        EXPECT_NO_THROW(data.graph.validate()) << fc.to_line();
+      } else {
+        EXPECT_NO_THROW(data.desc.validate()) << fc.to_line();
+      }
     }
   }
 }

@@ -25,6 +25,22 @@
 // the worker pool, and prints one JSON record per job (JSONL) in input
 // order — to stdout, or to --out FILE.
 //
+// A batch line may also be an op *graph* (a fused DAG plan — see
+// docs/runtime.md "Graph plans & fusion"):
+//
+//   graph ap=gemv:n=96 pap=dot:n=96,b=@ap --from-dram [--seed S]
+//
+// Node specs (`name=kind[:key=val,...]`) come first, flags last. Kinds are
+// dot (keys n, a, b), gemv (n, arch, x), and spmxv (n, nnz, x); an operand
+// key whose value is `@name` feeds the named earlier node's result through
+// a graph edge (the planner keeps the intermediate SRAM-resident when it
+// fits), other operands are materialized from the line's seed, and keep=0
+// marks a node as intermediate-only. The record carries one named result
+// per node plus the fusion counters (fused_edges, shared_operands,
+// staging_saved_cycles) and the aggregate report; a malformed graph —
+// unknown ref, shape-mismatched edge, cycle — fails that line with a
+// per-line "error" record and a nonzero exit, like any other batch error.
+//
 // Telemetry options (all commands):
 //   --json               machine-readable report + phase spans + metrics on
 //                        stdout instead of the human-readable table
@@ -308,6 +324,9 @@ bool finish(const Args& args, telemetry::Session& tel,
 
 /// One parsed batch line. The job owns its operands and Context so the
 /// OpDesc's non-owning pointers stay valid until the future is consumed.
+/// A `graph` line fills `graph` instead of `desc` (operands live in the
+/// deque pools — stable addresses across growth); for those, `n` counts
+/// nodes rather than a problem size.
 struct BatchJob {
   std::size_t line = 0;
   std::string command;
@@ -318,8 +337,161 @@ struct BatchJob {
   host::OpDesc desc;
   std::future<host::Outcome> fut;
 
+  bool is_graph = false;
+  host::GraphDesc graph;
+  std::deque<std::vector<double>> pool;
+  std::deque<blas2::CrsMatrix> sparse_pool;
+  std::future<host::GraphOutcome> gfut;
+  /// Nonempty: the line failed at parse time. The job is never submitted;
+  /// the emit loop turns this into a per-line "error" record (same exit
+  /// path as a runtime failure, so one bad graph can't kill the batch).
+  std::string parse_error;
+
   explicit BatchJob(const host::ContextConfig& cfg) : ctx(cfg) {}
 };
+
+/// Parse one `graph` node spec (`name=kind[:key=val,...]`) into job.graph.
+/// An operand key valued `@name` becomes a graph edge from the named
+/// earlier node; absent operand keys are materialized from `rng`. Returns
+/// an error message ("" on success) instead of throwing so a malformed
+/// graph becomes a per-line error record, not a dead batch.
+std::string add_graph_node(const std::string& spec, host::Placement src,
+                           Rng& rng, BatchJob& job) {
+  const auto eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
+    return cat("node spec '", spec, "' is not name=kind[:key=val,...]");
+  }
+  const std::string name = spec.substr(0, eq);
+  if (name.front() == '@' || name.find(':') != std::string::npos) {
+    return cat("node name '", name, "' may not contain '@' or ':'");
+  }
+  for (const auto& nd : job.graph.nodes) {
+    if (nd.name == name) return cat("duplicate node name '", name, "'");
+  }
+
+  std::string kind = spec.substr(eq + 1);
+  std::map<std::string, std::string> kv;
+  if (const auto colon = kind.find(':'); colon != std::string::npos) {
+    std::istringstream opts(kind.substr(colon + 1));
+    kind = kind.substr(0, colon);
+    std::string item;
+    while (std::getline(opts, item, ',')) {
+      const auto e = item.find('=');
+      if (e == std::string::npos || e == 0 || e + 1 >= item.size()) {
+        return cat("node '", name, "': bad option '", item,
+                   "' (want key=val)");
+      }
+      kv[item.substr(0, e)] = item.substr(e + 1);
+    }
+  }
+
+  static const std::map<std::string, std::set<std::string>> kNodeKeys = {
+      {"dot", {"n", "a", "b", "keep"}},
+      {"gemv", {"n", "arch", "x", "keep"}},
+      {"spmxv", {"n", "nnz", "x", "keep"}},
+  };
+  const auto keys = kNodeKeys.find(kind);
+  if (keys == kNodeKeys.end()) {
+    return cat("node '", name, "': graph nodes support dot/gemv/spmxv, got '",
+               kind, "'");
+  }
+  for (const auto& [k, v] : kv) {
+    if (!keys->second.count(k)) {
+      return cat("node '", name, "': unknown key '", k, "' for ", kind);
+    }
+  }
+
+  auto size_of = [&](const std::string& key, std::size_t dflt,
+                     std::size_t& out) -> std::string {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      out = dflt;
+      return "";
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
+        v <= 0) {
+      return cat("node '", name, "': ", key,
+                 " expects a positive integer, got '", it->second, "'");
+    }
+    out = static_cast<std::size_t>(v);
+    return "";
+  };
+
+  host::GraphNode node;
+  node.name = name;
+  if (const auto it = kv.find("keep"); it != kv.end()) {
+    if (it->second != "0" && it->second != "1") {
+      return cat("node '", name, "': keep expects 0 or 1");
+    }
+    node.keep = it->second == "1";
+  }
+
+  // Resolve an operand key: `@name` feeds the named earlier node's result
+  // through an edge (the pointer stays null for the runtime to patch),
+  // anything else is rejected — batch operands are seeded, never literal.
+  const std::size_t self = job.graph.nodes.size();
+  auto operand = [&](const std::string& key, host::OperandSlot slot,
+                     std::size_t len,
+                     const std::vector<double>*& field) -> std::string {
+    const auto it = kv.find(key);
+    if (it == kv.end()) {
+      field = &job.pool.emplace_back(rng.vector(len));
+      return "";
+    }
+    if (it->second.empty() || it->second.front() != '@') {
+      return cat("node '", name, "': ", key,
+                 " expects '@node' (operands are seeded, not literal), got '",
+                 it->second, "'");
+    }
+    const std::string ref = it->second.substr(1);
+    for (std::size_t i = 0; i < self; ++i) {
+      if (job.graph.nodes[i].name == ref) {
+        job.graph.edges.push_back({i, self, slot});
+        field = nullptr;
+        return "";
+      }
+    }
+    return cat("node '", name, "': unknown node '@", ref,
+               "' (refs must name an earlier node on the line)");
+  };
+
+  host::OpDesc& d = node.desc;
+  std::size_t n = 0;
+  std::string err;
+  if (!(err = size_of("n", 256, n)).empty()) return err;
+  if (kind == "dot") {
+    d.kind = host::OpKind::Dot;
+    d.placement = src;
+    d.cols = n;
+    if (!(err = operand("a", host::OperandSlot::A, n, d.a)).empty()) return err;
+    if (!(err = operand("b", host::OperandSlot::B, n, d.b)).empty()) return err;
+  } else if (kind == "gemv") {
+    const std::string arch = kv.count("arch") ? kv.at("arch") : "tree";
+    if (arch != "tree" && arch != "col") {
+      return cat("node '", name, "': arch expects tree or col, got '", arch,
+                 "'");
+    }
+    d.kind = host::OpKind::Gemv;
+    d.placement = src;
+    d.arch = arch == "col" ? host::GemvArch::Column : host::GemvArch::Tree;
+    d.rows = d.cols = n;
+    d.a = &job.pool.emplace_back(rng.matrix(n, n));
+    if (!(err = operand("x", host::OperandSlot::X, n, d.x)).empty()) return err;
+  } else {  // spmxv
+    std::size_t nnz = 0;
+    if (!(err = size_of("nnz", 4, nnz)).empty()) return err;
+    d.kind = host::OpKind::Spmxv;
+    d.rows = d.cols = n;
+    d.sparse =
+        &job.sparse_pool.emplace_back(blas2::make_uniform_sparse(n, n, nnz, 7));
+    if (!(err = operand("x", host::OperandSlot::X, n, d.x)).empty()) return err;
+  }
+  job.graph.nodes.push_back(std::move(node));
+  return "";
+}
 
 /// `xdblas_cli batch FILE`: parse every line into a BatchJob, submit them
 /// all through the runtime (they share the process-wide worker pool, so
@@ -356,15 +528,29 @@ int run_batch(const Args& args) {
 
     Args la;
     la.command = tokens.front();
-    if (!kBatchOps.count(la.command)) {
+    const bool is_graph = la.command == "graph";
+    if (!kBatchOps.count(la.command) && !is_graph) {
       std::fprintf(stderr,
-                   "error: %s:%zu: batch supports dot/gemv/gemm/spmxv, "
+                   "error: %s:%zu: batch supports dot/gemv/gemm/spmxv/graph, "
                    "got '%s'\n",
                    path.c_str(), line_no, la.command.c_str());
       return 1;
     }
     tokens.erase(tokens.begin());
-    if (!parse_flags(tokens, la.command, kCommandFlags.at(la.command), la)) {
+    std::vector<std::string> specs;
+    if (is_graph) {
+      // Node specs (no leading --) come first; flags follow.
+      std::size_t i = 0;
+      while (i < tokens.size() && tokens[i].rfind("--", 0) != 0) {
+        specs.push_back(tokens[i++]);
+      }
+      tokens.erase(tokens.begin(),
+                   tokens.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    static const std::set<std::string> kGraphFlags = {"from-dram"};
+    if (!parse_flags(tokens, la.command,
+                     is_graph ? kGraphFlags : kCommandFlags.at(la.command),
+                     la)) {
       std::fprintf(stderr, "error: %s:%zu: bad op line\n", path.c_str(),
                    line_no);
       return 1;
@@ -382,6 +568,23 @@ int run_batch(const Args& args) {
     Rng rng(static_cast<u64>(la.integer("seed", 2005)));
     host::ContextConfig cfg;
     if (want_tel) cfg.telemetry = &session;  // shards merge on completion
+    if (is_graph) {
+      BatchJob& job = jobs.emplace_back(cfg);
+      job.line = line_no;
+      job.command = "graph";
+      job.is_graph = true;
+      const auto src = la.flag("from-dram") ? host::Placement::Dram
+                                            : host::Placement::Sram;
+      if (specs.empty()) {
+        job.parse_error = "graph needs at least one name=kind[:opts] node";
+      }
+      for (const auto& spec : specs) {
+        if (!job.parse_error.empty()) break;
+        job.parse_error = add_graph_node(spec, src, rng, job);
+      }
+      job.n = job.graph.nodes.size();
+      continue;
+    }
     if (la.command == "dot") {
       cfg.dot_k = static_cast<unsigned>(la.integer("k", 2));
       cfg.dot_mem_bytes_per_s = la.num("bw-gbs", 5.5) * 1e9;
@@ -429,7 +632,14 @@ int run_batch(const Args& args) {
     }
   }
 
-  for (auto& job : jobs) job.fut = job.ctx.runtime().submit(job.desc);
+  for (auto& job : jobs) {
+    if (!job.parse_error.empty()) continue;  // emitted as an error record
+    if (job.is_graph) {
+      job.gfut = job.ctx.runtime().submit_graph(job.graph);
+    } else {
+      job.fut = job.ctx.runtime().submit(job.desc);
+    }
+  }
 
   std::string out;
   int rc = 0;
@@ -440,10 +650,39 @@ int run_batch(const Args& args) {
     w.kv("line", static_cast<u64>(job.line));
     w.kv("n", static_cast<u64>(job.n));
     try {
-      const auto outcome = job.fut.get();
-      if (job.command == "dot") w.kv("value", outcome.values.at(0));
-      w.key("report");
-      w.raw(telemetry::report_to_json(outcome.report));
+      if (!job.parse_error.empty()) throw ConfigError(job.parse_error);
+      if (job.is_graph) {
+        // One record for the whole graph: a named result per node (each
+        // report in its own clock domain) plus the fusion counters and the
+        // aggregate report, mirroring host::GraphOutcome.
+        const auto outcome = job.gfut.get();
+        w.key("nodes");
+        w.begin_array();
+        for (std::size_t i = 0; i < outcome.nodes.size(); ++i) {
+          const auto& nd = job.graph.nodes[i];
+          w.begin_object();
+          w.kv("name", nd.name);
+          w.kv("kind", host::op_kind_name(nd.desc.kind));
+          if (nd.desc.kind == host::OpKind::Dot) {
+            w.kv("value", outcome.nodes[i].values.at(0));
+          }
+          w.kv("staging_saved_cycles", outcome.node_staging_saved[i]);
+          w.key("report");
+          w.raw(telemetry::report_to_json(outcome.nodes[i].report));
+          w.end_object();
+        }
+        w.end_array();
+        w.kv("fused_edges", outcome.fused_edges);
+        w.kv("shared_operands", outcome.shared_operands);
+        w.kv("staging_saved_cycles", outcome.staging_saved_cycles);
+        w.key("report");
+        w.raw(telemetry::report_to_json(outcome.report));
+      } else {
+        const auto outcome = job.fut.get();
+        if (job.command == "dot") w.kv("value", outcome.values.at(0));
+        w.key("report");
+        w.raw(telemetry::report_to_json(outcome.report));
+      }
     } catch (const std::exception& e) {
       w.kv("error", std::string_view(e.what()));
       rc = 1;
