@@ -1,0 +1,162 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/util.hpp"
+
+namespace xd {
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (sent == 0) return false;
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+long Socket::recv_some(void* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<long>(got);
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SimError(cat("socket: bad IPv4 address '", host, "'"));
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    throw SimError(cat("socket: cannot create listener: ",
+                       std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    throw SimError(cat("socket: cannot bind ", host, ":", port, ": ",
+                       std::strerror(errno)));
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    throw SimError(cat("socket: cannot listen on ", host, ":", port, ": ",
+                       std::strerror(errno)));
+  }
+  if (bound_port) {
+    sockaddr_in got{};
+    socklen_t len = sizeof got;
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&got), &len) != 0) {
+      throw SimError(cat("socket: getsockname: ", std::strerror(errno)));
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return s;
+}
+
+Socket tcp_accept(Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL after the listener was closed or shut down: the accept
+    // loop's normal exit. Everything else is also surfaced as "stop" — a
+    // long-lived daemon should not die because one accept hiccuped, and the
+    // caller can decide to re-listen.
+    return Socket();
+  }
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) {
+    throw SimError(cat("socket: cannot create socket: ",
+                       std::strerror(errno)));
+  }
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return s;
+    }
+    if (errno == EINTR) continue;
+    throw SimError(cat("socket: cannot connect to ", host, ":", port, ": ",
+                       std::strerror(errno)));
+  }
+}
+
+void LineFramer::feed(const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (!cur_.empty() && cur_.back() == '\r') cur_.pop_back();
+      done_.push_back({std::move(cur_), cur_truncated_});
+      cur_.clear();
+      cur_truncated_ = false;
+    } else if (cur_.size() < max_line_) {
+      cur_.push_back(c);
+    } else {
+      cur_truncated_ = true;  // cap reached: drop the overflow byte
+    }
+  }
+}
+
+bool LineFramer::next(std::string& line, bool& truncated) {
+  if (done_.empty()) return false;
+  line = std::move(done_.front().text);
+  truncated = done_.front().truncated;
+  done_.pop_front();
+  return true;
+}
+
+}  // namespace xd

@@ -1,0 +1,110 @@
+// Minimal TCP socket + line-framing utilities for the serving layer.
+//
+// Everything the daemon and its clients need from the OS lives here: an
+// RAII socket wrapper whose send path retries partial writes (and never
+// raises SIGPIPE), loopback-friendly listen/accept/connect helpers, and an
+// incremental newline framer that reassembles records from arbitrary recv
+// chunk boundaries while bounding line length — a client that streams one
+// record in 1-byte writes and a client that concatenates a thousand records
+// into one write both frame identically.
+//
+// The framer is pure (bytes in, lines out) so the protocol tests can fuzz
+// split-across-recv and oversized-line behavior without opening sockets;
+// serve::Server feeds it straight from recv.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+namespace xd {
+
+/// Move-only RAII wrapper over a connected (or listening) socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send the whole buffer, retrying EINTR and partial writes. Returns
+  /// false on any error (peer reset, shutdown). Uses MSG_NOSIGNAL so a
+  /// dead peer surfaces as EPIPE, not a process-killing SIGPIPE.
+  bool send_all(const void* data, std::size_t n);
+  bool send_all(std::string_view s) { return send_all(s.data(), s.size()); }
+
+  /// Receive up to `n` bytes: >0 bytes read, 0 on orderly shutdown / EOF,
+  /// -1 on error. Retries EINTR.
+  long recv_some(void* buf, std::size_t n);
+
+  /// Half-close helpers; safe to call from another thread to wake a
+  /// blocked recv_some (the drain path) or signal EOF after a final flush.
+  void shutdown_read();
+  void shutdown_write();
+  void shutdown_both();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to host:port (port 0 picks an ephemeral port;
+/// `bound_port`, when non-null, receives the actual one). Throws SimError
+/// on failure. SO_REUSEADDR is set so restarts do not trip TIME_WAIT.
+Socket tcp_listen(const std::string& host, std::uint16_t port, int backlog,
+                  std::uint16_t* bound_port = nullptr);
+
+/// Accept one connection (blocking). Returns an invalid Socket when the
+/// listener was shut down or closed (the accept loop's exit signal).
+Socket tcp_accept(Socket& listener);
+
+/// Connect to host:port (blocking). Throws SimError on failure.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Incremental newline framer over arbitrary byte chunks. recv boundaries
+/// never align with records, so the reader feeds whatever arrived and pops
+/// complete lines; a trailing '\r' is stripped (CRLF clients work). Lines
+/// longer than `max_line` are capped: the prefix is kept, the overflow is
+/// discarded as it streams through (memory stays bounded), and the line is
+/// surfaced with `truncated = true` so the caller can answer with an error
+/// record instead of dying or buffering without bound.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_line) : max_line_(max_line) {}
+
+  /// Append a chunk of received bytes.
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view s) { feed(s.data(), s.size()); }
+
+  /// Pop the next complete line (terminator removed) into `line`; returns
+  /// false when no full line is buffered yet. `truncated` reports whether
+  /// the line exceeded max_line (its tail was discarded).
+  bool next(std::string& line, bool& truncated);
+
+  /// Bytes of the current partial line still buffered (nonzero at EOF
+  /// means the peer sent an unterminated final record).
+  std::size_t pending() const { return cur_.size(); }
+  /// Whether that partial line was capped (unterminated-EOF handling).
+  bool pending_truncated() const { return cur_truncated_; }
+
+ private:
+  struct Done {
+    std::string text;
+    bool truncated;
+  };
+
+  std::size_t max_line_;
+  std::string cur_;          ///< current partial line, capped at max_line_
+  bool cur_truncated_ = false;
+  std::deque<Done> done_;    ///< completed lines awaiting next()
+};
+
+}  // namespace xd

@@ -1,0 +1,124 @@
+// Batch-JSONL protocol codec shared by `xdblas_cli batch` and xdblas_serve.
+//
+// One record per line, newline-framed. A request line is exactly the batch
+// op grammar the CLI has always spoken (docs/runtime.md, docs/serving.md):
+//
+//   dot   --n 4096 [--k 2] [--bw-gbs 5.5] [--from-dram] [--seed S]
+//   gemv  --n 1024 [--k 4] [--arch tree|col] [--from-dram] [--seed S]
+//   gemm  --n 256  [--k 8] [--m 8] [--b B] [--l 1] [--seed S]
+//   spmxv --n 1024 [--nnz-per-row 16] [--k 4] [--seed S]
+//   graph name=kind[:key=val,...] ... [--from-dram] [--seed S]
+//
+// '#' comments and blank lines carry no record and get no response. Every
+// request line is answered by exactly one JSON object on one line: an
+// outcome record ({"op":...,"line":...,...,"values_fnv":...,"report":{...}})
+// or an error record ({"op":...,"line":...,"error":"..."}). Parsing never
+// throws and never kills the stream: a malformed line becomes a Request
+// with `parse_error` set, which both the CLI and the server turn into a
+// per-line error record. Line length is bounded (kMaxLineBytes) on both
+// transports — an oversized line is consumed, dropped, and answered with an
+// error record, so a hostile or broken client cannot balloon host memory.
+//
+// Operands are always materialized host-side from the line's --seed (the
+// wire carries shapes, never payloads), so a record is a few dozen bytes
+// regardless of problem size, and any two endpoints that parse the same
+// line build bit-identical operands.
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "host/graph.hpp"
+#include "host/op.hpp"
+
+namespace xd::serve {
+
+/// Longest accepted request line, in bytes (terminator excluded). Shared by
+/// the CLI batch reader and the server's socket framer so a file that works
+/// locally works over the wire.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/// One parsed request line: the descriptor plus the owned operand storage
+/// its non-owning pointers reference (deques: element addresses are stable,
+/// so a Request may be moved). Non-copyable — a copy would leave the
+/// descriptor pointing into the original's pools.
+struct Request {
+  std::size_t line = 0;    ///< 1-based line number on the stream
+  std::string command;     ///< first token ("dot", "graph", ...)
+  std::size_t n = 0;       ///< problem size (node count for graphs)
+  u64 seed = 2005;         ///< operand seed (--seed)
+  bool is_graph = false;
+
+  host::OpDesc desc;
+  host::GraphDesc graph;
+
+  /// The line's engine configuration: `base` (see parse_record) with the
+  /// line's flags applied — exactly what the CLI builds a per-job Context
+  /// from. The server executes on one shared Runtime instead, so it sheds
+  /// lines whose explicit flags disagree with its configuration.
+  host::ContextConfig cfg;
+  bool cfg_override = false;      ///< an explicit flag changed an engine knob
+  std::string cfg_override_why;   ///< which flag, for the error record
+
+  /// Nonempty: the line failed to parse. Never submitted; both endpoints
+  /// answer with error_record(*this, parse_error).
+  std::string parse_error;
+
+  std::deque<std::vector<double>> pool;        ///< owned operand vectors
+  std::deque<blas2::CrsMatrix> sparse_pool;    ///< owned sparse operands
+
+  Request() = default;
+  Request(Request&&) = default;
+  Request& operator=(Request&&) = default;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+};
+
+/// True when the line carries a record (not blank, not a '#' comment).
+/// Lines that are not records get no response; both endpoints and the load
+/// generator share this classifier so "one response per record line" is a
+/// checkable invariant.
+bool is_record_line(std::string_view line);
+
+/// Parse one record line into `req`. `base` supplies the engine-config
+/// defaults the line's flags override (the CLI passes a default
+/// ContextConfig; the server passes its shared one). Never throws; all
+/// failures land in req.parse_error.
+void parse_record(std::string_view text, std::size_t line_no,
+                  const host::ContextConfig& base, Request& req);
+
+/// Bounded getline for the CLI batch reader: reads one '\n'-terminated line
+/// (terminator removed, trailing '\r' stripped), capping the stored prefix
+/// at `max_line` and discarding the overflow with `truncated = true`.
+/// Returns false at EOF with nothing read.
+bool read_bounded_line(std::istream& in, std::string& line, bool& truncated,
+                       std::size_t max_line = kMaxLineBytes);
+
+/// The error-record text for an oversized line (kept in one place so the
+/// CLI, the server, and the tests agree on it).
+std::string oversize_error(std::size_t max_line = kMaxLineBytes);
+
+// ---- response records (one line of JSON each, no trailing newline) --------
+
+/// FNV-1a 64 offset basis: the starting hash for values_fnv chains. A graph
+/// record's record-level digest chains every node's values from this basis
+/// in node order, so clients can recompute it (tools/xdblas_load does).
+constexpr u64 kFnvBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64 over the raw bit patterns of `values`, rendered as 16 hex
+/// digits by the records below. Lets a client assert bit-identity of result
+/// vectors that are too large to ship back.
+u64 values_fnv(const std::vector<double>& values);
+/// Continuation form for multi-vector digests (graph records).
+u64 values_fnv(const std::vector<double>& values, u64 seed_hash);
+
+std::string outcome_record(const Request& req, const host::Outcome& out);
+std::string graph_record(const Request& req, const host::GraphOutcome& out);
+std::string error_record(const Request& req, std::string_view message);
+/// The admission-control shed record: {"line":N,"error":"overloaded"}.
+std::string overload_record(std::size_t line_no);
+
+}  // namespace xd::serve

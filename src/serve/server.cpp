@@ -1,0 +1,334 @@
+#include "serve/server.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace xd::serve {
+
+/// One response slot. The writer answers slots strictly in the order the
+/// reader enqueued them, so responses stream back in submission order per
+/// connection no matter how the pool interleaves execution. A slot is
+/// either an immediate text reply (error/overload/stats — `text` set) or a
+/// pending op/graph whose future still has to be consumed. The Request
+/// lives here so the operand pools outlive the worker that references them.
+struct Server::Pending {
+  Request req;
+  std::string text;  ///< nonempty: immediate reply, no future to wait on
+  bool has_future = false;
+  std::future<host::Outcome> fut;
+  std::future<host::GraphOutcome> gfut;
+};
+
+struct Server::Connection {
+  std::size_t id = 0;
+  Socket sock;
+  telemetry::Session tel{16, 1};  ///< serve.conn.* shard, merged at close
+  std::size_t line_no = 0;  ///< physical lines seen (reader thread only)
+
+  std::mutex mu;
+  std::condition_variable can_push;  ///< reader waits: queue below bound
+  std::condition_variable can_pop;   ///< writer waits: queue non-empty
+  std::deque<std::unique_ptr<Pending>> queue;
+  bool reader_done = false;  ///< no more slots will be enqueued
+  bool send_ok = true;       ///< writer stops sending after a send failure
+
+  std::thread reader;
+  std::thread writer;
+  std::atomic<int> threads_done{0};  ///< 2 = joinable without blocking
+};
+
+Server::Server(const ServerConfig& cfg)
+    : cfg_(cfg), runtime_([&] {
+        // The shared Runtime records into the server's session: worker
+        // shards merge at op completion, so host.runtime.* histograms and
+        // gauges aggregate every connection's traffic.
+        host::ContextConfig ec = cfg.engine;
+        ec.telemetry = &session_;
+        return ec;
+      }()) {
+  listener_ = tcp_listen(cfg_.host, cfg_.port, cfg_.backlog, &port_);
+}
+
+Server::~Server() { drain(); }
+
+void Server::serve() {
+  for (;;) {
+    Socket sock = tcp_accept(listener_);
+    if (!sock.valid() || draining_.load()) break;
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(sock);
+    Connection& c = *conn;
+    {
+      // Register and spawn under the lock: drain() pops under the same
+      // lock, so it either never sees this connection (we saw draining_
+      // first and dropped it) or sees it with both threads assigned.
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (draining_.load()) break;  // late accept: close the socket, stop
+      accepted_.fetch_add(1);
+      c.id = static_cast<std::size_t>(accepted_.load());
+      conns_.push_back(std::move(conn));
+      c.reader = std::thread([this, &c] { reader_main(c); });
+      c.writer = std::thread([this, &c] { writer_main(c); });
+    }
+    reap_finished();
+  }
+}
+
+void Server::drain() {
+  draining_.store(true);
+  // Shutdown only — serve() may still be blocked in accept on this fd, so
+  // the fd must stay valid until ~Server (closing here would race the
+  // accept loop's read of it; shutdown alone wakes accept with an error).
+  listener_.shutdown_both();
+  // Pop-and-join until the registry is empty; safe to run concurrently
+  // with serve() (registration holds the same lock) and idempotently.
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.front());
+      conns_.pop_front();
+    }
+    // Wake the reader out of recv; in-flight ops finish and their replies
+    // flush before the writer exits — a drain never drops admitted work.
+    conn->sock.shutdown_read();
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  publish_gauges();
+}
+
+void Server::reap_finished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->threads_done.load() == 2) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Server::admit() {
+  for (std::size_t cur = inflight_.load();;) {
+    if (cur >= cfg_.max_inflight) return false;
+    if (inflight_.compare_exchange_weak(cur, cur + 1)) return true;
+  }
+}
+
+void Server::enqueue(Connection& conn, std::unique_ptr<Pending> p) {
+  std::unique_lock<std::mutex> lock(conn.mu);
+  // Bounded: a client that writes requests without reading responses stops
+  // being read from once this fills (the reader blocks here, recv stops,
+  // the client's sends eventually block on TCP). Compute admission never
+  // blocks — past max_inflight the slot is an immediate shed reply.
+  conn.can_push.wait(lock,
+                     [&] { return conn.queue.size() < cfg_.reply_queue; });
+  conn.queue.push_back(std::move(p));
+  conn.can_pop.notify_one();
+}
+
+void Server::handle_line(Connection& conn, std::string line, bool truncated) {
+  lines_.fetch_add(1);
+  conn.tel.counter("serve.conn.lines").add();
+  auto p = std::make_unique<Pending>();
+  p->req.line = conn.line_no;
+
+  if (truncated) {
+    errors_.fetch_add(1);
+    conn.tel.counter("serve.conn.parse_errors").add();
+    p->req.parse_error = oversize_error();
+    p->text = error_record(p->req, p->req.parse_error);
+    enqueue(conn, std::move(p));
+    return;
+  }
+  // Control line: an in-stream stats snapshot (exact line `stats`),
+  // answered in order like any other record. Intercepted here — it is a
+  // serving-layer query, not part of the shared batch grammar.
+  if (line == "stats") {
+    p->text = stats_record(conn.line_no);
+    enqueue(conn, std::move(p));
+    return;
+  }
+
+  parse_record(line, conn.line_no, runtime_.config(), p->req);
+  if (!p->req.parse_error.empty()) {
+    errors_.fetch_add(1);
+    conn.tel.counter("serve.conn.parse_errors").add();
+    p->text = error_record(p->req, p->req.parse_error);
+    enqueue(conn, std::move(p));
+    return;
+  }
+  if (p->req.cfg_override) {
+    // The CLI honors per-line engine knobs with a per-job Context; the
+    // server's one shared Runtime cannot, so it refuses explicitly rather
+    // than silently computing under different hardware than asked for.
+    errors_.fetch_add(1);
+    p->text = error_record(p->req, p->req.cfg_override_why);
+    enqueue(conn, std::move(p));
+    return;
+  }
+  if (!admit()) {
+    shed_.fetch_add(1);
+    conn.tel.counter("serve.conn.shed").add();
+    p->text = overload_record(conn.line_no);
+    enqueue(conn, std::move(p));
+    return;
+  }
+  // Submit before enqueueing: the Pending owns the operand pools (deque
+  // storage — element addresses survive the moves above), and the writer
+  // consumes the future before the Pending dies, so operand lifetime spans
+  // the whole execution.
+  if (p->req.is_graph) {
+    p->gfut = runtime_.submit_graph(p->req.graph);
+  } else {
+    p->fut = runtime_.submit(p->req.desc);
+  }
+  p->has_future = true;
+  enqueue(conn, std::move(p));
+}
+
+void Server::reader_main(Connection& conn) {
+  LineFramer framer(kMaxLineBytes);
+  char buf[4096];
+  std::string line;
+  bool truncated = false;
+  for (;;) {
+    const long got = conn.sock.recv_some(buf, sizeof buf);
+    if (got <= 0) break;  // EOF, error, or drain's shutdown_read
+    conn.tel.counter("serve.conn.bytes_in").add(static_cast<u64>(got));
+    framer.feed(buf, static_cast<std::size_t>(got));
+    while (framer.next(line, truncated)) {
+      ++conn.line_no;
+      if (!truncated && !is_record_line(line)) continue;
+      handle_line(conn, std::move(line), truncated);
+    }
+  }
+  // An unterminated final record still gets an answer (the framer kept its
+  // bounded prefix), so "every record line is answered" holds at EOF too.
+  if (framer.pending() > 0) {
+    framer.feed("\n");
+    while (framer.next(line, truncated)) {
+      ++conn.line_no;
+      if (!truncated && !is_record_line(line)) continue;
+      handle_line(conn, std::move(line), truncated);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.reader_done = true;
+  }
+  conn.can_pop.notify_one();
+  conn.threads_done.fetch_add(1);
+}
+
+void Server::writer_main(Connection& conn) {
+  // conn.tel belongs to the reader while it runs (registry maps are not
+  // thread-safe); the writer tallies its bytes locally and folds them in
+  // after the loop, when reader_done guarantees the reader is finished.
+  u64 bytes_out = 0;
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    {
+      std::unique_lock<std::mutex> lock(conn.mu);
+      conn.can_pop.wait(
+          lock, [&] { return !conn.queue.empty() || conn.reader_done; });
+      if (conn.queue.empty()) break;  // reader done and queue drained
+      p = std::move(conn.queue.front());
+      conn.queue.pop_front();
+    }
+    conn.can_push.notify_one();
+
+    std::string text;
+    if (!p->has_future) {
+      text = std::move(p->text);
+    } else {
+      // Always consume the future — even after a send failure — so the
+      // in-flight count comes back down and the operand pools stay alive
+      // until the worker is done with them.
+      try {
+        text = p->req.is_graph ? graph_record(p->req, p->gfut.get())
+                               : outcome_record(p->req, p->fut.get());
+        completed_.fetch_add(1);
+      } catch (const std::exception& e) {
+        text = error_record(p->req, e.what());
+        errors_.fetch_add(1);
+      }
+      inflight_.fetch_sub(1);
+    }
+    if (conn.send_ok) {
+      text += '\n';
+      if (!conn.sock.send_all(text)) {
+        conn.send_ok = false;  // peer gone; keep consuming, stop sending
+      } else {
+        bytes_out += text.size();
+      }
+    }
+  }
+  // Flush done: half-close so the client sees EOF after the last record,
+  // then fold this connection's counters into the shared registry.
+  conn.sock.shutdown_write();
+  conn.tel.counter("serve.conn.bytes_out").add(bytes_out);
+  session_.merge(conn.tel, 0);
+  conn.threads_done.fetch_add(1);
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.accepted = accepted_.load();
+  c.lines = lines_.load();
+  c.completed = completed_.load();
+  c.errors = errors_.load();
+  c.shed = shed_.load();
+  return c;
+}
+
+void Server::publish_gauges() {
+  auto lock = session_.lock();
+  session_.gauge("serve.accepted").set(static_cast<double>(accepted_.load()));
+  session_.gauge("serve.lines").set(static_cast<double>(lines_.load()));
+  session_.gauge("serve.completed")
+      .set(static_cast<double>(completed_.load()));
+  session_.gauge("serve.errors").set(static_cast<double>(errors_.load()));
+  session_.gauge("serve.shed").set(static_cast<double>(shed_.load()));
+  session_.gauge("serve.inflight").set(static_cast<double>(inflight_.load()));
+}
+
+std::string Server::stats_record(std::size_t line_no) {
+  publish_gauges();  // keep the exported registry fresh on every snapshot
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("op", std::string_view("stats"));
+  w.kv("line", static_cast<u64>(line_no));
+  const auto rs = runtime_.stats();
+  w.kv("submitted", rs.submitted);
+  w.kv("completed", rs.completed);
+  w.kv("failed", rs.failed);
+  w.kv("shed", shed_.load());
+  w.kv("inflight", static_cast<u64>(inflight_.load()));
+  w.kv("max_inflight", static_cast<u64>(cfg_.max_inflight));
+  w.kv("connections", static_cast<u64>(accepted_.load()));
+  w.kv("workers", static_cast<u64>(runtime_.workers()));
+  {
+    auto lock = session_.lock();
+    for (const char* name :
+         {"host.runtime.queue_wait", "host.runtime.exec", "host.runtime.e2e"}) {
+      const telemetry::Metric* m = session_.metrics().find(name);
+      if (!m) continue;
+      const std::string_view base =
+          std::string_view(name).substr(sizeof("host.runtime.") - 1);
+      w.kv(cat(base, "_p50_us"),
+           telemetry::MetricsRegistry::percentile(*m, 0.50));
+      w.kv(cat(base, "_p95_us"),
+           telemetry::MetricsRegistry::percentile(*m, 0.95));
+      w.kv(cat(base, "_p99_us"),
+           telemetry::MetricsRegistry::percentile(*m, 0.99));
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace xd::serve

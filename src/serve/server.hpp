@@ -1,0 +1,132 @@
+// xdblas serving layer: a TCP daemon multiplexing many client connections
+// onto ONE shared host::Runtime + PlanCache (docs/serving.md).
+//
+//   serve::ServerConfig cfg;           // port 0 = pick an ephemeral port
+//   serve::Server server(cfg);
+//   std::thread t([&] { server.serve(); });   // accept loop
+//   ... clients connect to server.port(), speak batch JSONL ...
+//   server.drain();                    // stop accepting, finish, flush
+//   t.join();
+//
+// Each connection gets a reader thread (recv -> LineFramer -> proto parse ->
+// admission -> Runtime::submit) and a writer thread that consumes the
+// connection's pending futures IN SUBMISSION ORDER and streams one response
+// record per request line. The engine simulations are deterministic, so N
+// clients hammering the shared Runtime get results bit-identical (values
+// and cycles) to a sequential run — tests/test_serve.cpp soaks this.
+//
+// Admission control: at most `max_inflight` ops may be submitted and not
+// yet answered, across all connections. Past the bound the server sheds
+// with an explicit {"line":N,"error":"overloaded"} record and never stalls
+// the reader. Independently, each connection's reply queue is bounded: a
+// client that writes requests but never reads responses eventually stops
+// being read from (TCP backpressure), so server memory stays bounded.
+//
+// Telemetry: the shared Runtime records into the server's Session
+// (host.runtime.* latency histograms with p50/p95/p99, plan-cache and
+// queue gauges), each connection folds its serve.conn.* counters into the
+// same registry at close, and a client can send the control line `stats`
+// to get a JSON snapshot (counters + latency percentiles) in-stream.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/socket.hpp"
+#include "host/runtime.hpp"
+#include "serve/proto.hpp"
+#include "telemetry/session.hpp"
+
+namespace xd::serve {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0: bind an ephemeral port (see port())
+  int backlog = 64;
+  std::size_t max_inflight = 256;  ///< global admission bound; excess sheds
+  std::size_t reply_queue = 64;    ///< per-connection pending-reply bound
+  host::ContextConfig engine;      ///< the shared Runtime's configuration
+};
+
+/// Aggregate counters, readable at any time (and after drain()).
+struct ServerCounters {
+  u64 accepted = 0;    ///< connections accepted
+  u64 lines = 0;       ///< record lines received
+  u64 completed = 0;   ///< ops answered with an outcome record
+  u64 errors = 0;      ///< ops answered with an error record (incl. parse)
+  u64 shed = 0;        ///< ops shed by admission control ("overloaded")
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws SimError on failure); serving
+  /// starts when serve() is called.
+  explicit Server(const ServerConfig& cfg);
+  ~Server();
+
+  /// The bound port (the ephemeral one when cfg.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// The listening socket's fd, for async-signal-safe shutdown from a
+  /// signal handler (::shutdown() is a raw syscall): the daemon's SIGTERM
+  /// handler shuts the listener down, serve() returns, and the main thread
+  /// runs the ordinary drain() path outside signal context.
+  int listener_fd() const { return listener_.fd(); }
+
+  /// Accept loop; blocks the calling thread until drain() (or a fatal
+  /// listener error). Connections are handled on their own threads.
+  void serve();
+
+  /// Graceful drain, callable from any thread (including concurrently with
+  /// serve()): stop accepting, wake every connection's reader, let the
+  /// writers finish all in-flight ops and flush their replies, join all
+  /// connection threads. Idempotent.
+  void drain();
+
+  ServerCounters counters() const;
+  telemetry::Session& telemetry() { return session_; }
+  host::Runtime& runtime() { return runtime_; }
+
+  /// The `stats` control record: counters plus host.runtime.* latency
+  /// percentiles (µs) from the shared registry, as one JSON line.
+  std::string stats_record(std::size_t line_no);
+
+ private:
+  struct Pending;     // one queued response slot (in submission order)
+  struct Connection;  // per-connection state (socket, threads, queue)
+
+  void reader_main(Connection& conn);
+  void writer_main(Connection& conn);
+  bool admit();
+  void handle_line(Connection& conn, std::string line, bool truncated);
+  void enqueue(Connection& conn, std::unique_ptr<Pending> p);
+  void reap_finished();
+  void publish_gauges();
+
+  ServerConfig cfg_;
+  std::uint16_t port_ = 0;
+  telemetry::Session session_;
+  host::Runtime runtime_;
+  Socket listener_;
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<u64> accepted_{0};
+  std::atomic<u64> lines_{0};
+  std::atomic<u64> completed_{0};
+  std::atomic<u64> errors_{0};
+  std::atomic<u64> shed_{0};
+  std::atomic<bool> draining_{false};
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace xd::serve

@@ -1,0 +1,371 @@
+// Serving-layer concurrency + lifecycle tests (src/serve/server.hpp): an
+// in-process Server on an ephemeral loopback port, exercised by real TCP
+// clients. The load-bearing claims from docs/serving.md are each pinned
+// here: N concurrent clients get responses BYTE-identical to a sequential
+// local Runtime (values and cycles — the soak), admission control sheds
+// with explicit records instead of stalling, a tiny reply queue only slows
+// clients down (backpressure, no deadlock), drain under load answers every
+// admitted op, a client that vanishes mid-batch harms nobody else, and the
+// golden corpus streamed in adversarial chunk sizes gets exactly one valid
+// JSON response per record line. Runs under the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.hpp"
+#include "host/runtime.hpp"
+#include "serve/proto.hpp"
+#include "serve/server.hpp"
+#include "telemetry/json.hpp"
+
+using namespace xd;
+
+namespace {
+
+/// A Server plus its accept-loop thread; drains and joins on destruction so
+/// every test body reads top-to-bottom.
+struct TestServer {
+  explicit TestServer(serve::ServerConfig cfg = {})
+      : server(cfg), thread([this] { server.serve(); }) {}
+  ~TestServer() {
+    server.drain();
+    thread.join();
+  }
+  serve::Server server;
+  std::thread thread;
+};
+
+/// Connect, send `payload` (in `chunk`-byte pieces when nonzero), half-close,
+/// and collect every framed response line until EOF.
+std::vector<std::string> roundtrip(std::uint16_t port,
+                                   const std::string& payload,
+                                   std::size_t chunk = 0) {
+  Socket s = tcp_connect("127.0.0.1", port);
+  if (chunk == 0) {
+    EXPECT_TRUE(s.send_all(payload));
+  } else {
+    for (std::size_t i = 0; i < payload.size(); i += chunk) {
+      EXPECT_TRUE(s.send_all(payload.substr(i, chunk)));
+    }
+  }
+  s.shutdown_write();
+  LineFramer framer(1 << 20);
+  char buf[4096];
+  for (;;) {
+    const long got = s.recv_some(buf, sizeof buf);
+    if (got <= 0) break;
+    framer.feed(buf, static_cast<std::size_t>(got));
+  }
+  std::vector<std::string> records;
+  std::string line;
+  bool truncated = false;
+  while (framer.next(line, truncated)) records.push_back(line);
+  return records;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// What a fresh sequential local Runtime answers for `lines` — the
+/// bit-identity reference for everything the server streams back. Both
+/// endpoints share the codec, so comparisons are on whole record strings
+/// (values_fnv, cycles, every report field, line numbers).
+std::vector<std::string> expected_records_copy(
+    const std::vector<std::string>& lines) {
+  host::Runtime rt({});
+  std::vector<std::string> out;
+  std::size_t line_no = 0;
+  for (const auto& text : lines) {
+    ++line_no;
+    if (!serve::is_record_line(text)) continue;
+    serve::Request req;
+    serve::parse_record(text, line_no, rt.config(), req);
+    out.push_back(req.is_graph
+                      ? serve::graph_record(req, rt.run_graph(req.graph))
+                      : serve::outcome_record(req, rt.run(req.desc)));
+  }
+  return out;
+}
+
+/// One client's worth of mixed op + graph lines, shapes and seeds varied so
+/// different clients stress different plans in the shared cache.
+std::vector<std::string> mixed_lines(unsigned client, std::size_t count) {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < count; ++i) {
+    const u64 seed = 100 * client + i;
+    std::ostringstream os;
+    switch (i % 5) {
+      case 0: os << "dot --n 1024 --seed " << seed; break;
+      case 1: os << "gemv --n 96 --seed " << seed; break;
+      case 2: os << "spmxv --n 128 --nnz-per-row 8 --seed " << seed; break;
+      case 3: os << "gemm --n 32 --seed " << seed; break;
+      default:
+        os << "graph ap=gemv:n=96 pap=dot:n=96,b=@ap --from-dram --seed "
+           << seed;
+    }
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+std::string validate_error;
+bool is_valid_json(const std::string& text) {
+  return telemetry::json_validate(text, &validate_error);
+}
+
+}  // namespace
+
+// Eight concurrent clients, mixed op/graph records, every response record
+// byte-identical to a single-threaded local Runtime answering the same
+// lines — values AND cycles, via whole-record comparison. This is the
+// determinism contract the serving layer is allowed to exist under.
+TEST(Serve, SoakConcurrentClientsBitIdenticalToSequential) {
+  constexpr unsigned kClients = 8;
+  constexpr std::size_t kOps = 10;
+  TestServer ts;
+
+  std::vector<std::vector<std::string>> got(kClients);
+  std::vector<std::thread> clients;
+  for (unsigned c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      got[c] = roundtrip(ts.server.port(), join_lines(mixed_lines(c, kOps)));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (unsigned c = 0; c < kClients; ++c) {
+    const auto want = expected_records_copy(mixed_lines(c, kOps));
+    ASSERT_EQ(got[c].size(), want.size()) << "client " << c;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[c][i], want[i]) << "client " << c << " record " << i;
+    }
+  }
+  const auto counters = ts.server.counters();
+  EXPECT_EQ(counters.accepted, kClients);
+  EXPECT_EQ(counters.completed, u64{kClients} * kOps);
+  EXPECT_EQ(counters.errors, 0u);
+  EXPECT_EQ(counters.shed, 0u);
+}
+
+// max_inflight=1 with a burst of slow ops: admission control must shed with
+// explicit {"error":"overloaded"} records — in order, without stalling the
+// reader — and every line still gets exactly one response.
+TEST(Serve, AdmissionControlShedsInsteadOfStalling) {
+  serve::ServerConfig cfg;
+  cfg.max_inflight = 1;
+  TestServer ts(cfg);
+
+  constexpr std::size_t kLines = 48;
+  std::vector<std::string> lines(kLines, "gemm --n 64");
+  const auto records = roundtrip(ts.server.port(), join_lines(lines));
+  ASSERT_EQ(records.size(), kLines);
+
+  std::size_t completed = 0, shed = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(is_valid_json(records[i])) << validate_error;
+    if (records[i].find("\"error\":\"overloaded\"") != std::string::npos) {
+      ++shed;
+      // Shed records still carry the right line number (submission order).
+      EXPECT_NE(records[i].find("\"line\":" + std::to_string(i + 1)),
+                std::string::npos);
+    } else {
+      ++completed;
+      EXPECT_NE(records[i].find("\"values_fnv\""), std::string::npos);
+    }
+  }
+  EXPECT_GE(completed, 1u);  // the first op is always admitted
+  EXPECT_GE(shed, 1u);       // a 1-deep window cannot absorb a 48-op burst
+  const auto counters = ts.server.counters();
+  EXPECT_EQ(counters.completed, completed);
+  EXPECT_EQ(counters.shed, shed);
+  EXPECT_EQ(counters.completed + counters.shed, kLines);
+}
+
+// A 2-deep reply queue against a client that writes everything before
+// reading anything: backpressure must slow the reader (bounding server
+// memory) without deadlocking — all responses arrive, in order.
+TEST(Serve, TinyReplyQueueBackpressuresWithoutDeadlock) {
+  serve::ServerConfig cfg;
+  cfg.reply_queue = 2;
+  TestServer ts(cfg);
+
+  std::vector<std::string> lines;
+  for (int i = 0; i < 40; ++i) {
+    lines.push_back("dot --n 256 --seed " + std::to_string(i));
+  }
+  const auto records = roundtrip(ts.server.port(), join_lines(lines));
+  const auto want = expected_records_copy(lines);
+  ASSERT_EQ(records.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(records[i], want[i]) << "record " << i;
+  }
+}
+
+// drain() while a batch is streaming: the server stops reading, but every
+// op admitted before the cut is finished and flushed before the connection
+// closes — the client sees a clean prefix of the expected records, all
+// valid JSON, never a torn line.
+TEST(Serve, GracefulDrainUnderLoadFlushesAdmittedOps) {
+  TestServer ts;
+
+  std::vector<std::string> lines;
+  for (int i = 0; i < 32; ++i) {
+    lines.push_back("gemm --n 48 --seed " + std::to_string(i));
+  }
+  const auto want = expected_records_copy(lines);
+
+  Socket s = tcp_connect("127.0.0.1", ts.server.port());
+  ASSERT_TRUE(s.send_all(join_lines(lines)));
+  // No half-close: the connection stays open so only drain() can end it.
+  LineFramer framer(1 << 20);
+  char buf[4096];
+  std::vector<std::string> records;
+  std::string line;
+  bool truncated = false;
+  bool drained = false;
+  for (;;) {
+    const long got = s.recv_some(buf, sizeof buf);
+    if (got <= 0) break;
+    framer.feed(buf, static_cast<std::size_t>(got));
+    while (framer.next(line, truncated)) records.push_back(line);
+    if (!drained && !records.empty()) {
+      drained = true;
+      ts.server.drain();  // idempotent; TestServer drains again at scope end
+    }
+  }
+  while (framer.next(line, truncated)) records.push_back(line);
+
+  ASSERT_GE(records.size(), 1u);
+  ASSERT_LE(records.size(), want.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_TRUE(is_valid_json(records[i])) << validate_error;
+    EXPECT_EQ(records[i], want[i]) << "record " << i;
+  }
+  EXPECT_EQ(framer.pending(), 0u);  // never a torn line
+}
+
+// A client that sends a batch and disappears without reading anything must
+// not take the server (or anyone else) down: its futures are still
+// consumed, and a well-behaved client right after gets bit-exact answers.
+TEST(Serve, ClientDisconnectMidBatchHarmsNobody) {
+  TestServer ts;
+  {
+    Socket s = tcp_connect("127.0.0.1", ts.server.port());
+    std::vector<std::string> lines;
+    for (int i = 0; i < 20; ++i) {
+      lines.push_back("gemv --n 96 --seed " + std::to_string(i));
+    }
+    ASSERT_TRUE(s.send_all(join_lines(lines)));
+  }  // socket closed: no half-close, no reads, peer just vanishes
+
+  const std::vector<std::string> lines = mixed_lines(9, 10);
+  const auto records = roundtrip(ts.server.port(), join_lines(lines));
+  const auto want = expected_records_copy(lines);
+  ASSERT_EQ(records.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(records[i], want[i]) << "record " << i;
+  }
+}
+
+// Per-line engine knobs: the server runs ONE shared Runtime, so a line
+// whose explicit flags disagree with it is shed with an error record that
+// names the flag; an explicit flag equal to the server's configuration is
+// not an override and executes normally.
+TEST(Serve, EngineOverridesShedWithExplanation) {
+  TestServer ts;
+  const auto records = roundtrip(
+      ts.server.port(), "dot --n 256 --k 4\ndot --n 256 --k 2\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("\"error\""), std::string::npos);
+  EXPECT_NE(records[0].find("--k"), std::string::npos);
+  EXPECT_EQ(records[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(records[1].find("\"values_fnv\""), std::string::npos);
+}
+
+// Oversized line (bounded framing) and an unterminated final record: the
+// first is consumed and answered with the shared oversize error, the second
+// is still executed at EOF — every record line gets its response.
+TEST(Serve, OversizedAndUnterminatedLinesAnswered) {
+  TestServer ts;
+  std::string payload(serve::kMaxLineBytes + 1000, 'a');
+  payload += "\ndot --n 64 --seed 3";  // no trailing newline
+  const auto records = roundtrip(ts.server.port(), payload);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find(serve::oversize_error()), std::string::npos);
+  const auto want = expected_records_copy({"", "dot --n 64 --seed 3"});
+  ASSERT_EQ(want.size(), 1u);
+  EXPECT_EQ(records[1], want[0]);
+}
+
+// The `stats` control line: a JSON snapshot with runtime counters and
+// host.runtime.* latency percentiles once ops have completed.
+TEST(Serve, StatsControlLineReportsCountersAndPercentiles) {
+  TestServer ts;
+  roundtrip(ts.server.port(), join_lines(mixed_lines(2, 8)));
+
+  const auto records = roundtrip(ts.server.port(), "stats\n");
+  ASSERT_EQ(records.size(), 1u);
+  const std::string& rec = records[0];
+  EXPECT_TRUE(is_valid_json(rec)) << validate_error;
+  for (const char* field :
+       {"\"op\":\"stats\"", "\"completed\":", "\"shed\":", "\"inflight\":",
+        "\"max_inflight\":", "\"connections\":", "\"workers\":",
+        "\"e2e_p50_us\":", "\"e2e_p99_us\":", "\"exec_p50_us\":",
+        "\"queue_wait_p99_us\":"}) {
+    EXPECT_NE(rec.find(field), std::string::npos) << field;
+  }
+}
+
+// The golden corpus, streamed over a live connection in adversarial chunk
+// sizes (1-byte writes up through block writes): exactly one valid-JSON
+// response per record line, same answers for every chunking, and the
+// server is alive and correct afterwards.
+TEST(Serve, SocketCorpusReplayAdversarialChunking) {
+  std::ifstream in(XD_SERVE_CORPUS);
+  ASSERT_TRUE(in.is_open()) << XD_SERVE_CORPUS;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string corpus = ss.str();
+
+  std::size_t record_lines = 0;
+  {
+    std::istringstream count(corpus);
+    std::string line;
+    bool truncated = false;
+    while (serve::read_bounded_line(count, line, truncated)) {
+      if (serve::is_record_line(line)) ++record_lines;
+    }
+  }
+  ASSERT_GE(record_lines, 30u);
+
+  TestServer ts;
+  std::vector<std::string> first;
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}, corpus.size()}) {
+    const auto records = roundtrip(ts.server.port(), corpus, chunk);
+    ASSERT_EQ(records.size(), record_lines) << "chunk=" << chunk;
+    for (const auto& rec : records) {
+      EXPECT_TRUE(is_valid_json(rec)) << validate_error << ": " << rec;
+    }
+    if (first.empty()) {
+      first = records;
+    } else {
+      EXPECT_EQ(records, first) << "chunk=" << chunk;  // framing-independent
+    }
+  }
+
+  // Server still healthy: a normal client gets bit-exact answers.
+  const std::vector<std::string> lines = mixed_lines(5, 5);
+  EXPECT_EQ(roundtrip(ts.server.port(), join_lines(lines)),
+            expected_records_copy(lines));
+}

@@ -1,0 +1,339 @@
+// Serve-protocol codec tests (src/serve/proto.hpp, common/socket.hpp's
+// LineFramer): framing is byte-chunk-independent and bounded, parsing never
+// throws (malformed lines become error records, identically for the CLI and
+// the server), engine-knob overrides are detected exactly, response records
+// are valid JSON, and the golden corpus replays clean. The deterministic
+// fuzz sections (seeded Rng, no wall-clock) are the in-process half of the
+// malformed-frame hardening; test_serve.cpp replays the same corpus over a
+// live socket.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/socket.hpp"
+#include "host/runtime.hpp"
+#include "serve/proto.hpp"
+#include "telemetry/json.hpp"
+
+using namespace xd;
+
+namespace {
+
+/// Collect every line the framer yields for one feed pattern.
+struct Framed {
+  std::string text;
+  bool truncated;
+};
+
+std::vector<Framed> drain(LineFramer& f) {
+  std::vector<Framed> out;
+  std::string line;
+  bool truncated = false;
+  while (f.next(line, truncated)) out.push_back({line, truncated});
+  return out;
+}
+
+serve::Request parse(const std::string& line, std::size_t line_no = 1) {
+  serve::Request req;
+  serve::parse_record(line, line_no, host::ContextConfig{}, req);
+  return req;
+}
+
+std::string valid_error;
+bool is_valid_json(const std::string& text) {
+  return telemetry::json_validate(text, &valid_error);
+}
+
+}  // namespace
+
+// ---- LineFramer ------------------------------------------------------------
+
+TEST(LineFramer, ReassemblesAcrossArbitraryChunks) {
+  const std::string stream = "dot --n 4\ngemv --n 8\r\n\n# c\ngemm --n 2\n";
+  // Feed the same stream in every chunk size from 1 byte up; the framed
+  // lines must be identical each time (recv boundaries never matter).
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    LineFramer f(serve::kMaxLineBytes);
+    for (std::size_t i = 0; i < stream.size(); i += chunk) {
+      f.feed(stream.substr(i, chunk));
+    }
+    const auto lines = drain(f);
+    ASSERT_EQ(lines.size(), 5u) << "chunk=" << chunk;
+    EXPECT_EQ(lines[0].text, "dot --n 4");
+    EXPECT_EQ(lines[1].text, "gemv --n 8");  // CR stripped
+    EXPECT_EQ(lines[2].text, "");
+    EXPECT_EQ(lines[3].text, "# c");
+    EXPECT_EQ(lines[4].text, "gemm --n 2");
+    for (const auto& l : lines) EXPECT_FALSE(l.truncated);
+    EXPECT_EQ(f.pending(), 0u);
+  }
+}
+
+TEST(LineFramer, BoundsLineLengthAndFlagsTruncation) {
+  LineFramer f(8);
+  f.feed("0123456789abcdef\nshort\n");
+  const auto lines = drain(f);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "01234567");  // capped prefix, tail discarded
+  EXPECT_TRUE(lines[0].truncated);
+  EXPECT_EQ(lines[1].text, "short");
+  EXPECT_FALSE(lines[1].truncated);
+}
+
+TEST(LineFramer, BoundedMemoryOnEndlessUnterminatedLine) {
+  LineFramer f(16);
+  for (int i = 0; i < 10000; ++i) f.feed("xxxxxxxxxx");
+  EXPECT_EQ(f.pending(), 16u);  // never grows past the cap
+  EXPECT_TRUE(f.pending_truncated());
+  f.feed("\n");
+  const auto lines = drain(f);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(lines[0].truncated);
+}
+
+TEST(LineFramer, FuzzSplitFeedsMatchWholeFeed) {
+  // Deterministic fuzz: random printable streams with interleaved newlines,
+  // fed whole vs in random-sized chunks, must frame identically.
+  Rng rng(2005);
+  for (int round = 0; round < 50; ++round) {
+    std::string stream;
+    const int len = 1 + static_cast<int>(rng.uniform(0, 1) * 400);
+    for (int i = 0; i < len; ++i) {
+      const double r = rng.uniform(0, 1);
+      stream += r < 0.12 ? '\n' : static_cast<char>(' ' + static_cast<int>(r * 94));
+    }
+    LineFramer whole(32);
+    whole.feed(stream);
+    LineFramer split(32);
+    std::size_t i = 0;
+    while (i < stream.size()) {
+      const std::size_t chunk =
+          1 + static_cast<std::size_t>(rng.uniform(0, 1) * 7);
+      split.feed(stream.substr(i, chunk));
+      i += chunk;
+    }
+    std::string a, b;
+    bool ta = false, tb = false;
+    for (;;) {
+      const bool ha = whole.next(a, ta);
+      const bool hb = split.next(b, tb);
+      ASSERT_EQ(ha, hb);
+      if (!ha) break;
+      EXPECT_EQ(a, b);
+      EXPECT_EQ(ta, tb);
+    }
+    EXPECT_EQ(whole.pending(), split.pending());
+  }
+}
+
+// ---- bounded reads / record classification ---------------------------------
+
+TEST(ReadBoundedLine, CapsAndConsumesOversizedLines) {
+  std::istringstream in(std::string(100, 'a') +
+                        "\ndot --n 4\ntail-no-newline");
+  std::string line;
+  bool truncated = false;
+  ASSERT_TRUE(serve::read_bounded_line(in, line, truncated, 10));
+  EXPECT_EQ(line, std::string(10, 'a'));
+  EXPECT_TRUE(truncated);  // overflow consumed, not buffered
+  ASSERT_TRUE(serve::read_bounded_line(in, line, truncated, 10));
+  EXPECT_EQ(line, "dot --n 4");
+  EXPECT_FALSE(truncated);
+  ASSERT_TRUE(serve::read_bounded_line(in, line, truncated, 100));
+  EXPECT_EQ(line, "tail-no-newline");  // final unterminated line still read
+  EXPECT_FALSE(serve::read_bounded_line(in, line, truncated, 100));
+}
+
+TEST(IsRecordLine, SkipsBlanksAndComments) {
+  EXPECT_FALSE(serve::is_record_line(""));
+  EXPECT_FALSE(serve::is_record_line("   \t "));
+  EXPECT_FALSE(serve::is_record_line("# comment"));
+  EXPECT_FALSE(serve::is_record_line("   # indented comment"));
+  EXPECT_TRUE(serve::is_record_line("dot --n 4"));
+  EXPECT_TRUE(serve::is_record_line("  garbage"));
+}
+
+// ---- parse_record ----------------------------------------------------------
+
+TEST(ParseRecord, DotDefaultsAndSeededOperands) {
+  auto req = parse("dot");
+  EXPECT_TRUE(req.parse_error.empty()) << req.parse_error;
+  EXPECT_EQ(req.command, "dot");
+  EXPECT_EQ(req.n, 4096u);
+  EXPECT_EQ(req.seed, 2005u);
+  EXPECT_FALSE(req.cfg_override);
+  ASSERT_EQ(req.pool.size(), 2u);
+  // Same line, same seed => bit-identical operands (the protocol ships
+  // shapes, both endpoints must materialize the same payloads).
+  auto req2 = parse("dot");
+  EXPECT_EQ(serve::values_fnv(req.pool.front()),
+            serve::values_fnv(req2.pool.front()));
+}
+
+TEST(ParseRecord, MalformedLinesBecomeErrorsNotThrows) {
+  for (const char* line :
+       {"frobnicate", "dot --n", "dot --n abc", "dot --n -4",
+        "dot --n 99999999999999999999", "dot --bw-gbs fast", "dot --what 3",
+        "gemv --arch diag", "--n 4", "dot stray", "graph",
+        "graph a=dot:n=0", "graph a=dot:n=4,b=@missing"}) {
+    serve::Request req;
+    EXPECT_NO_THROW(serve::parse_record(line, 1, host::ContextConfig{}, req))
+        << line;
+    EXPECT_FALSE(req.parse_error.empty()) << line;
+    EXPECT_TRUE(is_valid_json(serve::error_record(req, req.parse_error)))
+        << line << ": " << valid_error;
+  }
+}
+
+TEST(ParseRecord, PerProcessFlagsRejectedPerLine) {
+  for (const char* line : {"dot --json", "dot --metrics-out m.json",
+                           "gemv --trace-out t.json", "graph a=dot:n=4 --json"}) {
+    const auto req = parse(line);
+    EXPECT_NE(req.parse_error.find("per-process"), std::string::npos) << line;
+  }
+}
+
+TEST(ParseRecord, EngineOverridesDetectedExactly) {
+  // Explicit values that differ from the shared config are overrides...
+  EXPECT_TRUE(parse("dot --k 4").cfg_override);
+  EXPECT_TRUE(parse("dot --bw-gbs 2.5").cfg_override);
+  EXPECT_TRUE(parse("gemm --n 32 --b 17").cfg_override);
+  EXPECT_TRUE(parse("gemm --n 32 --l 2").cfg_override);
+  EXPECT_TRUE(parse("spmxv --n 64 --k 8").cfg_override);
+  // ...explicit values equal to the derived default are not.
+  EXPECT_FALSE(parse("dot --k 2").cfg_override);
+  EXPECT_FALSE(parse("dot --bw-gbs 5.5").cfg_override);
+  EXPECT_FALSE(parse("gemm --n 32 --b 32").cfg_override);  // min(512, n)
+  EXPECT_FALSE(parse("gemv --n 64 --k 4").cfg_override);
+  // The flag that moved is named, so the server's error record says why.
+  EXPECT_NE(parse("dot --k 4").cfg_override_why.find("--k"),
+            std::string::npos);
+}
+
+TEST(ParseRecord, GraphEdgesAndPools) {
+  const auto req = parse("graph ap=gemv:n=96 pap=dot:n=96,b=@ap --from-dram");
+  ASSERT_TRUE(req.parse_error.empty()) << req.parse_error;
+  EXPECT_TRUE(req.is_graph);
+  ASSERT_EQ(req.graph.nodes.size(), 2u);
+  ASSERT_EQ(req.graph.edges.size(), 1u);
+  EXPECT_EQ(req.graph.edges[0].from, 0u);
+  EXPECT_EQ(req.graph.edges[0].to, 1u);
+  EXPECT_EQ(req.graph.nodes[1].desc.b, nullptr);  // patched by the runtime
+}
+
+TEST(ParseRecord, FuzzGarbageNeverThrows) {
+  // Seeded garbage lines assembled from protocol-looking fragments: the
+  // codec must classify every one (ok or parse_error) without throwing.
+  static const char* frag[] = {"dot",   "gemv",  "graph", "--n",   "--k",
+                               "4",     "-1",    "@a",    "a=dot", ":n=",
+                               "#",     "--",    "=",     "…",     "\t",
+                               "stats", "999999999999999999999", "x=gemv:n=8"};
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    std::string line;
+    const int toks = 1 + static_cast<int>(rng.uniform(0, 1) * 6);
+    for (int t = 0; t < toks; ++t) {
+      line += frag[static_cast<std::size_t>(rng.uniform(0, 1) * 17.999)];
+      line += ' ';
+    }
+    serve::Request req;
+    ASSERT_NO_THROW(serve::parse_record(line, 1, host::ContextConfig{}, req))
+        << line;
+    if (!req.parse_error.empty()) {
+      EXPECT_TRUE(is_valid_json(serve::error_record(req, req.parse_error)))
+          << line << ": " << valid_error;
+    }
+  }
+}
+
+// ---- digests and response records ------------------------------------------
+
+TEST(ValuesFnv, GoldenAndChaining) {
+  // FNV-1a 64 of one 1.0 double (bits 0x3ff0000000000000, little-endian
+  // byte order) — pinned so both endpoints and external clients agree.
+  EXPECT_EQ(serve::values_fnv({1.0}), 0xaab1693229ba1db8ull);
+  EXPECT_EQ(serve::values_fnv({}), serve::kFnvBasis);
+  // Chaining from the basis equals hashing the concatenation.
+  const std::vector<double> a{1.5, -2.25}, b{0.0, 1e300};
+  std::vector<double> ab = a;
+  ab.insert(ab.end(), b.begin(), b.end());
+  EXPECT_EQ(serve::values_fnv(b, serve::values_fnv(a)), serve::values_fnv(ab));
+  // Bit-sensitivity: +0.0 and -0.0 compare equal but hash differently.
+  EXPECT_NE(serve::values_fnv({0.0}), serve::values_fnv({-0.0}));
+}
+
+TEST(Records, OutcomeErrorAndOverloadShapes) {
+  auto req = parse("dot --n 64", 3);
+  ASSERT_TRUE(req.parse_error.empty());
+  host::Runtime rt({});
+  const auto out = rt.run(req.desc);
+  const std::string rec = serve::outcome_record(req, out);
+  EXPECT_TRUE(is_valid_json(rec)) << valid_error;
+  EXPECT_NE(rec.find("\"op\":\"dot\""), std::string::npos);
+  EXPECT_NE(rec.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(rec.find("\"value\":"), std::string::npos);
+  EXPECT_NE(rec.find("\"values_fnv\":\""), std::string::npos);
+  EXPECT_NE(rec.find("\"report\":{"), std::string::npos);
+  EXPECT_EQ(rec.find("\"error\""), std::string::npos);
+
+  const std::string err = serve::error_record(req, "boom");
+  EXPECT_TRUE(is_valid_json(err)) << valid_error;
+  EXPECT_NE(err.find("\"error\":\"boom\""), std::string::npos);
+
+  EXPECT_EQ(serve::overload_record(7), "{\"line\":7,\"error\":\"overloaded\"}");
+}
+
+TEST(Records, GraphRecordDigestChainsNodes) {
+  auto req = parse("graph g=gemv:n=64 d=dot:n=64,a=@g");
+  ASSERT_TRUE(req.parse_error.empty()) << req.parse_error;
+  host::Runtime rt({});
+  const auto go = rt.run_graph(req.graph);
+  const std::string rec = serve::graph_record(req, go);
+  EXPECT_TRUE(is_valid_json(rec)) << valid_error;
+  u64 all = serve::kFnvBasis;
+  for (const auto& node : go.nodes) all = serve::values_fnv(node.values, all);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "\"values_fnv\":\"%016llx\"",
+                static_cast<unsigned long long>(all));
+  // The record-level digest (last values_fnv in the record) is the chain.
+  EXPECT_NE(rec.rfind(buf), std::string::npos);
+}
+
+// ---- golden corpus ---------------------------------------------------------
+
+TEST(CorpusReplay, EveryLineParsesOrErrorsCleanly) {
+  std::ifstream in(XD_SERVE_CORPUS);
+  ASSERT_TRUE(in.is_open()) << XD_SERVE_CORPUS;
+  std::string line;
+  bool truncated = false;
+  std::size_t line_no = 0, records = 0, errors = 0;
+  while (serve::read_bounded_line(in, line, truncated)) {
+    ++line_no;
+    ASSERT_FALSE(truncated);
+    if (!serve::is_record_line(line)) continue;
+    ++records;
+    serve::Request req;
+    ASSERT_NO_THROW(
+        serve::parse_record(line, line_no, host::ContextConfig{}, req))
+        << line;
+    if (!req.parse_error.empty()) {
+      ++errors;
+      EXPECT_TRUE(is_valid_json(serve::error_record(req, req.parse_error)))
+          << line << ": " << valid_error;
+    } else {
+      EXPECT_FALSE(req.command.empty());
+      if (req.is_graph) {
+        EXPECT_FALSE(req.graph.nodes.empty()) << line;
+      } else {
+        EXPECT_FALSE(req.pool.empty() && req.sparse_pool.empty()) << line;
+      }
+    }
+  }
+  // The corpus must keep exercising both halves of the contract.
+  EXPECT_GE(records, 30u);
+  EXPECT_GE(errors, 15u);
+}

@@ -64,14 +64,18 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "xdblas.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
+#include "serve/proto.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
 
@@ -258,9 +262,17 @@ bool write_file(const std::string& path, const std::string& text) {
     std::fprintf(stderr, "error: cannot open '%s' for writing\n", path.c_str());
     return false;
   }
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok) std::fprintf(stderr, "error: short write to '%s'\n", path.c_str());
+  // Flush stdio's buffer AND push the page cache to the device before
+  // reporting success: a deferred ENOSPC (e.g. /dev/full) must flip the exit
+  // code, not silently leave a truncated artifact that passes a fixture.
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fflush(f) == 0 && ok;
+  if (ok && ::fsync(::fileno(f)) != 0 &&
+      errno != EINVAL && errno != ENOTSUP && errno != ENOTTY) {
+    ok = false;  // EINVAL/ENOTSUP/ENOTTY: pipes and special files can't sync
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) std::fprintf(stderr, "error: write to '%s' failed\n", path.c_str());
   return ok;
 }
 
@@ -322,181 +334,22 @@ bool finish(const Args& args, telemetry::Session& tel,
   return ok;
 }
 
-/// One parsed batch line. The job owns its operands and Context so the
-/// OpDesc's non-owning pointers stay valid until the future is consumed.
-/// A `graph` line fills `graph` instead of `desc` (operands live in the
-/// deque pools — stable addresses across growth); for those, `n` counts
-/// nodes rather than a problem size.
+/// One batch job: the parsed request (which owns the operands) plus the
+/// per-job Context honoring the line's engine knobs and the pending future.
+/// Lives in a deque so addresses stay stable while later lines parse.
 struct BatchJob {
-  std::size_t line = 0;
-  std::string command;
-  std::size_t n = 0;
-  host::Context ctx;
-  std::vector<double> a, b, x;
-  blas2::CrsMatrix sparse;
-  host::OpDesc desc;
+  serve::Request req;
+  std::optional<host::Context> ctx;
   std::future<host::Outcome> fut;
-
-  bool is_graph = false;
-  host::GraphDesc graph;
-  std::deque<std::vector<double>> pool;
-  std::deque<blas2::CrsMatrix> sparse_pool;
   std::future<host::GraphOutcome> gfut;
-  /// Nonempty: the line failed at parse time. The job is never submitted;
-  /// the emit loop turns this into a per-line "error" record (same exit
-  /// path as a runtime failure, so one bad graph can't kill the batch).
-  std::string parse_error;
-
-  explicit BatchJob(const host::ContextConfig& cfg) : ctx(cfg) {}
 };
 
-/// Parse one `graph` node spec (`name=kind[:key=val,...]`) into job.graph.
-/// An operand key valued `@name` becomes a graph edge from the named
-/// earlier node; absent operand keys are materialized from `rng`. Returns
-/// an error message ("" on success) instead of throwing so a malformed
-/// graph becomes a per-line error record, not a dead batch.
-std::string add_graph_node(const std::string& spec, host::Placement src,
-                           Rng& rng, BatchJob& job) {
-  const auto eq = spec.find('=');
-  if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
-    return cat("node spec '", spec, "' is not name=kind[:key=val,...]");
-  }
-  const std::string name = spec.substr(0, eq);
-  if (name.front() == '@' || name.find(':') != std::string::npos) {
-    return cat("node name '", name, "' may not contain '@' or ':'");
-  }
-  for (const auto& nd : job.graph.nodes) {
-    if (nd.name == name) return cat("duplicate node name '", name, "'");
-  }
-
-  std::string kind = spec.substr(eq + 1);
-  std::map<std::string, std::string> kv;
-  if (const auto colon = kind.find(':'); colon != std::string::npos) {
-    std::istringstream opts(kind.substr(colon + 1));
-    kind = kind.substr(0, colon);
-    std::string item;
-    while (std::getline(opts, item, ',')) {
-      const auto e = item.find('=');
-      if (e == std::string::npos || e == 0 || e + 1 >= item.size()) {
-        return cat("node '", name, "': bad option '", item,
-                   "' (want key=val)");
-      }
-      kv[item.substr(0, e)] = item.substr(e + 1);
-    }
-  }
-
-  static const std::map<std::string, std::set<std::string>> kNodeKeys = {
-      {"dot", {"n", "a", "b", "keep"}},
-      {"gemv", {"n", "arch", "x", "keep"}},
-      {"spmxv", {"n", "nnz", "x", "keep"}},
-  };
-  const auto keys = kNodeKeys.find(kind);
-  if (keys == kNodeKeys.end()) {
-    return cat("node '", name, "': graph nodes support dot/gemv/spmxv, got '",
-               kind, "'");
-  }
-  for (const auto& [k, v] : kv) {
-    if (!keys->second.count(k)) {
-      return cat("node '", name, "': unknown key '", k, "' for ", kind);
-    }
-  }
-
-  auto size_of = [&](const std::string& key, std::size_t dflt,
-                     std::size_t& out) -> std::string {
-    const auto it = kv.find(key);
-    if (it == kv.end()) {
-      out = dflt;
-      return "";
-    }
-    errno = 0;
-    char* end = nullptr;
-    const long long v = std::strtoll(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0' || errno == ERANGE ||
-        v <= 0) {
-      return cat("node '", name, "': ", key,
-                 " expects a positive integer, got '", it->second, "'");
-    }
-    out = static_cast<std::size_t>(v);
-    return "";
-  };
-
-  host::GraphNode node;
-  node.name = name;
-  if (const auto it = kv.find("keep"); it != kv.end()) {
-    if (it->second != "0" && it->second != "1") {
-      return cat("node '", name, "': keep expects 0 or 1");
-    }
-    node.keep = it->second == "1";
-  }
-
-  // Resolve an operand key: `@name` feeds the named earlier node's result
-  // through an edge (the pointer stays null for the runtime to patch),
-  // anything else is rejected — batch operands are seeded, never literal.
-  const std::size_t self = job.graph.nodes.size();
-  auto operand = [&](const std::string& key, host::OperandSlot slot,
-                     std::size_t len,
-                     const std::vector<double>*& field) -> std::string {
-    const auto it = kv.find(key);
-    if (it == kv.end()) {
-      field = &job.pool.emplace_back(rng.vector(len));
-      return "";
-    }
-    if (it->second.empty() || it->second.front() != '@') {
-      return cat("node '", name, "': ", key,
-                 " expects '@node' (operands are seeded, not literal), got '",
-                 it->second, "'");
-    }
-    const std::string ref = it->second.substr(1);
-    for (std::size_t i = 0; i < self; ++i) {
-      if (job.graph.nodes[i].name == ref) {
-        job.graph.edges.push_back({i, self, slot});
-        field = nullptr;
-        return "";
-      }
-    }
-    return cat("node '", name, "': unknown node '@", ref,
-               "' (refs must name an earlier node on the line)");
-  };
-
-  host::OpDesc& d = node.desc;
-  std::size_t n = 0;
-  std::string err;
-  if (!(err = size_of("n", 256, n)).empty()) return err;
-  if (kind == "dot") {
-    d.kind = host::OpKind::Dot;
-    d.placement = src;
-    d.cols = n;
-    if (!(err = operand("a", host::OperandSlot::A, n, d.a)).empty()) return err;
-    if (!(err = operand("b", host::OperandSlot::B, n, d.b)).empty()) return err;
-  } else if (kind == "gemv") {
-    const std::string arch = kv.count("arch") ? kv.at("arch") : "tree";
-    if (arch != "tree" && arch != "col") {
-      return cat("node '", name, "': arch expects tree or col, got '", arch,
-                 "'");
-    }
-    d.kind = host::OpKind::Gemv;
-    d.placement = src;
-    d.arch = arch == "col" ? host::GemvArch::Column : host::GemvArch::Tree;
-    d.rows = d.cols = n;
-    d.a = &job.pool.emplace_back(rng.matrix(n, n));
-    if (!(err = operand("x", host::OperandSlot::X, n, d.x)).empty()) return err;
-  } else {  // spmxv
-    std::size_t nnz = 0;
-    if (!(err = size_of("nnz", 4, nnz)).empty()) return err;
-    d.kind = host::OpKind::Spmxv;
-    d.rows = d.cols = n;
-    d.sparse =
-        &job.sparse_pool.emplace_back(blas2::make_uniform_sparse(n, n, nnz, 7));
-    if (!(err = operand("x", host::OperandSlot::X, n, d.x)).empty()) return err;
-  }
-  job.graph.nodes.push_back(std::move(node));
-  return "";
-}
-
-/// `xdblas_cli batch FILE`: parse every line into a BatchJob, submit them
-/// all through the runtime (they share the process-wide worker pool, so
-/// independent simulations run concurrently), then emit one JSON record per
-/// job in input order.
+/// `xdblas_cli batch FILE`: parse every line with the shared serve codec
+/// (serve/proto.hpp — the same grammar and bounds xdblas_serve speaks),
+/// submit them all through the runtime (independent simulations run
+/// concurrently on the process-wide worker pool), then emit one JSON record
+/// per job in input order. Unlike the server, the CLI honors per-line
+/// engine knobs (--k/--b/...) by giving each job its own Context.
 int run_batch(const Args& args) {
   const std::string path = args.str("file", "");
   std::ifstream in(path);
@@ -513,182 +366,48 @@ int run_batch(const Args& args) {
   telemetry::Session session;
   if (args.flag("trace-out")) session.trace().set_enabled(true);
 
-  static const std::set<std::string> kBatchOps = {"dot", "gemv", "gemm",
-                                                  "spmxv"};
+  const host::ContextConfig base;  // line flags land in each req.cfg
   std::deque<BatchJob> jobs;  // deque: stable addresses for OpDesc pointers
   std::string line;
+  bool truncated = false;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
+  while (serve::read_bounded_line(in, line, truncated)) {
     ++line_no;
-    std::istringstream ss(line);
-    std::vector<std::string> tokens;
-    std::string tok;
-    while (ss >> tok) tokens.push_back(tok);
-    if (tokens.empty() || tokens.front().front() == '#') continue;
-
-    Args la;
-    la.command = tokens.front();
-    const bool is_graph = la.command == "graph";
-    if (!kBatchOps.count(la.command) && !is_graph) {
-      std::fprintf(stderr,
-                   "error: %s:%zu: batch supports dot/gemv/gemm/spmxv/graph, "
-                   "got '%s'\n",
-                   path.c_str(), line_no, la.command.c_str());
-      return 1;
-    }
-    tokens.erase(tokens.begin());
-    std::vector<std::string> specs;
-    if (is_graph) {
-      // Node specs (no leading --) come first; flags follow.
-      std::size_t i = 0;
-      while (i < tokens.size() && tokens[i].rfind("--", 0) != 0) {
-        specs.push_back(tokens[i++]);
-      }
-      tokens.erase(tokens.begin(),
-                   tokens.begin() + static_cast<std::ptrdiff_t>(i));
-    }
-    static const std::set<std::string> kGraphFlags = {"from-dram"};
-    if (!parse_flags(tokens, la.command,
-                     is_graph ? kGraphFlags : kCommandFlags.at(la.command),
-                     la)) {
-      std::fprintf(stderr, "error: %s:%zu: bad op line\n", path.c_str(),
-                   line_no);
-      return 1;
-    }
-    for (const char* f :
-         {"json", "metrics-out", "trace-out", "trace-filter", "flight-out"}) {
-      if (la.flag(f)) {
-        std::fprintf(stderr,
-                     "error: %s:%zu: '--%s' is per-process, not per-line\n",
-                     path.c_str(), line_no, f);
-        return 1;
-      }
-    }
-
-    Rng rng(static_cast<u64>(la.integer("seed", 2005)));
-    host::ContextConfig cfg;
-    if (want_tel) cfg.telemetry = &session;  // shards merge on completion
-    if (is_graph) {
-      BatchJob& job = jobs.emplace_back(cfg);
-      job.line = line_no;
-      job.command = "graph";
-      job.is_graph = true;
-      const auto src = la.flag("from-dram") ? host::Placement::Dram
-                                            : host::Placement::Sram;
-      if (specs.empty()) {
-        job.parse_error = "graph needs at least one name=kind[:opts] node";
-      }
-      for (const auto& spec : specs) {
-        if (!job.parse_error.empty()) break;
-        job.parse_error = add_graph_node(spec, src, rng, job);
-      }
-      job.n = job.graph.nodes.size();
+    if (!truncated && !serve::is_record_line(line)) continue;
+    BatchJob& job = jobs.emplace_back();
+    if (truncated) {
+      // The bounded reader consumed the oversized tail; the record is
+      // answered (and failed) without ever buffering the whole line.
+      job.req.line = line_no;
+      job.req.parse_error = serve::oversize_error();
       continue;
     }
-    if (la.command == "dot") {
-      cfg.dot_k = static_cast<unsigned>(la.integer("k", 2));
-      cfg.dot_mem_bytes_per_s = la.num("bw-gbs", 5.5) * 1e9;
-    } else if (la.command == "gemv" || la.command == "spmxv") {
-      cfg.gemv_k = static_cast<unsigned>(la.integer("k", 4));
-    } else {  // gemm
-      const auto n = static_cast<std::size_t>(la.integer("n", 256));
-      cfg.mm_k = static_cast<unsigned>(la.integer("k", 8));
-      cfg.mm_m = static_cast<unsigned>(la.integer("m", 8));
-      cfg.mm_b = static_cast<std::size_t>(la.integer(
-          "b", static_cast<long long>(std::min<std::size_t>(512, n))));
-      cfg.mm_l = static_cast<unsigned>(la.integer("l", 1));
-    }
-
-    BatchJob& job = jobs.emplace_back(cfg);
-    job.line = line_no;
-    job.command = la.command;
-    const auto src = la.flag("from-dram") ? host::Placement::Dram
-                                          : host::Placement::Sram;
-    if (la.command == "dot") {
-      job.n = static_cast<std::size_t>(la.integer("n", 4096));
-      job.a = rng.vector(job.n);
-      job.b = rng.vector(job.n);
-      job.desc = host::OpDesc::dot(job.a, job.b, src);
-    } else if (la.command == "gemv") {
-      job.n = static_cast<std::size_t>(la.integer("n", 1024));
-      const auto arch = la.str("arch", "tree") == "col" ? host::GemvArch::Column
-                                                        : host::GemvArch::Tree;
-      job.a = rng.matrix(job.n, job.n);
-      job.x = rng.vector(job.n);
-      job.desc = host::OpDesc::gemv(job.a, job.n, job.n, job.x, src, arch);
-    } else if (la.command == "gemm") {
-      job.n = static_cast<std::size_t>(la.integer("n", 256));
-      job.a = rng.matrix(job.n, job.n);
-      job.b = rng.matrix(job.n, job.n);
-      job.desc = cfg.mm_l > 1 ? host::OpDesc::gemm_multi(job.a, job.b, job.n)
-                              : host::OpDesc::gemm(job.a, job.b, job.n);
-    } else {  // spmxv
-      job.n = static_cast<std::size_t>(la.integer("n", 1024));
-      const auto nnz =
-          static_cast<std::size_t>(la.integer("nnz-per-row", 16));
-      job.sparse = blas2::make_uniform_sparse(job.n, job.n, nnz, 7);
-      job.x = rng.vector(job.n);
-      job.desc = host::OpDesc::spmxv(job.sparse, job.x);
-    }
+    serve::parse_record(line, line_no, base, job.req);
   }
 
   for (auto& job : jobs) {
-    if (!job.parse_error.empty()) continue;  // emitted as an error record
-    if (job.is_graph) {
-      job.gfut = job.ctx.runtime().submit_graph(job.graph);
+    if (!job.req.parse_error.empty()) continue;  // emitted as error record
+    host::ContextConfig cfg = job.req.cfg;
+    if (want_tel) cfg.telemetry = &session;  // shards merge on completion
+    job.ctx.emplace(cfg);
+    if (job.req.is_graph) {
+      job.gfut = job.ctx->runtime().submit_graph(job.req.graph);
     } else {
-      job.fut = job.ctx.runtime().submit(job.desc);
+      job.fut = job.ctx->runtime().submit(job.req.desc);
     }
   }
 
   std::string out;
   int rc = 0;
   for (auto& job : jobs) {
-    telemetry::JsonWriter w;
-    w.begin_object();
-    w.kv("op", job.command);
-    w.kv("line", static_cast<u64>(job.line));
-    w.kv("n", static_cast<u64>(job.n));
     try {
-      if (!job.parse_error.empty()) throw ConfigError(job.parse_error);
-      if (job.is_graph) {
-        // One record for the whole graph: a named result per node (each
-        // report in its own clock domain) plus the fusion counters and the
-        // aggregate report, mirroring host::GraphOutcome.
-        const auto outcome = job.gfut.get();
-        w.key("nodes");
-        w.begin_array();
-        for (std::size_t i = 0; i < outcome.nodes.size(); ++i) {
-          const auto& nd = job.graph.nodes[i];
-          w.begin_object();
-          w.kv("name", nd.name);
-          w.kv("kind", host::op_kind_name(nd.desc.kind));
-          if (nd.desc.kind == host::OpKind::Dot) {
-            w.kv("value", outcome.nodes[i].values.at(0));
-          }
-          w.kv("staging_saved_cycles", outcome.node_staging_saved[i]);
-          w.key("report");
-          w.raw(telemetry::report_to_json(outcome.nodes[i].report));
-          w.end_object();
-        }
-        w.end_array();
-        w.kv("fused_edges", outcome.fused_edges);
-        w.kv("shared_operands", outcome.shared_operands);
-        w.kv("staging_saved_cycles", outcome.staging_saved_cycles);
-        w.key("report");
-        w.raw(telemetry::report_to_json(outcome.report));
-      } else {
-        const auto outcome = job.fut.get();
-        if (job.command == "dot") w.kv("value", outcome.values.at(0));
-        w.key("report");
-        w.raw(telemetry::report_to_json(outcome.report));
-      }
+      if (!job.req.parse_error.empty()) throw ConfigError(job.req.parse_error);
+      out += job.req.is_graph ? serve::graph_record(job.req, job.gfut.get())
+                              : serve::outcome_record(job.req, job.fut.get());
     } catch (const std::exception& e) {
-      w.kv("error", std::string_view(e.what()));
+      out += serve::error_record(job.req, e.what());
       rc = 1;
     }
-    w.end_object();
-    out += w.str();
     out += '\n';
   }
 
@@ -696,6 +415,7 @@ int run_batch(const Args& args) {
     if (!write_file(args.str("out", ""), out)) return 1;
   } else {
     std::fputs(out.c_str(), stdout);
+    if (std::fflush(stdout) != 0) rc = rc ? rc : 1;
   }
   if (want_tel) {
     // Batch --json appends one aggregate summary record after the per-job

@@ -1,0 +1,144 @@
+// xdblas_serve: the TCP serving daemon (docs/serving.md).
+//
+//   xdblas_serve [--host H] [--port P] [--max-inflight N] [--reply-queue N]
+//                [--backlog N] [--metrics-out FILE]
+//
+// Listens on H:P (default 127.0.0.1, ephemeral port) and speaks the batch
+// JSONL protocol over every accepted connection: one request line in, one
+// JSON record out, in order, multiplexing all clients onto one shared
+// Runtime + PlanCache. On startup it prints exactly one line to stdout —
+//
+//   xdblas_serve listening on 127.0.0.1:PORT
+//
+// — so scripts can scrape the bound port. SIGTERM/SIGINT trigger a graceful
+// drain: stop accepting, finish every admitted op, flush all replies, then
+// exit 0. With --metrics-out the merged telemetry registry (host.runtime.*
+// histograms, serve.* gauges) is exported as JSON after the drain.
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/server.hpp"
+#include "telemetry/export.hpp"
+
+using namespace xd;
+
+namespace {
+
+std::atomic<int> g_listener_fd{-1};
+
+/// Async-signal-safe: shutdown() is a raw syscall; it wakes the accept
+/// loop, which returns from serve() into the ordinary drain path.
+void on_signal(int) {
+  const int fd = g_listener_fd.load();
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xdblas_serve [--host H] [--port P] [--max-inflight N]"
+               " [--reply-queue N] [--backlog N] [--metrics-out FILE]\n");
+  return 2;
+}
+
+bool to_size(const char* s, long long& out) {
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0' && errno != ERANGE && out >= 0;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fflush(f) == 0 && ok;
+  if (ok && ::fsync(::fileno(f)) != 0 &&
+      errno != EINVAL && errno != ENOTSUP && errno != ENOTTY) {
+    ok = false;
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) std::fprintf(stderr, "error: write to '%s' failed\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig cfg;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    long long n = 0;
+    if (flag == "--host" && val) {
+      cfg.host = val;
+      ++i;
+    } else if (flag == "--port" && val && to_size(val, n) && n <= 65535) {
+      cfg.port = static_cast<std::uint16_t>(n);
+      ++i;
+    } else if (flag == "--max-inflight" && val && to_size(val, n) && n > 0) {
+      cfg.max_inflight = static_cast<std::size_t>(n);
+      ++i;
+    } else if (flag == "--reply-queue" && val && to_size(val, n) && n > 0) {
+      cfg.reply_queue = static_cast<std::size_t>(n);
+      ++i;
+    } else if (flag == "--backlog" && val && to_size(val, n) && n > 0) {
+      cfg.backlog = static_cast<int>(n);
+      ++i;
+    } else if (flag == "--metrics-out" && val) {
+      metrics_out = val;
+      ++i;
+    } else {
+      std::fprintf(stderr, "error: bad flag/value at '%s'\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    serve::Server server(cfg);
+    g_listener_fd.store(server.listener_fd());
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::printf("xdblas_serve listening on %s:%u\n", cfg.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    server.serve();   // blocks until the listener dies (signal or error)
+    server.drain();   // finish in-flight, flush replies, join connections
+
+    const auto c = server.counters();
+    std::fprintf(stderr,
+                 "xdblas_serve drained: %llu conns, %llu lines, "
+                 "%llu completed, %llu errors, %llu shed\n",
+                 static_cast<unsigned long long>(c.accepted),
+                 static_cast<unsigned long long>(c.lines),
+                 static_cast<unsigned long long>(c.completed),
+                 static_cast<unsigned long long>(c.errors),
+                 static_cast<unsigned long long>(c.shed));
+    if (!metrics_out.empty()) {
+      auto lock = server.telemetry().lock();
+      const std::string text =
+          telemetry::metrics_to_json(server.telemetry().metrics());
+      lock.unlock();
+      if (!write_file(metrics_out, text)) return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
