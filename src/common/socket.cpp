@@ -5,7 +5,9 @@
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include "common/util.hpp"
@@ -49,6 +51,14 @@ long Socket::recv_some(void* buf, std::size_t n) {
     if (got < 0 && errno == EINTR) continue;
     return static_cast<long>(got);
   }
+}
+
+void Socket::set_send_timeout_ms(int ms) {
+  if (fd_ < 0 || ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 void Socket::shutdown_read() {
@@ -124,15 +134,35 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
                        std::strerror(errno)));
   }
   sockaddr_in addr = make_addr(host, port);
-  for (;;) {
-    if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
-                  sizeof addr) == 0) {
-      return s;
-    }
-    if (errno == EINTR) continue;
+  if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+    return s;
+  }
+  if (errno != EINTR) {
     throw SimError(cat("socket: cannot connect to ", host, ":", port, ": ",
                        std::strerror(errno)));
   }
+  // A connect interrupted by a signal keeps going asynchronously (POSIX);
+  // calling connect again would return EALREADY/EISCONN, not retry. Wait
+  // for the socket to become writable and read the real outcome from
+  // SO_ERROR instead.
+  for (;;) {
+    pollfd p{s.fd(), POLLOUT, 0};
+    const int r = ::poll(&p, 1, -1);
+    if (r > 0) break;
+    if (r < 0 && errno == EINTR) continue;
+    throw SimError(cat("socket: cannot connect to ", host, ":", port, ": ",
+                       std::strerror(errno)));
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    err = errno;
+  }
+  if (err != 0 && err != EISCONN) {
+    throw SimError(cat("socket: cannot connect to ", host, ":", port, ": ",
+                       std::strerror(err)));
+  }
+  return s;
 }
 
 void LineFramer::feed(const char* data, std::size_t n) {

@@ -46,6 +46,12 @@ class Socket {
   /// -1 on error. Retries EINTR.
   long recv_some(void* buf, std::size_t n);
 
+  /// Bound every subsequent send: a send blocked longer than `ms` on a
+  /// peer that stopped reading fails (send_all returns false) instead of
+  /// blocking forever. No-op for ms <= 0. The server sets this on every
+  /// accepted connection so drain() cannot hang on a non-reading client.
+  void set_send_timeout_ms(int ms);
+
   /// Half-close helpers; safe to call from another thread to wake a
   /// blocked recv_some (the drain path) or signal EOF after a final flush.
   void shutdown_read();

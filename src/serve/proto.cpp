@@ -114,12 +114,35 @@ void parse_flags(const std::vector<std::string>& tokens,
   }
 }
 
+/// Check one requested dimension against the per-line size limit; returns
+/// an error message ("" when within bounds). Dimensions are bounded before
+/// any product is formed, so n*n below never overflows.
+std::string check_dim(const char* what, std::size_t v,
+                      const ParseLimits& limits) {
+  if (v <= limits.max_n) return "";
+  return cat(what, " ", v, " exceeds the problem-size limit ", limits.max_n);
+}
+
+/// Account `add` more to-be-materialized doubles against the per-line
+/// operand budget; returns an error message ("" when within bounds). Called
+/// BEFORE the corresponding pool allocation, so an over-budget line never
+/// allocates.
+std::string charge_elems(std::size_t add, std::size_t& elems,
+                         const ParseLimits& limits) {
+  elems += add;
+  if (elems <= limits.max_elems) return "";
+  return cat("line would materialize ", elems,
+             " doubles, exceeding the per-line operand limit ",
+             limits.max_elems);
+}
+
 /// Parse one `graph` node spec (`name=kind[:key=val,...]`) into req.graph.
 /// Operand keys valued `@name` become graph edges from the named earlier
-/// node; absent operand keys are materialized from `rng`. Returns an error
-/// message ("" on success).
+/// node; absent operand keys are materialized from `rng`. `elems` is the
+/// line's running operand budget. Returns an error message ("" on success).
 std::string add_graph_node(const std::string& spec, host::Placement src,
-                           Rng& rng, Request& req) {
+                           Rng& rng, Request& req, const ParseLimits& limits,
+                           std::size_t& elems) {
   const auto eq = spec.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 >= spec.size()) {
     return cat("node spec '", spec, "' is not name=kind[:key=val,...]");
@@ -225,7 +248,12 @@ std::string add_graph_node(const std::string& spec, host::Placement src,
   std::size_t n = 0;
   std::string err;
   if (!(err = size_of("n", 256, n)).empty()) return err;
+  if (!(err = check_dim(cat("node '", name, "': n").c_str(), n, limits))
+           .empty()) {
+    return err;
+  }
   if (kind == "dot") {
+    if (!(err = charge_elems(2 * n, elems, limits)).empty()) return err;
     d.kind = host::OpKind::Dot;
     d.placement = src;
     d.cols = n;
@@ -237,6 +265,7 @@ std::string add_graph_node(const std::string& spec, host::Placement src,
       return cat("node '", name, "': arch expects tree or col, got '", arch,
                  "'");
     }
+    if (!(err = charge_elems(n * n + n, elems, limits)).empty()) return err;
     d.kind = host::OpKind::Gemv;
     d.placement = src;
     d.arch = arch == "col" ? host::GemvArch::Column : host::GemvArch::Tree;
@@ -246,6 +275,11 @@ std::string add_graph_node(const std::string& spec, host::Placement src,
   } else {  // spmxv
     std::size_t nnz = 0;
     if (!(err = size_of("nnz", 4, nnz)).empty()) return err;
+    if (!(err = check_dim(cat("node '", name, "': nnz").c_str(), nnz, limits))
+             .empty()) {
+      return err;
+    }
+    if (!(err = charge_elems(n * nnz + n, elems, limits)).empty()) return err;
     d.kind = host::OpKind::Spmxv;
     d.rows = d.cols = n;
     d.sparse =
@@ -281,9 +315,11 @@ bool is_record_line(std::string_view line) {
 }
 
 void parse_record(std::string_view text, std::size_t line_no,
-                  const host::ContextConfig& base, Request& req) {
+                  const host::ContextConfig& base, Request& req,
+                  const ParseLimits& limits) {
   req.line = line_no;
   req.cfg = base;
+  std::size_t elems = 0;  // doubles this line wants to materialize
 
   std::istringstream ss{std::string(text)};
   std::vector<std::string> tokens;
@@ -335,8 +371,14 @@ void parse_record(std::string_view text, std::size_t line_no,
       req.parse_error = "graph needs at least one name=kind[:opts] node";
       return;
     }
+    if (specs.size() > limits.max_graph_nodes) {
+      req.parse_error = cat("graph has ", specs.size(),
+                            " nodes, exceeding the per-line limit ",
+                            limits.max_graph_nodes);
+      return;
+    }
     for (const auto& spec : specs) {
-      req.parse_error = add_graph_node(spec, src, rng, req);
+      req.parse_error = add_graph_node(spec, src, rng, req, limits, elems);
       if (!req.parse_error.empty()) return;
     }
     req.n = req.graph.nodes.size();
@@ -351,6 +393,11 @@ void parse_record(std::string_view text, std::size_t line_no,
       req.parse_error = la.error;
       return;
     }
+    req.parse_error = check_dim("--n", req.n, limits);
+    if (req.parse_error.empty()) {
+      req.parse_error = charge_elems(2 * req.n, elems, limits);
+    }
+    if (!req.parse_error.empty()) return;
     if (la.explicit_flag("k")) note_override(req, "k", k, base.dot_k);
     if (la.explicit_flag("bw-gbs")) {
       note_override(req, "bw-gbs", bw, base.dot_mem_bytes_per_s / 1e9);
@@ -372,6 +419,11 @@ void parse_record(std::string_view text, std::size_t line_no,
       req.parse_error = cat("--arch expects tree or col, got '", arch, "'");
       return;
     }
+    req.parse_error = check_dim("--n", req.n, limits);
+    if (req.parse_error.empty()) {
+      req.parse_error = charge_elems(req.n * req.n + req.n, elems, limits);
+    }
+    if (!req.parse_error.empty()) return;
     if (la.explicit_flag("k")) note_override(req, "k", k, base.gemv_k);
     req.cfg.gemv_k = k;
     auto& a = req.pool.emplace_back(rng.matrix(req.n, req.n));
@@ -394,6 +446,11 @@ void parse_record(std::string_view text, std::size_t line_no,
       req.parse_error = la.error;
       return;
     }
+    req.parse_error = check_dim("--n", req.n, limits);
+    if (req.parse_error.empty()) {
+      req.parse_error = charge_elems(2 * req.n * req.n, elems, limits);
+    }
+    if (!req.parse_error.empty()) return;
     if (la.explicit_flag("k")) note_override(req, "k", k, base.mm_k);
     if (la.explicit_flag("m")) note_override(req, "m", m, base.mm_m);
     if (la.explicit_flag("b")) {
@@ -416,6 +473,14 @@ void parse_record(std::string_view text, std::size_t line_no,
       req.parse_error = la.error;
       return;
     }
+    req.parse_error = check_dim("--n", req.n, limits);
+    if (req.parse_error.empty()) {
+      req.parse_error = check_dim("--nnz-per-row", nnz, limits);
+    }
+    if (req.parse_error.empty()) {
+      req.parse_error = charge_elems(req.n * nnz + req.n, elems, limits);
+    }
+    if (!req.parse_error.empty()) return;
     if (la.explicit_flag("k")) note_override(req, "k", k, base.gemv_k);
     req.cfg.gemv_k = k;
     auto& m = req.sparse_pool.emplace_back(

@@ -15,9 +15,13 @@
 // or an error record ({"op":...,"line":...,"error":"..."}). Parsing never
 // throws and never kills the stream: a malformed line becomes a Request
 // with `parse_error` set, which both the CLI and the server turn into a
-// per-line error record. Line length is bounded (kMaxLineBytes) on both
+// per-line error record. Two bounds keep a hostile or broken client from
+// ballooning host memory: line length is capped (kMaxLineBytes) on both
 // transports — an oversized line is consumed, dropped, and answered with an
-// error record, so a hostile or broken client cannot balloon host memory.
+// error record — and the problem sizes a line may request are capped
+// (ParseLimits) BEFORE any operand is materialized, so `gemv --n 1000000`
+// (which would ask for ~8 TB of seeded operands) is a per-line error, not
+// an allocation.
 //
 // Operands are always materialized host-side from the line's --seed (the
 // wire carries shapes, never payloads), so a record is a few dozen bytes
@@ -40,6 +44,25 @@ namespace xd::serve {
 /// the CLI batch reader and the server's socket framer so a file that works
 /// locally works over the wire.
 constexpr std::size_t kMaxLineBytes = 64 * 1024;
+
+/// Per-line problem-size bounds, enforced by parse_record before any
+/// operand is materialized. The wire carries shapes, not payloads, so these
+/// — not kMaxLineBytes — are what bounds host memory per record: a few
+/// protocol bytes can request O(n^2) doubles. Oversized shapes become
+/// parse_error (a per-line error record on both transports), never an
+/// allocation. The server exposes them as daemon flags; the CLI uses the
+/// defaults, so a file that batches locally serves identically.
+struct ParseLimits {
+  /// Largest accepted dimension (--n, --nnz-per-row, node n=/nnz=).
+  /// Checked first, and small enough that n*n cannot overflow size_t.
+  std::size_t max_n = 1u << 22;
+  /// Largest total operand footprint one line may materialize, in doubles
+  /// across every pool the record seeds (gemv/gemm count n*n matrices,
+  /// spmxv counts n*nnz stored values, graphs sum over nodes).
+  std::size_t max_elems = 1u << 25;  // 32 Mi doubles = 256 MiB
+  /// Most nodes one graph record may carry.
+  std::size_t max_graph_nodes = 64;
+};
 
 /// One parsed request line: the descriptor plus the owned operand storage
 /// its non-owning pointers reference (deques: element addresses are stable,
@@ -85,10 +108,12 @@ bool is_record_line(std::string_view line);
 
 /// Parse one record line into `req`. `base` supplies the engine-config
 /// defaults the line's flags override (the CLI passes a default
-/// ContextConfig; the server passes its shared one). Never throws; all
-/// failures land in req.parse_error.
+/// ContextConfig; the server passes its shared one); `limits` bounds the
+/// problem sizes the line may request (checked before materialization).
+/// Never throws; all failures land in req.parse_error.
 void parse_record(std::string_view text, std::size_t line_no,
-                  const host::ContextConfig& base, Request& req);
+                  const host::ContextConfig& base, Request& req,
+                  const ParseLimits& limits = {});
 
 /// Bounded getline for the CLI batch reader: reads one '\n'-terminated line
 /// (terminator removed, trailing '\r' stripped), capping the stored prefix

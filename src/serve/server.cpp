@@ -30,6 +30,7 @@ struct Server::Connection {
   std::deque<std::unique_ptr<Pending>> queue;
   bool reader_done = false;  ///< no more slots will be enqueued
   bool send_ok = true;       ///< writer stops sending after a send failure
+  bool draining = false;     ///< drain(): enqueue stops blocking on the bound
 
   std::thread reader;
   std::thread writer;
@@ -54,6 +55,10 @@ void Server::serve() {
   for (;;) {
     Socket sock = tcp_accept(listener_);
     if (!sock.valid() || draining_.load()) break;
+    // Bound every send up front: a client that stops reading makes the
+    // writer's send fail within the timeout instead of blocking forever
+    // (SO_SNDTIMEO set later would not wake a send already in progress).
+    sock.set_send_timeout_ms(cfg_.send_timeout_ms);
     auto conn = std::make_unique<Connection>();
     conn->sock = std::move(sock);
     Connection& c = *conn;
@@ -89,8 +94,18 @@ void Server::drain() {
       conn = std::move(conns_.front());
       conns_.pop_front();
     }
-    // Wake the reader out of recv; in-flight ops finish and their replies
-    // flush before the writer exits — a drain never drops admitted work.
+    // Wake the reader out of recv AND out of a full-reply-queue enqueue
+    // wait (the draining flag lifts the bound; the queue stays bounded by
+    // what was already received). In-flight ops finish and their replies
+    // flush before the writer exits — a drain never drops admitted work —
+    // and a peer that stopped reading cannot hang us: every send carries
+    // SO_SNDTIMEO (set at accept), so a stuck writer fails its send within
+    // the timeout and drains the rest of the queue without sending.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->draining = true;
+    }
+    conn->can_push.notify_all();
     conn->sock.shutdown_read();
     if (conn->reader.joinable()) conn->reader.join();
     if (conn->writer.joinable()) conn->writer.join();
@@ -124,8 +139,9 @@ void Server::enqueue(Connection& conn, std::unique_ptr<Pending> p) {
   // being read from once this fills (the reader blocks here, recv stops,
   // the client's sends eventually block on TCP). Compute admission never
   // blocks — past max_inflight the slot is an immediate shed reply.
-  conn.can_push.wait(lock,
-                     [&] { return conn.queue.size() < cfg_.reply_queue; });
+  conn.can_push.wait(lock, [&] {
+    return conn.queue.size() < cfg_.reply_queue || conn.draining;
+  });
   conn.queue.push_back(std::move(p));
   conn.can_pop.notify_one();
 }
@@ -153,68 +169,95 @@ void Server::handle_line(Connection& conn, std::string line, bool truncated) {
     return;
   }
 
-  parse_record(line, conn.line_no, runtime_.config(), p->req);
-  if (!p->req.parse_error.empty()) {
+  // Materialization and submission run inside a try: parse_record bounds
+  // problem sizes up front (ParseLimits), but should an allocation still
+  // fail (memory pressure from concurrent connections), the line becomes
+  // an error record instead of an exception escaping the reader thread and
+  // taking the whole shared daemon down via std::terminate.
+  bool admitted = false;
+  try {
+    parse_record(line, conn.line_no, runtime_.config(), p->req, cfg_.limits);
+    if (!p->req.parse_error.empty()) {
+      errors_.fetch_add(1);
+      conn.tel.counter("serve.conn.parse_errors").add();
+      p->text = error_record(p->req, p->req.parse_error);
+      enqueue(conn, std::move(p));
+      return;
+    }
+    if (p->req.cfg_override) {
+      // The CLI honors per-line engine knobs with a per-job Context; the
+      // server's one shared Runtime cannot, so it refuses explicitly rather
+      // than silently computing under different hardware than asked for.
+      errors_.fetch_add(1);
+      conn.tel.counter("serve.conn.rejected").add();
+      p->text = error_record(p->req, p->req.cfg_override_why);
+      enqueue(conn, std::move(p));
+      return;
+    }
+    if (!admit()) {
+      shed_.fetch_add(1);
+      conn.tel.counter("serve.conn.shed").add();
+      p->text = overload_record(conn.line_no);
+      enqueue(conn, std::move(p));
+      return;
+    }
+    admitted = true;
+    // Submit before enqueueing: the Pending owns the operand pools (deque
+    // storage — element addresses survive the moves above), and the writer
+    // consumes the future before the Pending dies, so operand lifetime
+    // spans the whole execution.
+    if (p->req.is_graph) {
+      p->gfut = runtime_.submit_graph(p->req.graph);
+    } else {
+      p->fut = runtime_.submit(p->req.desc);
+    }
+    p->has_future = true;
+  } catch (const std::exception& e) {
+    if (admitted) inflight_.fetch_sub(1);
+    if (!p) return;  // enqueue itself failed; nothing left to answer with
+    p->has_future = false;
     errors_.fetch_add(1);
-    conn.tel.counter("serve.conn.parse_errors").add();
-    p->text = error_record(p->req, p->req.parse_error);
-    enqueue(conn, std::move(p));
-    return;
+    conn.tel.counter("serve.conn.internal_errors").add();
+    p->text = error_record(p->req, cat("internal error: ", e.what()));
   }
-  if (p->req.cfg_override) {
-    // The CLI honors per-line engine knobs with a per-job Context; the
-    // server's one shared Runtime cannot, so it refuses explicitly rather
-    // than silently computing under different hardware than asked for.
-    errors_.fetch_add(1);
-    p->text = error_record(p->req, p->req.cfg_override_why);
-    enqueue(conn, std::move(p));
-    return;
-  }
-  if (!admit()) {
-    shed_.fetch_add(1);
-    conn.tel.counter("serve.conn.shed").add();
-    p->text = overload_record(conn.line_no);
-    enqueue(conn, std::move(p));
-    return;
-  }
-  // Submit before enqueueing: the Pending owns the operand pools (deque
-  // storage — element addresses survive the moves above), and the writer
-  // consumes the future before the Pending dies, so operand lifetime spans
-  // the whole execution.
-  if (p->req.is_graph) {
-    p->gfut = runtime_.submit_graph(p->req.graph);
-  } else {
-    p->fut = runtime_.submit(p->req.desc);
-  }
-  p->has_future = true;
   enqueue(conn, std::move(p));
 }
 
 void Server::reader_main(Connection& conn) {
-  LineFramer framer(kMaxLineBytes);
-  char buf[4096];
-  std::string line;
-  bool truncated = false;
-  for (;;) {
-    const long got = conn.sock.recv_some(buf, sizeof buf);
-    if (got <= 0) break;  // EOF, error, or drain's shutdown_read
-    conn.tel.counter("serve.conn.bytes_in").add(static_cast<u64>(got));
-    framer.feed(buf, static_cast<std::size_t>(got));
-    while (framer.next(line, truncated)) {
-      ++conn.line_no;
-      if (!truncated && !is_record_line(line)) continue;
-      handle_line(conn, std::move(line), truncated);
+  // Backstop try/catch: handle_line already converts per-line failures into
+  // error records, so anything reaching here (allocation failure in the
+  // framer under extreme memory pressure) just ends THIS connection's read
+  // loop — an exception escaping a thread main would std::terminate the
+  // whole shared daemon.
+  try {
+    LineFramer framer(kMaxLineBytes);
+    char buf[4096];
+    std::string line;
+    bool truncated = false;
+    for (;;) {
+      const long got = conn.sock.recv_some(buf, sizeof buf);
+      if (got <= 0) break;  // EOF, error, or drain's shutdown_read
+      conn.tel.counter("serve.conn.bytes_in").add(static_cast<u64>(got));
+      framer.feed(buf, static_cast<std::size_t>(got));
+      while (framer.next(line, truncated)) {
+        ++conn.line_no;
+        if (!truncated && !is_record_line(line)) continue;
+        handle_line(conn, std::move(line), truncated);
+      }
     }
-  }
-  // An unterminated final record still gets an answer (the framer kept its
-  // bounded prefix), so "every record line is answered" holds at EOF too.
-  if (framer.pending() > 0) {
-    framer.feed("\n");
-    while (framer.next(line, truncated)) {
-      ++conn.line_no;
-      if (!truncated && !is_record_line(line)) continue;
-      handle_line(conn, std::move(line), truncated);
+    // An unterminated final record still gets an answer (the framer kept
+    // its bounded prefix), so "every record line is answered" holds at EOF
+    // too.
+    if (framer.pending() > 0) {
+      framer.feed("\n");
+      while (framer.next(line, truncated)) {
+        ++conn.line_no;
+        if (!truncated && !is_record_line(line)) continue;
+        handle_line(conn, std::move(line), truncated);
+      }
     }
+  } catch (...) {
+    errors_.fetch_add(1);
   }
   {
     std::lock_guard<std::mutex> lock(conn.mu);

@@ -53,6 +53,14 @@ struct ServerConfig {
   int backlog = 64;
   std::size_t max_inflight = 256;  ///< global admission bound; excess sheds
   std::size_t reply_queue = 64;    ///< per-connection pending-reply bound
+  /// Per-line problem-size bounds (see serve::ParseLimits): a line whose
+  /// shapes would materialize more than this is answered with an error
+  /// record before anything is allocated.
+  ParseLimits limits;
+  /// SO_SNDTIMEO applied to every accepted connection, ms (0 disables). A
+  /// peer that stops reading makes the writer's send fail within this
+  /// bound instead of blocking forever, which keeps drain() finite.
+  int send_timeout_ms = 10000;
   host::ContextConfig engine;      ///< the shared Runtime's configuration
 };
 
@@ -86,9 +94,12 @@ class Server {
   void serve();
 
   /// Graceful drain, callable from any thread (including concurrently with
-  /// serve()): stop accepting, wake every connection's reader, let the
-  /// writers finish all in-flight ops and flush their replies, join all
-  /// connection threads. Idempotent.
+  /// serve()): stop accepting, wake every connection's reader (out of recv
+  /// and out of a full-reply-queue wait), let the writers finish all
+  /// in-flight ops and flush their replies, join all connection threads.
+  /// Guaranteed finite even against a peer that stopped reading: sends
+  /// carry cfg.send_timeout_ms, so a stuck writer fails its send and
+  /// consumes the rest of its queue without sending. Idempotent.
   void drain();
 
   ServerCounters counters() const;

@@ -10,6 +10,9 @@
 // JSON response per record line. Runs under the TSan CI job.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <chrono>
 #include <cstddef>
 #include <fstream>
 #include <sstream>
@@ -306,6 +309,73 @@ TEST(Serve, OversizedAndUnterminatedLinesAnswered) {
   const auto want = expected_records_copy({"", "dot --n 64 --seed 3"});
   ASSERT_EQ(want.size(), 1u);
   EXPECT_EQ(records[1], want[0]);
+}
+
+// A hostile one-liner requesting ~8 TB of operands (gemv materializes an
+// n x n matrix host-side) must be answered with an error record — nothing
+// allocated, reader thread alive — and the next line still executes
+// bit-identically. This is the remote-OOM/DoS hole the ParseLimits bound
+// closes.
+TEST(Serve, HugeProblemSizeAnsweredWithErrorRecordNotOOM) {
+  TestServer ts;
+  const auto records =
+      roundtrip(ts.server.port(), "gemv --n 1000000\ndot --n 64 --seed 3\n");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(is_valid_json(records[0])) << validate_error;
+  EXPECT_NE(records[0].find("\"error\""), std::string::npos);
+  EXPECT_NE(records[0].find("limit"), std::string::npos);
+  const auto want = expected_records_copy({"", "dot --n 64 --seed 3"});
+  ASSERT_EQ(want.size(), 1u);
+  EXPECT_EQ(records[1], want[0]);
+  EXPECT_EQ(ts.server.counters().errors, 1u);
+}
+
+// drain() against a client that writes a burst and never reads a byte: the
+// reader may be blocked on a full reply queue and the writer against a
+// full TCP window. Drain must still complete — the draining flag lifts the
+// enqueue bound and the per-send timeout bounds a stuck writer — instead
+// of hanging SIGTERM forever.
+TEST(Serve, DrainCompletesAgainstNonReadingClient) {
+  serve::ServerConfig cfg;
+  cfg.reply_queue = 2;
+  cfg.send_timeout_ms = 250;
+  TestServer ts(cfg);
+
+  Socket s = tcp_connect("127.0.0.1", ts.server.port());
+  std::string payload;
+  for (int i = 0; i < 64; ++i) {
+    payload += "gemm --n 48 --seed " + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(s.send_all(payload));
+  // Let the 2-deep reply queue fill so the reader is parked in enqueue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  ts.server.drain();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(secs, 30.0);  // finite (generous bound for slow CI hosts)
+}
+
+// Socket::set_send_timeout_ms is what makes the above finite when the
+// writer itself is mid-send: with a tiny kernel send buffer and a peer
+// that never reads, send_all must fail within the timeout, not block.
+TEST(Serve, SendTimeoutFailsBlockedSendInsteadOfHanging) {
+  std::uint16_t port = 0;
+  Socket listener = tcp_listen("127.0.0.1", 0, 4, &port);
+  Socket client = tcp_connect("127.0.0.1", port);
+  Socket accepted = tcp_accept(listener);
+  ASSERT_TRUE(accepted.valid());
+  const int small = 4096;
+  ::setsockopt(accepted.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+  accepted.set_send_timeout_ms(200);
+  const std::string big(64u << 20, 'x');  // client never reads any of it
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(accepted.send_all(big));
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(secs, 10.0);
 }
 
 // The `stats` control line: a JSON snapshot with runtime counters and

@@ -225,6 +225,57 @@ TEST(ParseRecord, GraphEdgesAndPools) {
   EXPECT_EQ(req.graph.nodes[1].desc.b, nullptr);  // patched by the runtime
 }
 
+TEST(ParseRecord, ProblemSizeLimitsRejectBeforeMaterializing) {
+  // A few protocol bytes must not be able to request terabytes of seeded
+  // operands: `gemv --n 1000000` asks for an n*n matrix (~8 TB). Every
+  // oversized shape is a parse error with NOTHING materialized.
+  for (const char* line :
+       {"gemv --n 1000000", "gemm --n 99999999", "dot --n 123456789",
+        "spmxv --n 1024 --nnz-per-row 99999999", "graph a=gemv:n=1000000",
+        "graph a=spmxv:n=256,nnz=123456789"}) {
+    const auto req = parse(line);
+    EXPECT_FALSE(req.parse_error.empty()) << line;
+    EXPECT_NE(req.parse_error.find("limit"), std::string::npos) << line;
+    EXPECT_TRUE(req.pool.empty()) << line;
+    EXPECT_TRUE(req.sparse_pool.empty()) << line;
+    EXPECT_TRUE(is_valid_json(serve::error_record(req, req.parse_error)))
+        << line << ": " << valid_error;
+  }
+  // Within max_n but past the per-line operand budget: gemm materializes
+  // 2*n*n doubles (1 GiB at n=8192), caught by the aggregate bound.
+  const auto big = parse("gemm --n 8192");
+  EXPECT_NE(big.parse_error.find("operand limit"), std::string::npos);
+  EXPECT_TRUE(big.pool.empty());
+}
+
+TEST(ParseRecord, CustomLimitsBoundDimsElemsAndGraphNodes) {
+  serve::ParseLimits tight;
+  tight.max_n = 64;
+  tight.max_elems = 100;
+  tight.max_graph_nodes = 2;
+  const host::ContextConfig base;
+  auto parse_tight = [&](const std::string& line) {
+    serve::Request req;
+    serve::parse_record(line, 1, base, req, tight);
+    return req;
+  };
+  // Dimension bound (inclusive), then the elems budget (dot wants 2n).
+  EXPECT_NE(parse_tight("dot --n 65").parse_error.find("problem-size limit 64"),
+            std::string::npos);
+  EXPECT_NE(parse_tight("dot --n 64").parse_error.find("operand limit 100"),
+            std::string::npos);
+  EXPECT_TRUE(parse_tight("dot --n 32").parse_error.empty());
+  // Node-count bound fires before any node parses...
+  EXPECT_NE(parse_tight("graph a=dot:n=8 b=dot:n=8 c=dot:n=8")
+                .parse_error.find("per-line limit 2"),
+            std::string::npos);
+  // ...and the elems budget accumulates ACROSS nodes (2*32 + 2*32 > 100).
+  EXPECT_NE(parse_tight("graph a=dot:n=32 b=dot:n=32")
+                .parse_error.find("operand limit 100"),
+            std::string::npos);
+  EXPECT_TRUE(parse_tight("graph a=dot:n=16 b=dot:n=16").parse_error.empty());
+}
+
 TEST(ParseRecord, FuzzGarbageNeverThrows) {
   // Seeded garbage lines assembled from protocol-looking fragments: the
   // codec must classify every one (ok or parse_error) without throwing.

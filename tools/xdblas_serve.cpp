@@ -1,7 +1,9 @@
 // xdblas_serve: the TCP serving daemon (docs/serving.md).
 //
 //   xdblas_serve [--host H] [--port P] [--max-inflight N] [--reply-queue N]
-//                [--backlog N] [--metrics-out FILE]
+//                [--backlog N] [--max-n N] [--max-elems N]
+//                [--max-graph-nodes N] [--send-timeout-ms MS]
+//                [--metrics-out FILE]
 //
 // Listens on H:P (default 127.0.0.1, ephemeral port) and speaks the batch
 // JSONL protocol over every accepted connection: one request line in, one
@@ -44,7 +46,11 @@ void on_signal(int) {
 int usage() {
   std::fprintf(stderr,
                "usage: xdblas_serve [--host H] [--port P] [--max-inflight N]"
-               " [--reply-queue N] [--backlog N] [--metrics-out FILE]\n");
+               " [--reply-queue N] [--backlog N]\n"
+               "                    [--max-n N] [--max-elems N]"
+               " [--max-graph-nodes N]\n"
+               "                    [--send-timeout-ms MS]"
+               " [--metrics-out FILE]\n");
   return 2;
 }
 
@@ -95,6 +101,21 @@ int main(int argc, char** argv) {
       ++i;
     } else if (flag == "--backlog" && val && to_size(val, n) && n > 0) {
       cfg.backlog = static_cast<int>(n);
+      ++i;
+    } else if (flag == "--max-n" && val && to_size(val, n) && n > 0 &&
+               n <= static_cast<long long>(serve::ParseLimits{}.max_n)) {
+      // Capped at the compiled-in default so n*n can never overflow.
+      cfg.limits.max_n = static_cast<std::size_t>(n);
+      ++i;
+    } else if (flag == "--max-elems" && val && to_size(val, n) && n > 0) {
+      cfg.limits.max_elems = static_cast<std::size_t>(n);
+      ++i;
+    } else if (flag == "--max-graph-nodes" && val && to_size(val, n) && n > 0) {
+      cfg.limits.max_graph_nodes = static_cast<std::size_t>(n);
+      ++i;
+    } else if (flag == "--send-timeout-ms" && val && to_size(val, n) &&
+               n <= 3600 * 1000) {
+      cfg.send_timeout_ms = static_cast<int>(n);  // 0 disables the bound
       ++i;
     } else if (flag == "--metrics-out" && val) {
       metrics_out = val;
