@@ -7,6 +7,7 @@
 
 #include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
+#include "sim/scratch.hpp"
 #include "telemetry/session.hpp"
 
 namespace xd::blas1 {
@@ -31,9 +32,29 @@ u64 DotEngine::io_lower_bound_cycles(u64 total_elements) const {
 DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
                           const std::vector<std::vector<double>>& vs) {
   require(us.size() == vs.size(), "dot batch: mismatched u/v counts");
+  std::vector<const std::vector<double>*> up(us.size()), vp(vs.size());
   for (std::size_t i = 0; i < us.size(); ++i) {
-    require(!us[i].empty() && us[i].size() == vs[i].size(),
-            cat("dot pair ", i, ": vectors must be equal-length and non-empty"));
+    up[i] = &us[i];
+    vp[i] = &vs[i];
+  }
+  return run_impl(up.data(), vp.data(), us.size());
+}
+
+DotOutcome DotEngine::run_pair(const std::vector<double>& u,
+                               const std::vector<double>& v) {
+  const std::vector<double>* up = &u;
+  const std::vector<double>* vp = &v;
+  return run_impl(&up, &vp, 1);
+}
+
+DotOutcome DotEngine::run_impl(const std::vector<double>* const* us,
+                               const std::vector<double>* const* vs,
+                               std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (us[i]->empty() || us[i]->size() != vs[i]->size()) {
+      require(false, cat("dot pair ", i,
+                         ": vectors must be equal-length and non-empty"));
+    }
   }
 
   const unsigned k = cfg_.k;
@@ -41,31 +62,40 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
   // slower than the group size still feeds the lanes every few cycles.
   mem::Channel channel(cfg_.mem_words_per_cycle, "dot.mem",
                        std::max(cfg_.mem_words_per_cycle + 2.0, 2.0 * k));
-  fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);  // unused when k == 1
-  reduce::ReductionCircuit red(cfg_.adder_stages);
+
+  // The adder tree + reduction circuit + multiplier bank scaffold comes
+  // from the per-thread scratch pool (reset, not reconstructed — its ~60
+  // allocations dominated tiny-op cost). The FIFO's issue gate keeps at
+  // most kRedFifoCap queued entries, but groups already in flight in the
+  // bank and tree still land after the gate closes — its capacity covers
+  // that worst case.
+  const fp::Backend& be = fp::active_backend();
+  const unsigned kk = std::max(2u, k);  // tree unused when k == 1
+  sim::TreeScratchLease scratch(
+      {kk, cfg_.adder_stages, cfg_.multiplier_stages,
+       kRedFifoCap + cfg_.multiplier_stages +
+           static_cast<std::size_t>(log2_floor(kk)) * cfg_.adder_stages + 2,
+       &be});
+  fp::AdderTree& tree = scratch->tree;
+  reduce::ReductionCircuit& red = scratch->red;
+  fp::MultiplierBank& mults = scratch->mults;
+  RingFifo<std::pair<u64, bool>>& red_fifo = scratch->red_fifo;
   if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
     red.attach_trace(&cfg_.telemetry->trace());
   }
-
-  // The k multipliers run in lockstep; one ring slot per issued group.
-  const fp::Backend& be = fp::active_backend();
-  fp::MultiplierBank mults(std::max(2u, k), cfg_.multiplier_stages);
-  // The issue gate keeps at most kRedFifoCap queued entries, but groups
-  // already in flight in the multiplier bank and tree still land after the
-  // gate closes - size the ring for that worst case.
-  RingFifo<std::pair<u64, bool>> red_fifo(  // (bits, last-of-set)
-      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
 
   // Per-group operand panels. Dot touches every element exactly once, so
   // whole-vector pre-conversion would double the memory traffic (write the
   // converted copy, read it back); converting one k-wide group into these
   // L1-resident panels right before the multiply costs the same conversions
   // without the extra pass.
-  std::vector<u64> upanel(k), vpanel(k);
+  scratch->abits.resize(k);
+  scratch->xbits.resize(k);
+  u64* const upanel = scratch->abits.data();
+  u64* const vpanel = scratch->xbits.data();
 
   DotOutcome out;
-  out.results.assign(us.size(), 0.0);
-  std::vector<bool> have(us.size(), false);
+  out.results.assign(count, 0.0);
 
   std::size_t pair = 0, pos = 0;  // input cursor
   std::size_t results_done = 0;
@@ -74,7 +104,7 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
   u64 stalls = 0;
 
   const u64 budget = 50'000'000;
-  while (results_done < us.size()) {
+  while (results_done < count) {
     ++cycle;
     if (cycle > budget) throw SimError("dot engine wedged");
     channel.tick();
@@ -111,25 +141,24 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
     }
     if (auto r = red.take_result()) {
       out.results.at(r->set_id) = fp::from_bits(r->bits);
-      have.at(r->set_id) = true;
       ++results_done;
     }
 
     // Issue a new group of k element pairs if bandwidth and buffering allow.
-    if (pair < us.size() && red_fifo.size() < kRedFifoCap) {
-      const auto& u = us[pair];
-      const auto& v = vs[pair];
+    if (pair < count && red_fifo.size() < kRedFifoCap) {
+      const auto& u = *us[pair];
+      const auto& v = *vs[pair];
       const std::size_t remaining = u.size() - pos;
       const std::size_t lanes = std::min<std::size_t>(k, remaining);
       const double words = 2.0 * static_cast<double>(lanes);
       if (channel.can_transfer(words)) {
         channel.transfer(words);
         streamed_words += 2 * lanes;
-        std::memcpy(upanel.data(), &u[pos], lanes * sizeof(double));
-        std::memcpy(vpanel.data(), &v[pos], lanes * sizeof(double));
+        std::memcpy(upanel, &u[pos], lanes * sizeof(double));
+        std::memcpy(vpanel, &v[pos], lanes * sizeof(double));
         const bool last = (pos + lanes == u.size());
         u64* products = mults.stage(cycle, last);
-        be.mul_n(upanel.data(), vpanel.data(), products, lanes);
+        be.mul_n(upanel, vpanel, products, lanes);
         std::fill(products + lanes, products + mults.width(), fp::kPosZero);
         pos += lanes;
         if (pos == u.size()) {
@@ -141,9 +170,9 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
   }
 
   u64 flops = 0;
-  for (const auto& u : us) flops += 2 * u.size();
+  for (std::size_t i = 0; i < count; ++i) flops += 2 * us[i]->size();
 
-  out.report.design = cat("dot k=", k);
+  out.report.design = cat("dot k=", std::to_string(k));
   out.report.cycles = cycle;
   out.report.compute_cycles = cycle;
   out.report.flops = flops;
@@ -162,7 +191,9 @@ DotOutcome DotEngine::run(const std::vector<std::vector<double>>& us,
     tel->counter("blas1.dot.flops").add(flops);
     tel->counter("blas1.dot.stall_cycles").add(out.report.stall_cycles);
     auto lengths = tel->histogram("blas1.dot.vector_words");
-    for (const auto& u : us) lengths.observe(static_cast<double>(u.size()));
+    for (std::size_t i = 0; i < count; ++i) {
+      lengths.observe(static_cast<double>(us[i]->size()));
+    }
   }
   return out;
 }

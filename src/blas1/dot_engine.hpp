@@ -54,6 +54,12 @@ class DotEngine {
   DotOutcome run(const std::vector<std::vector<double>>& us,
                  const std::vector<std::vector<double>>& vs);
 
+  /// Single-pair run without wrapping the operands in batch vectors (the
+  /// runtime's OpKind::Dot path — the wrap copied both vectors per op,
+  /// which dominated tiny-op dispatch). Bit-identical to run({u}, {v}).
+  DotOutcome run_pair(const std::vector<double>& u,
+                      const std::vector<double>& v);
+
   const DotConfig& config() const { return cfg_; }
 
   /// Minimum latency in cycles under the configured bandwidth if compute
@@ -61,6 +67,10 @@ class DotEngine {
   u64 io_lower_bound_cycles(u64 total_elements) const;
 
  private:
+  /// Shared cycle loop over `count` pairs addressed through pointer arrays.
+  DotOutcome run_impl(const std::vector<double>* const* us,
+                      const std::vector<double>* const* vs, std::size_t count);
+
   DotConfig cfg_;
 };
 

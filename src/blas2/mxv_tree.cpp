@@ -9,6 +9,7 @@
 #include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "mem/channel.hpp"
+#include "sim/scratch.hpp"
 #include "telemetry/session.hpp"
 
 namespace xd::blas2 {
@@ -39,26 +40,34 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
   mem::Channel channel(cfg_.mem_words_per_cycle, "mxv.mem",
                        std::max(cfg_.mem_words_per_cycle + 2.0,
                                 static_cast<double>(k)));
-  fp::AdderTree tree(std::max(2u, k), cfg_.adder_stages);
-  reduce::ReductionCircuit red(cfg_.adder_stages);
+  // Tree/circuit/bank scaffold from the per-thread scratch pool (reset, not
+  // reconstructed). FIFO headroom beyond the issue gate: in-flight
+  // multiplier/tree groups still land after the gate closes.
+  const fp::Backend& be = fp::active_backend();
+  const unsigned kk = std::max(2u, k);  // tree unused when k == 1
+  sim::TreeScratchLease scratch(
+      {kk, cfg_.adder_stages, cfg_.multiplier_stages,
+       kRedFifoCap + cfg_.multiplier_stages +
+           static_cast<std::size_t>(log2_floor(kk)) * cfg_.adder_stages + 2,
+       &be});
+  fp::AdderTree& tree = scratch->tree;
+  reduce::ReductionCircuit& red = scratch->red;
+  fp::MultiplierBank& mults = scratch->mults;
+  RingFifo<std::pair<u64, bool>>& red_fifo = scratch->red_fifo;
   if (cfg_.telemetry && cfg_.telemetry->trace().enabled()) {
     red.attach_trace(&cfg_.telemetry->trace());
   }
 
   // Local x storage, lane-striped exactly as the paper describes; pre-convert
   // to bits once (preload phase, not streamed during compute). The A panel is
-  // pre-converted the same way so the lane loop is a straight mul_n.
-  std::vector<u64> xbits(cols);
-  std::memcpy(xbits.data(), x.data(), cols * sizeof(double));
-  std::vector<u64> abits(a.size());
-  std::memcpy(abits.data(), a.data(), a.size() * sizeof(double));
-
-  const fp::Backend& be = fp::active_backend();
-  fp::MultiplierBank mults(std::max(2u, k), cfg_.multiplier_stages);
-  // Headroom beyond the issue gate: in-flight multiplier/tree groups still
-  // land after the gate closes.
-  RingFifo<std::pair<u64, bool>> red_fifo(
-      kRedFifoCap + cfg_.multiplier_stages + tree.latency() + 2);
+  // pre-converted the same way so the lane loop is a straight mul_n. Both
+  // panels live in the scratch's reusable staging vectors.
+  scratch->xbits.resize(cols);
+  u64* const xbits = scratch->xbits.data();
+  std::memcpy(xbits, x.data(), cols * sizeof(double));
+  scratch->abits.resize(a.size());
+  u64* const abits = scratch->abits.data();
+  std::memcpy(abits, a.data(), a.size() * sizeof(double));
 
   MxvOutcome out;
   out.y.assign(rows, 0.0);
@@ -113,7 +122,7 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
         channel.transfer(words);
         streamed_words += lanes;
         u64* products = mults.stage(cycle, col + lanes == cols);
-        be.mul_n(&abits[row * cols + col], &xbits[col], products, lanes);
+        be.mul_n(abits + row * cols + col, xbits + col, products, lanes);
         std::fill(products + lanes, products + mults.width(), fp::kPosZero);
         col += lanes;
         if (col == cols) {
@@ -124,7 +133,7 @@ MxvOutcome MxvTreeEngine::run(const std::vector<double>& a, std::size_t rows,
     }
   }
 
-  out.report.design = cat("gemv-tree k=", k);
+  out.report.design = cat("gemv-tree k=", std::to_string(k));
   out.report.cycles = cycle;
   out.report.compute_cycles = cycle;
   out.report.flops = 2ull * rows * cols;

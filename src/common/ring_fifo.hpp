@@ -39,6 +39,13 @@ class RingFifo {
     --count_;
   }
 
+  /// Forget all queued entries, keeping the buffer storage (the recycled
+  /// engine-scratch path reuses one fifo across runs).
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
  private:
   std::vector<T> buf_;
   std::size_t head_ = 0;

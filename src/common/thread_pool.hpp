@@ -1,15 +1,26 @@
-// Persistent worker pool shared by the whole process.
+// Persistent work-stealing worker pool shared by the whole process.
 //
 // The simulator's host side has two kinds of parallelism: data-parallel
 // golden-numerics loops inside one engine run (parallel_for) and
 // whole-operation concurrency across independent engine runs (the
-// host::Runtime executor). Both used to spawn-and-join std::threads per
-// call; both now share this pool, so thread creation happens once per
-// process instead of once per loop.
+// host::Runtime executor). Both share this pool, so thread creation happens
+// once per process instead of once per loop.
 //
 // Design notes:
-//  - FIFO task queue under one mutex; tasks are type-erased only at the
-//    submission boundary (cold, once per job/chunk batch), never per index.
+//  - Per-worker deques with work stealing, not one global FIFO: a worker
+//    pushes and pops its own deque from the back (LIFO — the task most
+//    likely to be cache-hot), and steals from other workers' fronts (FIFO —
+//    the oldest task, the one least likely to be in anyone's cache). Each
+//    deque has its own small mutex, so producers on different workers never
+//    contend; the old single queue serialized every submit in the process.
+//  - Off-pool producers (the main thread, serve connection readers) enqueue
+//    round-robin across workers; pool workers enqueue to themselves, which
+//    keeps nested parallel_for chunks local until someone idle steals them.
+//  - Tasks are MoveFunc, a move-only type-erased callable with inline
+//    storage: posting a small task allocates nothing, and submit() wraps
+//    its callable in one std::packaged_task (a single allocation for the
+//    future's shared state) instead of the old shared_ptr<packaged_task> +
+//    std::function double allocation.
 //  - submit() returns a std::future that carries the callable's value or
 //    exception (std::packaged_task semantics) — the Runtime relies on this
 //    to propagate ConfigError out of worker threads.
@@ -17,39 +28,154 @@
 //    caller claiming chunks alongside the workers, so nesting a
 //    parallel_for inside a pooled job cannot deadlock even when every
 //    worker is busy.
+//  - steals()/local_pops() expose the scheduler's behavior as counters; the
+//    serve stats line reports them so the work-stealing path is observable
+//    over the wire.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
-#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace xd {
 
 /// Number of workers to use by default: the XDBLAS_WORKERS environment
-/// variable when set to a positive integer (useful to force interleaving on
-/// small machines, or to pin the pool under a sanitizer), else hardware
-/// concurrency, at least 1.
+/// variable when set to a positive integer, else hardware concurrency, at
+/// least 1. A value that is not exactly a positive integer — "4abc", "-2",
+/// "huge" — is rejected with a stderr warning (strtol's silent
+/// trailing-garbage acceptance once made "4abc" run 4 workers); an empty
+/// value counts as unset. The cap keeps a fat-fingered "40000" from
+/// spawning a thread per request slot.
 inline unsigned default_workers() {
-  if (const char* env = std::getenv("XDBLAS_WORKERS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<unsigned>(v);
-  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  const unsigned fallback = hc == 0 ? 1 : hc;
+  const char* env = std::getenv("XDBLAS_WORKERS");
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  constexpr long kMaxWorkers = 4096;
+  if (end == env || *end != '\0' || v <= 0 || v > kMaxWorkers) {
+    std::fprintf(stderr,
+                 "xdblas: ignoring XDBLAS_WORKERS=\"%s\" (want an integer in "
+                 "[1, %ld]); using %u worker%s\n",
+                 env, kMaxWorkers, fallback, fallback == 1 ? "" : "s");
+    return fallback;
+  }
+  return static_cast<unsigned>(v);
 }
+
+/// Move-only type-erased `void()` callable with inline storage. Callables
+/// up to kInline bytes (a captured pointer or two, a packaged_task handle,
+/// a parallel_for drain closure) live in the object itself — constructing,
+/// moving, and queueing one allocates nothing. Larger callables fall back
+/// to one heap allocation. This is the pool's task type: the properties the
+/// queue needs are exactly "movable, callable once, maybe empty".
+class MoveFunc {
+ public:
+  static constexpr std::size_t kInline = 64;
+
+  MoveFunc() = default;
+
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, MoveFunc>>>
+  MoveFunc(Fn&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<Fn>;
+    static_assert(std::is_invocable_r_v<void, D&>,
+                  "MoveFunc requires a void() callable");
+    if constexpr (sizeof(D) <= kInline && alignof(D) <= alignof(Storage) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<Fn>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      *reinterpret_cast<D**>(&storage_) = new D(std::forward<Fn>(fn));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  MoveFunc(MoveFunc&& other) noexcept : ops_(other.ops_) {
+    if (ops_) ops_->relocate(&storage_, &other.storage_);
+    other.ops_ = nullptr;
+  }
+
+  MoveFunc& operator=(MoveFunc&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  MoveFunc(const MoveFunc&) = delete;
+  MoveFunc& operator=(const MoveFunc&) = delete;
+
+  ~MoveFunc() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+ private:
+  using Storage = std::aligned_storage_t<kInline, alignof(std::max_align_t)>;
+
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  ///< move into dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<D*>(p))(); },
+      [](void* dst, void* src) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) { static_cast<D*>(p)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<D**>(p))(); },
+      [](void* dst, void* src) {
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+      },
+      [](void* p) { delete *static_cast<D**>(p); },
+  };
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
 
 class ThreadPool {
  public:
   explicit ThreadPool(unsigned workers = default_workers()) {
     if (workers == 0) workers = 1;
+    workers_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      workers_.push_back(std::make_unique<Worker>());
+    }
     threads_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
       threads_.emplace_back([this, w] { worker_loop(static_cast<int>(w)); });
@@ -59,36 +185,37 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Drains: every task already posted runs before the workers exit (tasks
+  /// posted by still-running tasks included).
   ~ThreadPool() {
+    stop_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
+      std::lock_guard<std::mutex> lock(idle_mu_);
     }
-    cv_.notify_all();
+    idle_cv_.notify_all();
     for (auto& t : threads_) t.join();
   }
 
   unsigned size() const { return static_cast<unsigned>(threads_.size()); }
 
   /// Enqueue a fire-and-forget task. Tasks must not throw (wrap with
-  /// submit() when the result or exception matters).
-  void post(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(std::move(task));
-    }
-    cv_.notify_one();
+  /// submit() when the result or exception matters). A pool worker posts to
+  /// its own deque (LIFO-adjacent, stays cache-hot unless stolen); an
+  /// off-pool thread distributes round-robin.
+  template <typename Fn>
+  void post(Fn&& fn) {
+    enqueue(MoveFunc(std::forward<Fn>(fn)));
   }
 
   /// Enqueue a callable and get a future for its result; an exception
-  /// thrown by the callable is rethrown from future::get().
+  /// thrown by the callable is rethrown from future::get(). One allocation:
+  /// the packaged_task's shared state (which also holds the callable).
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
     using R = std::invoke_result_t<std::decay_t<Fn>>;
-    auto task =
-        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
-    std::future<R> fut = task->get_future();
-    post([task] { (*task)(); });
+    std::packaged_task<R()> task(std::forward<Fn>(fn));
+    std::future<R> fut = task.get_future();
+    enqueue(MoveFunc(std::move(task)));
     return fut;
   }
 
@@ -104,29 +231,111 @@ class ThreadPool {
   /// uses this to assign merged spans to stable per-worker lanes.
   static int current_worker_id() { return worker_id_; }
 
+  using u64_counter = unsigned long long;
+
+  /// Scheduler observability: tasks a worker popped from its own deque vs
+  /// tasks it stole from another worker's. local_pops + steals = tasks
+  /// executed. Exposed on the serve stats line as pool_local_pops /
+  /// pool_steals.
+  u64_counter steals() const { return steals_.load(std::memory_order_relaxed); }
+  u64_counter local_pops() const {
+    return local_pops_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<MoveFunc> deq;  ///< back = local LIFO end, front = steal end
+  };
+
+  void enqueue(MoveFunc task) {
+    const int self = worker_id_;
+    std::size_t target;
+    if (self >= 0 && pool_of_worker_ == this &&
+        static_cast<std::size_t>(self) < workers_.size()) {
+      target = static_cast<std::size_t>(self);
+    } else {
+      target = rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(workers_[target]->mu);
+      workers_[target]->deq.push_back(std::move(task));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    // Lock/unlock before notify: a worker evaluates the idle predicate under
+    // idle_mu_, so either it saw the new pending count, or it is already in
+    // wait() and this notify reaches it — no lost wakeup.
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+    }
+    idle_cv_.notify_one();
+  }
+
+  bool pop_local(Worker& self, MoveFunc& out) {
+    std::lock_guard<std::mutex> lock(self.mu);
+    if (self.deq.empty()) return false;
+    out = std::move(self.deq.back());
+    self.deq.pop_back();
+    return true;
+  }
+
+  bool steal(std::size_t self_idx, MoveFunc& out) {
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+      Worker& victim = *workers_[(self_idx + i) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (victim.deq.empty()) continue;
+      out = std::move(victim.deq.front());
+      victim.deq.pop_front();
+      return true;
+    }
+    return false;
+  }
+
   void worker_loop(int id) {
     worker_id_ = id;
+    pool_of_worker_ = this;
+    Worker& self = *workers_[static_cast<std::size_t>(id)];
     for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stop_ set and drained
-        task = std::move(queue_.front());
-        queue_.pop_front();
+      MoveFunc task;
+      if (pop_local(self, task)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        local_pops_.fetch_add(1, std::memory_order_relaxed);
+        task();
+        continue;
       }
-      task();
+      if (steal(static_cast<std::size_t>(id), task)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        task();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(idle_mu_);
+      idle_cv_.wait(lock, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) != 0;
+      });
+      if (stop_.load(std::memory_order_acquire) &&
+          pending_.load(std::memory_order_acquire) == 0) {
+        return;  // stop requested and every queue drained
+      }
     }
   }
 
   static inline thread_local int worker_id_ = -1;
+  /// Which pool instance `worker_id_` belongs to: a worker of pool A
+  /// posting to pool B must not treat A's index as one of B's deques.
+  static inline thread_local ThreadPool* pool_of_worker_ = nullptr;
 
+  std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::atomic<std::size_t> pending_{0};  ///< queued, not yet popped
+  std::atomic<std::size_t> rr_{0};       ///< round-robin cursor, off-pool posts
+  std::atomic<u64_counter> steals_{0};
+  std::atomic<u64_counter> local_pops_{0};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stop_{false};
 };
 
 }  // namespace xd

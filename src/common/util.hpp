@@ -71,6 +71,14 @@ inline void require(bool ok, const std::string& msg) {
   if (!ok) throw ConfigError(msg);
 }
 
+/// Literal-message overload: no temporary std::string on the success path
+/// (the string-reference overload materializes its message even when the
+/// predicate holds, which showed up as one heap allocation per literal
+/// require on the per-op hot paths).
+inline void require(bool ok, const char* msg) {
+  if (!ok) throw ConfigError(msg);
+}
+
 /// Ceiling division for non-negative integers.
 constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
 

@@ -40,6 +40,17 @@ AdderTree::AdderTree(unsigned k, unsigned stages)
   ring_.resize(static_cast<std::size_t>(latency()) + 1);
 }
 
+void AdderTree::reset() {
+  fold_n_ = active_backend().fold_n;
+  head_ = 0;
+  count_ = 0;
+  output_.reset();
+  issued_this_cycle_ = false;
+  cycles_ = 0;
+  issued_ = 0;
+  retired_ = 0;
+}
+
 void AdderTree::issue(const std::vector<u64>& operands, u64 tag) {
   require(operands.size() == k_,
           cat("adder tree fan-in is ", k_, ", got ", operands.size(), " operands"));

@@ -253,6 +253,11 @@ class AdderTree {
   /// registry-wide fpu.issue / fpu.retire totals.
   void publish(telemetry::MetricsRegistry& reg, std::string_view prefix) const;
 
+  /// Back to the just-constructed state, keeping the ring storage and
+  /// re-capturing the active backend's fold (the recycled engine-scratch
+  /// path reuses one tree across runs, possibly across backend switches).
+  void reset();
+
  private:
   struct InFlight {
     u64 bits;
@@ -326,6 +331,13 @@ class MultiplierBank {
   unsigned stages() const { return stages_; }
   bool empty() const { return count_ == 0; }
   u64 groups_issued() const { return issued_; }
+
+  /// Back to the just-constructed state, keeping the group buffers.
+  void reset() {
+    head_ = 0;
+    count_ = 0;
+    issued_ = 0;
+  }
 
  private:
   struct Slot {

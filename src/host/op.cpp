@@ -10,8 +10,9 @@ namespace {
 /// equal a tiny operand's size and pass the naive equality test, after which
 /// the engine indexes far past the operand's end.
 std::size_t shape_product(std::size_t x, std::size_t y, const char* what) {
-  require(y == 0 || x <= std::numeric_limits<std::size_t>::max() / y,
-          cat(what, ": shape product overflows"));
+  if (y != 0 && x > std::numeric_limits<std::size_t>::max() / y) {
+    require(false, cat(what, ": shape product overflows"));
+  }
   return x * y;
 }
 

@@ -424,6 +424,13 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
                                                     const PlanKey& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!pinned_.empty()) {
+      const auto pit = pinned_.find(key);
+      if (pit != pinned_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return pit->second;
+      }
+    }
     const auto it = map_.find(key);
     if (it != map_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -437,6 +444,13 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
   auto plan = std::make_shared<const Plan>(build_plan(cfg, key));
 
   std::lock_guard<std::mutex> lock(mu_);
+  if (!pinned_.empty()) {
+    const auto pit = pinned_.find(key);
+    if (pit != pinned_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return pit->second;
+    }
+  }
   const auto it = map_.find(key);
   if (it != map_.end()) {
     // Another thread built the same plan first; adopt theirs (plans for one
@@ -461,6 +475,50 @@ std::shared_ptr<const Plan> PlanCache::get_or_build(const ContextConfig& cfg,
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  return plan;
+}
+
+std::shared_ptr<const Plan> PlanCache::pin(const ContextConfig& cfg,
+                                           const PlanKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto pit = pinned_.find(key);
+    if (pit != pinned_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return pit->second;
+    }
+    // Promote an existing LRU entry: the plan moves out of the eviction
+    // order, freeing its LRU slot.
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      auto plan = it->second.plan;
+      lru_.erase(it->second.pos);
+      map_.erase(it);
+      pinned_.emplace(key, plan);
+      return plan;
+    }
+  }
+
+  auto plan = std::make_shared<const Plan>(build_plan(cfg, key));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pit = pinned_.find(key);
+  if (pit != pinned_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return pit->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Raced with a get_or_build miss: adopt the LRU's plan and promote it.
+    auto existing = it->second.plan;
+    lru_.erase(it->second.pos);
+    map_.erase(it);
+    pinned_.emplace(key, existing);
+    return existing;
+  }
+  pinned_.emplace(key, plan);
   return plan;
 }
 
@@ -506,6 +564,11 @@ std::size_t PlanCache::size() const {
   return map_.size();
 }
 
+std::size_t PlanCache::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_.size();
+}
+
 std::size_t PlanCache::graph_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return graph_map_.size();
@@ -517,6 +580,7 @@ void PlanCache::publish(telemetry::Session& tel) const {
   tel.gauge("host.plan.evictions").set(static_cast<double>(evictions()));
   tel.gauge("host.plan.size").set(static_cast<double>(size()));
   tel.gauge("host.plan.capacity").set(static_cast<double>(capacity()));
+  tel.gauge("host.plan.pinned").set(static_cast<double>(pinned_count()));
   // Graph-plan entries are accounted separately: host.plan.{hits,misses}
   // stay a pure single-op hit-rate, undiluted by graph keys.
   tel.gauge("host.plan.graphs").set(static_cast<double>(graph_size()));

@@ -171,6 +171,13 @@ class PlanCache {
   std::shared_ptr<const Plan> get_or_build(const ContextConfig& cfg,
                                            const PlanKey& key);
 
+  /// Like get_or_build, but the entry is promoted out of the LRU into the
+  /// pinned set: it can never be evicted and does not consume LRU capacity.
+  /// Hot paths hold the returned pointer and skip the probe entirely;
+  /// lookups that do go through get_or_build still find pinned entries
+  /// first (counted as hits). Pinning the same key twice is idempotent.
+  std::shared_ptr<const Plan> pin(const ContextConfig& cfg, const PlanKey& key);
+
   /// Return the cached graph plan for `g`, keyed by backend + tune policy +
   /// GraphDesc::signature(). Graph entries live in their own LRU with their
   /// own hit/miss/eviction counters and the same capacity budget, so graph
@@ -179,7 +186,8 @@ class PlanCache {
                                                       const GraphDesc& g);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const;
+  std::size_t size() const;        ///< LRU entries only (excludes pinned)
+  std::size_t pinned_count() const;
   std::size_t graph_size() const;
   u64 hits() const { return hits_.load(std::memory_order_relaxed); }
   u64 misses() const { return misses_.load(std::memory_order_relaxed); }
@@ -206,6 +214,9 @@ class PlanCache {
     std::list<PlanKey>::iterator pos;
   };
   std::unordered_map<PlanKey, Entry, PlanKeyHash> map_;
+  /// Pinned plans: outside the LRU, never evicted, found before the LRU on
+  /// lookup. Small by construction (one entry per explicitly pinned shape).
+  std::unordered_map<PlanKey, std::shared_ptr<const Plan>, PlanKeyHash> pinned_;
   /// Graph plans: a separate LRU keyed by the graph cache key string.
   std::list<std::string> graph_lru_;
   struct GraphEntry {

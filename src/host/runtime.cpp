@@ -36,6 +36,94 @@ std::string first_line(const char* what) {
   return nl == std::string::npos ? s : s.substr(0, nl);
 }
 
+/// Everything a submitted op carries from the caller to the worker. Carved
+/// from a recycled slab so the steady-state submit path allocates only the
+/// packaged task's shared state: the submission lambda captures two
+/// pointers and fits MoveFunc's inline storage.
+struct OpState {
+  OpDesc desc;
+  std::shared_ptr<const Plan> pinned;  ///< null unless submitted via handle
+  telemetry::Session* tel = nullptr;
+  bool trace_on = false;
+  u64 op_id = 0;
+  u64 submit_ns = 0;
+};
+
+/// Per-worker slab of recycled OpStates with a mutex-guarded global
+/// spillover. Acquire prefers the calling thread's local free list; a
+/// worker releases into its own list and overflows into the global one,
+/// which is where a dedicated submitter thread (serve daemon, benchmarks)
+/// refills from — states circulate instead of being reallocated per op.
+class OpSlab {
+ public:
+  static OpState* acquire() {
+    auto& loc = local().states;
+    if (!loc.empty()) {
+      OpState* s = loc.back();
+      loc.pop_back();
+      return s;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu());
+      auto& g = global();
+      if (!g.empty()) {
+        OpState* s = g.back();
+        g.pop_back();
+        return s;
+      }
+    }
+    return new OpState();
+  }
+
+  static void release(OpState* s) {
+    // Drop the operand views and the plan reference now: the caller's
+    // vectors (and a pinned plan's cache slot) must not be kept reachable
+    // by an idle slab entry.
+    s->desc = OpDesc{};
+    s->pinned.reset();
+    auto& loc = local().states;
+    if (loc.size() < kLocalCap) {
+      loc.push_back(s);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu());
+    auto& g = global();
+    if (g.size() < kGlobalCap) {
+      g.push_back(s);
+      return;
+    }
+    delete s;
+  }
+
+ private:
+  static constexpr std::size_t kLocalCap = 32;
+  static constexpr std::size_t kGlobalCap = 1024;
+  struct Local {
+    std::vector<OpState*> states;
+    ~Local() {
+      for (OpState* s : states) delete s;
+    }
+  };
+  static Local& local() {
+    static thread_local Local l;
+    return l;
+  }
+  static std::mutex& mu() {
+    static std::mutex m;
+    return m;
+  }
+  static std::vector<OpState*>& global() {
+    static std::vector<OpState*> g;
+    return g;
+  }
+};
+
+/// Returns the op state to the slab on every exit path of a worker lambda.
+struct SlabReturn {
+  OpState* st;
+  ~SlabReturn() { OpSlab::release(st); }
+};
+
 }  // namespace
 
 Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
@@ -44,9 +132,19 @@ Runtime::Runtime(const ContextConfig& cfg, ThreadPool* pool)
       cache_(cfg.plan_cache_capacity) {}
 
 Outcome Runtime::execute(const OpDesc& desc, telemetry::Session* tel,
-                         telemetry::TraceContext* tc) {
+                         telemetry::TraceContext* tc, const Plan* pinned) {
   desc.validate();
-  const auto plan = cache_.get_or_build(cfg_, PlanKey::from(desc, cfg_.tune));
+  // A pinned plan short-circuits the cache probe, but only when it matches
+  // the descriptor's key exactly — a ScopedBackend override or a handle
+  // reused across shapes falls back to the normal lookup, so a pinned
+  // execution is always bit-identical to an LRU-path one.
+  const PlanKey key = PlanKey::from(desc, cfg_.tune);
+  std::shared_ptr<const Plan> resolved;
+  const Plan* plan = pinned;
+  if (!plan || !(plan->key == key)) {
+    resolved = cache_.get_or_build(cfg_, key);
+    plan = resolved.get();
+  }
   if (tc) tc->plan_ns = now_ns();
 
   // Staging happens (and is recorded) before the engine runs, so the
@@ -76,7 +174,9 @@ Outcome Runtime::run_engine(const Plan& plan, const OpDesc& desc,
     case OpKind::Dot: {
       blas1::DotEngine engine(
           with_telemetry(std::get<blas1::DotConfig>(plan.engine), tel));
-      out = to_outcome(engine.run({*desc.a}, {*desc.b}), OpKind::Dot);
+      // Single-pair overload: no per-op batch-vector wrap (two vector
+      // copies per tiny op on the old path).
+      out = to_outcome(engine.run_pair(*desc.a, *desc.b), OpKind::Dot);
       break;
     }
     case OpKind::DotBatch: {
@@ -237,12 +337,23 @@ void Runtime::observe_latency(telemetry::Session& tel,
       .observe(static_cast<double>(tc.e2e_ns()) * kUs);
 }
 
-Outcome Runtime::run(const OpDesc& desc) {
+Outcome Runtime::run(const OpDesc& desc) { return run_impl(desc, nullptr); }
+
+Outcome Runtime::run(const OpDesc& desc, const PlanHandle& plan) {
+  return run_impl(desc, plan.plan_.get());
+}
+
+PlanHandle Runtime::pin_plan(const OpDesc& desc) {
+  desc.validate();
+  return PlanHandle(cache_.pin(cfg_, PlanKey::from(desc, cfg_.tune)));
+}
+
+Outcome Runtime::run_impl(const OpDesc& desc, const Plan* pinned) {
   telemetry::Session* tel = cfg_.telemetry;
   if (!tel) {
     // No session: nothing to record, keep the path free of clock reads.
     try {
-      Outcome out = execute(desc, nullptr);
+      Outcome out = execute(desc, nullptr, nullptr, pinned);
       completed_.fetch_add(1, std::memory_order_relaxed);
       return out;
     } catch (...) {
@@ -265,7 +376,7 @@ Outcome Runtime::run(const OpDesc& desc) {
       // Engines only ever parallel_for with caller participation, so no
       // pool task is awaited while the lock is held.
       auto lock = tel->lock();
-      out = execute(desc, tel, &tc);
+      out = execute(desc, tel, &tc, pinned);
       tc.complete_ns = now_ns();
       completed_.fetch_add(1, std::memory_order_relaxed);
       observe_latency(*tel, tc);
@@ -289,101 +400,183 @@ Outcome Runtime::run(const OpDesc& desc) {
   }
 }
 
+Outcome Runtime::async_op(const OpDesc& desc, const Plan* pinned,
+                          telemetry::Session* tel, bool trace_on, u64 op_id,
+                          u64 submit_ns) {
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+  telemetry::TraceContext tc;
+  tc.op_id = op_id;
+  tc.kind = op_kind_name(desc.kind);
+  const int worker = ThreadPool::current_worker_id();
+  tc.lane = worker < 0 ? 0 : static_cast<unsigned>(worker) + 1;
+  tc.submit_ns = submit_ns;
+  tc.dequeue_ns = now_ns();
+
+  try {
+    Outcome out;
+    if (!tel) {
+      out = execute(desc, nullptr, nullptr, pinned);
+      tc.complete_ns = now_ns();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      // Record into a thread-local shard session — no sharing, no lock —
+      // then fold it into the shared session at completion. The shard is
+      // reused across jobs on this worker; its small trace ring only
+      // matters when the main session's tracing is enabled.
+      static thread_local telemetry::Session shard(/*trace_capacity=*/512,
+                                                   /*flight_capacity=*/1);
+      shard.reset_for_reuse();
+      shard.trace().set_enabled(trace_on);
+      out = execute(desc, &shard, &tc, pinned);
+      tc.complete_ns = now_ns();
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      {
+        auto lock = tel->lock();
+        tel->merge_unlocked(shard, tc.lane);
+        observe_latency(*tel, tc);
+        publish(*tel);
+      }
+      tel->flight().record(tc);
+    }
+    return out;
+  } catch (const std::exception& e) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (tel) {
+      // The shard may hold open spans / partial metrics from the aborted
+      // op; it is discarded (cleared at the next job), never merged.
+      tc.complete_ns = now_ns();
+      tc.failed = true;
+      tc.error = first_line(e.what());
+      tel->flight().record(tc);
+    }
+    throw;
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (tel) {
+      tc.complete_ns = now_ns();
+      tc.failed = true;
+      tel->flight().record(tc);
+    }
+    throw;
+  }
+}
+
 std::future<Outcome> Runtime::submit(const OpDesc& desc) {
+  return submit_impl(desc, nullptr);
+}
+
+std::future<Outcome> Runtime::submit(const OpDesc& desc,
+                                     const PlanHandle& plan) {
+  return submit_impl(desc, plan.plan_);
+}
+
+std::future<Outcome> Runtime::submit_impl(const OpDesc& desc,
+                                          std::shared_ptr<const Plan> pinned) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   queued_.fetch_add(1, std::memory_order_relaxed);
 
-  // Captured on the caller thread: the session pointer, whether its event
-  // trace wants shard events, and the submission stamps.
-  telemetry::Session* tel = cfg_.telemetry;
-  const bool trace_on = tel && tel->trace().enabled();
-  const u64 op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
-  const u64 submit_ns = now_ns();
-  if (tel) {
-    auto lock = tel->lock();
-    tel->gauge("host.runtime.queue_depth")
-        .set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
-  }
+  // Everything the worker needs travels in a recycled slab state; the
+  // lambda captures two pointers, so the whole task fits the pool's
+  // single-allocation packaged task.
+  OpState* st = OpSlab::acquire();
+  st->desc = desc;
+  st->pinned = std::move(pinned);
+  st->tel = cfg_.telemetry;
+  st->trace_on = st->tel && st->tel->trace().enabled();
+  st->op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+  st->submit_ns = now_ns();
 
-  return pool_->submit([this, desc, tel, trace_on, op_id, submit_ns]() -> Outcome {
-    queued_.fetch_sub(1, std::memory_order_relaxed);
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-
-    telemetry::TraceContext tc;
-    tc.op_id = op_id;
-    tc.kind = op_kind_name(desc.kind);
-    const int worker = ThreadPool::current_worker_id();
-    tc.lane = worker < 0 ? 0 : static_cast<unsigned>(worker) + 1;
-    tc.submit_ns = submit_ns;
-    tc.dequeue_ns = now_ns();
-
-    try {
-      Outcome out;
-      if (!tel) {
-        out = execute(desc, nullptr);
-        tc.complete_ns = now_ns();
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      } else {
-        // Record into a thread-local shard session — no sharing, no lock —
-        // then fold it into the shared session at completion. The shard is
-        // reused across jobs on this worker; its small trace ring only
-        // matters when the main session's tracing is enabled.
-        static thread_local telemetry::Session shard(/*trace_capacity=*/512,
-                                                     /*flight_capacity=*/1);
-        shard.reset_for_reuse();
-        shard.trace().set_enabled(trace_on);
-        out = execute(desc, &shard, &tc);
-        tc.complete_ns = now_ns();
-        completed_.fetch_add(1, std::memory_order_relaxed);
-        in_flight_.fetch_sub(1, std::memory_order_relaxed);
-        {
-          auto lock = tel->lock();
-          tel->merge_unlocked(shard, tc.lane);
-          observe_latency(*tel, tc);
-          publish(*tel);
-        }
-        tel->flight().record(tc);
-      }
-      return out;
-    } catch (const std::exception& e) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      if (tel) {
-        // The shard may hold open spans / partial metrics from the aborted
-        // op; it is discarded (cleared at the next job), never merged.
-        tc.complete_ns = now_ns();
-        tc.failed = true;
-        tc.error = first_line(e.what());
-        tel->flight().record(tc);
-      }
-      throw;
-    } catch (...) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      if (tel) {
-        tc.complete_ns = now_ns();
-        tc.failed = true;
-        tel->flight().record(tc);
-      }
-      throw;
-    }
+  return pool_->submit([this, st]() -> Outcome {
+    SlabReturn ret{st};
+    return async_op(st->desc, st->pinned.get(), st->tel, st->trace_on,
+                    st->op_id, st->submit_ns);
   });
 }
 
 std::vector<Outcome> Runtime::run_batch(const std::vector<OpDesc>& descs) {
-  std::vector<std::future<Outcome>> futures;
-  futures.reserve(descs.size());
-  for (const auto& d : descs) futures.push_back(submit(d));
+  if (descs.empty()) return {};
+  telemetry::Session* tel = cfg_.telemetry;
+  const bool trace_on = tel && tel->trace().enabled();
+
+  // Same-shape fast path: a run of consecutive descriptors with one
+  // PlanKey is staged as a single pooled job that resolves the plan once
+  // and executes the ops back to back. Each op keeps its own Outcome,
+  // telemetry shard merge, trace context and flight-recorder entry, so the
+  // results are indistinguishable from per-op submission. Runs are capped
+  // so one huge uniform batch still spreads across workers.
+  constexpr std::size_t kGroupCap = 64;
+  struct Slice {
+    std::vector<Outcome> outs;
+    std::vector<std::exception_ptr> errs;  ///< parallel to outs; null = ok
+  };
+  std::vector<std::future<Slice>> futures;
+  std::size_t i = 0;
+  while (i < descs.size()) {
+    const PlanKey key = PlanKey::from(descs[i], cfg_.tune);
+    std::size_t j = i + 1;
+    while (j < descs.size() && j - i < kGroupCap &&
+           PlanKey::from(descs[j], cfg_.tune) == key) {
+      ++j;
+    }
+    const std::size_t n = j - i;
+    submitted_.fetch_add(n, std::memory_order_relaxed);
+    queued_.fetch_add(n, std::memory_order_relaxed);
+    std::vector<u64> ids(n);
+    for (auto& id : ids) id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
+    const u64 submit_ns = now_ns();
+    const OpDesc* first = descs.data() + i;
+    futures.push_back(pool_->submit(
+        [this, first, n, key, tel, trace_on, ids = std::move(ids),
+         submit_ns]() -> Slice {
+          Slice s;
+          s.outs.resize(n);
+          s.errs.assign(n, nullptr);
+          // One plan resolution for the whole run. If the build fails (or a
+          // backend override invalidates the key), each op falls back to its
+          // own probe inside execute(), surfacing per-op exceptions exactly
+          // as per-op submission would.
+          std::shared_ptr<const Plan> plan;
+          try {
+            plan = cache_.get_or_build(cfg_, key);
+          } catch (...) {
+            plan = nullptr;
+          }
+          for (std::size_t t = 0; t < n; ++t) {
+            try {
+              s.outs[t] = async_op(first[t], plan.get(), tel, trace_on,
+                                   ids[t], submit_ns);
+            } catch (...) {
+              s.errs[t] = std::current_exception();
+            }
+          }
+          return s;
+        }));
+    i = j;
+  }
+
   // Settle every job before surfacing the first failure, so no future is
   // abandoned with its operands possibly going out of scope at the caller.
   std::vector<Outcome> outs;
-  outs.reserve(futures.size());
+  outs.reserve(descs.size());
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
-      outs.push_back(f.get());
+      Slice s = f.get();
+      for (std::size_t t = 0; t < s.outs.size(); ++t) {
+        if (s.errs[t]) {
+          if (!first_error) first_error = s.errs[t];
+        } else {
+          outs.push_back(std::move(s.outs[t]));
+        }
+      }
     } catch (...) {
+      // A group job itself never throws, but a dying pool can drop it.
       if (!first_error) first_error = std::current_exception();
     }
   }
@@ -445,11 +638,9 @@ std::future<GraphOutcome> Runtime::submit_graph(const GraphDesc& g) {
   const bool trace_on = tel && tel->trace().enabled();
   const u64 op_id = g_op_seq.fetch_add(1, std::memory_order_relaxed);
   const u64 submit_ns = now_ns();
-  if (tel) {
-    auto lock = tel->lock();
-    tel->gauge("host.runtime.queue_depth")
-        .set(static_cast<double>(queued_.load(std::memory_order_relaxed)));
-  }
+  // No submit-side gauge write: the queue_depth gauge is refreshed by
+  // publish() at every completion, and taking the session lock here
+  // serialized producers against the workers' shard merges.
 
   return pool_->submit(
       [this, g, tel, trace_on, op_id, submit_ns]() -> GraphOutcome {

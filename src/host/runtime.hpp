@@ -43,6 +43,27 @@ struct TraceContext;
 
 namespace xd::host {
 
+/// An interned plan: shared, immutable, and exempt from plan-cache
+/// eviction. Hot paths (the serve daemon, run_batch, iterative solvers)
+/// resolve their shapes once via Runtime::pin_plan and hand the handle
+/// back to run()/submit(), skipping the mutex-guarded LRU probe per op.
+/// A handle is purely a fast path: if it does not match the descriptor's
+/// key at execution time (different shape, or a ScopedBackend override
+/// active), the runtime falls back to the normal cache lookup — outcomes
+/// are always identical with or without the handle.
+class PlanHandle {
+ public:
+  PlanHandle() = default;
+  bool valid() const { return plan_ != nullptr; }
+  const Plan& plan() const { return *plan_; }
+
+ private:
+  friend class Runtime;
+  explicit PlanHandle(std::shared_ptr<const Plan> plan)
+      : plan_(std::move(plan)) {}
+  std::shared_ptr<const Plan> plan_;
+};
+
 struct RuntimeStats {
   u64 submitted = 0;  ///< jobs handed to submit()/run_batch()
   u64 completed = 0;  ///< jobs finished successfully (sync + async)
@@ -67,8 +88,21 @@ class Runtime {
   /// on lane worker-id + 1.
   std::future<Outcome> submit(const OpDesc& desc);
 
+  /// Build (or adopt) and pin the plan for `desc`'s shape: the entry moves
+  /// out of the LRU eviction order into the pinned set, and the returned
+  /// handle short-circuits the plan probe when passed to run()/submit().
+  PlanHandle pin_plan(const OpDesc& desc);
+
+  /// run()/submit() with a pinned plan: identical semantics and outcomes,
+  /// minus the per-op plan-cache probe when the handle matches.
+  Outcome run(const OpDesc& desc, const PlanHandle& plan);
+  std::future<Outcome> submit(const OpDesc& desc, const PlanHandle& plan);
+
   /// Submit every descriptor, then wait for all of them in order. Throws
-  /// the first failed job's exception after all jobs settled.
+  /// the first failed job's exception after all jobs settled. Runs of
+  /// consecutive descriptors with identical PlanKeys take a fast path: one
+  /// pooled job stages the whole run under a single plan resolution (each
+  /// op keeps its own Outcome, trace context and flight-recorder entry).
   std::vector<Outcome> run_batch(const std::vector<OpDesc>& descs);
 
   /// Execute an op DAG on the calling thread: plan the chain partition
@@ -97,8 +131,20 @@ class Runtime {
   void publish(telemetry::Session& tel) const;
 
  private:
+  /// `pinned` (optional) bypasses the cache probe when its key matches the
+  /// descriptor's; on mismatch the normal lookup runs.
   Outcome execute(const OpDesc& desc, telemetry::Session* tel,
-                  telemetry::TraceContext* tc = nullptr);
+                  telemetry::TraceContext* tc = nullptr,
+                  const Plan* pinned = nullptr);
+  Outcome run_impl(const OpDesc& desc, const Plan* pinned);
+  std::future<Outcome> submit_impl(const OpDesc& desc,
+                                   std::shared_ptr<const Plan> pinned);
+  /// The worker-side body of an asynchronous op: stats, trace context,
+  /// shard telemetry, execute, merge. Shared by submit() and the run_batch
+  /// same-plan fast path.
+  Outcome async_op(const OpDesc& desc, const Plan* pinned,
+                   telemetry::Session* tel, bool trace_on, u64 op_id,
+                   u64 submit_ns);
   Outcome run_engine(const Plan& plan, const OpDesc& desc,
                      telemetry::Session* tel);
   GraphOutcome execute_graph(const GraphDesc& g, telemetry::Session* tel,

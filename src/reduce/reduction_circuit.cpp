@@ -68,6 +68,29 @@ ReductionCircuit::ReductionCircuit(unsigned adder_stages, bool dedicated_drain_a
   }
 }
 
+void ReductionCircuit::reset_for_reuse() {
+  adder_.reset();
+  if (drain_adder_) drain_adder_->reset();
+  for (auto& b : bufs_) {
+    for (auto& r : b.rows) r.reset();
+    b.rows_used = 0;
+    b.rows_active = 0;
+    b.words = 0;
+    b.drainable_rows = 0;
+    b.ready_rows = 0;
+  }
+  in_idx_ = 0;
+  next_set_id_ = 0;
+  cur_row_open_ = false;
+  cur_row_ = 0;
+  drain_rr_ = 0;
+  adder_issued_ = false;
+  cycles_ = 0;
+  stats_ = ReductionStats{};
+  out_queue_.clear();
+  trace_ = nullptr;
+}
+
 double ReductionCircuit::adder_utilization() const {
   if (!drain_adder_) return adder_.utilization();
   return (adder_.utilization() + drain_adder_->utilization()) / 2.0;

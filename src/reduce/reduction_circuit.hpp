@@ -84,6 +84,12 @@ class ReductionCircuit final : public ReductionCircuitBase {
   /// emitted (nullptr detaches). The trace must outlive the circuit's use.
   void attach_trace(sim::Trace* trace) { trace_ = trace; }
 
+  /// Back to the just-constructed state, keeping every buffer's storage and
+  /// detaching any trace. The recycled engine-scratch path reuses one
+  /// circuit across ops: construction allocates ~2*alpha row buffers, which
+  /// dominated the per-op cost of tiny operations.
+  void reset_for_reuse();
+
   /// Snapshot the circuit's counters into `reg` under `<prefix>.`: inputs,
   /// sets_completed, stall_cycles, swaps, cycles (counters) and
   /// peak_buffer_words / adder_utilization (gauges).

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include "common/thread_pool.hpp"
 #include "telemetry/json.hpp"
 
 namespace xd::serve {
@@ -209,7 +210,10 @@ void Server::handle_line(Connection& conn, std::string line, bool truncated) {
     if (p->req.is_graph) {
       p->gfut = runtime_.submit_graph(p->req.graph);
     } else {
-      p->fut = runtime_.submit(p->req.desc);
+      // Hot shapes go through an interned PlanHandle (invalid handle =
+      // normal LRU path); identical outcomes either way — the handle only
+      // skips the per-op cache probe.
+      p->fut = runtime_.submit(p->req.desc, pinned_for(p->req.desc));
     }
     p->has_future = true;
   } catch (const std::exception& e) {
@@ -318,6 +322,30 @@ void Server::writer_main(Connection& conn) {
   conn.threads_done.fetch_add(1);
 }
 
+host::PlanHandle Server::pinned_for(const host::OpDesc& desc) {
+  if (cfg_.pin_capacity == 0) return {};
+  const host::PlanKey key = host::PlanKey::from(desc, runtime_.config().tune);
+  {
+    std::lock_guard<std::mutex> lock(pins_mu_);
+    auto it = pins_.find(key);
+    if (it != pins_.end()) return it->second;
+    if (pins_.size() >= cfg_.pin_capacity) return {};
+  }
+  // Build outside pins_mu_ (plan construction may tune/probe); concurrent
+  // first-seers race benignly — PlanCache::pin is idempotent per key.
+  host::PlanHandle h;
+  try {
+    h = runtime_.pin_plan(desc);
+  } catch (...) {
+    // Invalid descriptor: let the ordinary submit path produce the error
+    // record so the reply text matches the unpinned server byte for byte.
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(pins_mu_);
+  if (pins_.size() < cfg_.pin_capacity) pins_.emplace(key, h);
+  return h;
+}
+
 ServerCounters Server::counters() const {
   ServerCounters c;
   c.accepted = accepted_.load();
@@ -354,6 +382,21 @@ std::string Server::stats_record(std::size_t line_no) {
   w.kv("max_inflight", static_cast<u64>(cfg_.max_inflight));
   w.kv("connections", static_cast<u64>(accepted_.load()));
   w.kv("workers", static_cast<u64>(runtime_.workers()));
+  // Plan-cache and scheduler behavior: how often the shared cache (or a
+  // pinned handle) absorbed a plan build, and how the pool's work-stealing
+  // deques split execution between cache-hot local pops and steals.
+  const host::PlanCache& pc = runtime_.plan_cache();
+  const u64 plan_hits = pc.hits(), plan_misses = pc.misses();
+  w.kv("plan_hits", plan_hits);
+  w.kv("plan_misses", plan_misses);
+  w.kv("plan_hit_rate",
+       plan_hits + plan_misses
+           ? static_cast<double>(plan_hits) /
+                 static_cast<double>(plan_hits + plan_misses)
+           : 0.0);
+  w.kv("plan_pinned", static_cast<u64>(pc.pinned_count()));
+  w.kv("pool_steals", static_cast<u64>(ThreadPool::shared().steals()));
+  w.kv("pool_local_pops", static_cast<u64>(ThreadPool::shared().local_pops()));
   {
     auto lock = session_.lock();
     for (const char* name :

@@ -39,6 +39,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/socket.hpp"
 #include "host/runtime.hpp"
@@ -61,6 +62,11 @@ struct ServerConfig {
   /// peer that stops reading makes the writer's send fail within this
   /// bound instead of blocking forever, which keeps drain() finite.
   int send_timeout_ms = 10000;
+  /// The server interns a PlanHandle for the first `pin_capacity` distinct
+  /// op shapes it sees and resubmits through it, so a hot shape skips the
+  /// per-op LRU probe and can never be evicted by cold-shape churn. Shapes
+  /// past the bound use the normal plan cache. 0 disables pinning.
+  std::size_t pin_capacity = 16;
   host::ContextConfig engine;      ///< the shared Runtime's configuration
 };
 
@@ -121,6 +127,7 @@ class Server {
   void enqueue(Connection& conn, std::unique_ptr<Pending> p);
   void reap_finished();
   void publish_gauges();
+  host::PlanHandle pinned_for(const host::OpDesc& desc);
 
   ServerConfig cfg_;
   std::uint16_t port_ = 0;
@@ -138,6 +145,10 @@ class Server {
 
   std::mutex conns_mu_;
   std::list<std::unique_ptr<Connection>> conns_;
+
+  /// First-come interned plan handles, bounded by cfg_.pin_capacity.
+  std::mutex pins_mu_;
+  std::unordered_map<host::PlanKey, host::PlanHandle, host::PlanKeyHash> pins_;
 };
 
 }  // namespace xd::serve

@@ -244,6 +244,19 @@ std::optional<CheckFailure> check_op(const FuzzCase& fc, CaseData& data) {
     return CheckFailure{"concurrency", cat("submit() differs from run(): ", *d)};
   }
 
+  // Pinned-plan fast path == LRU path, bit-identical including cycles and
+  // stalls: a PlanHandle only skips the per-op cache probe, it must never
+  // change what executes.
+  {
+    const host::PlanHandle pinned = rt.pin_plan(data.desc);
+    if (auto d = outcome_diff(base, rt.run(data.desc, pinned))) {
+      return CheckFailure{"pinned-plan", cat("pinned run() differs: ", *d)};
+    }
+    if (auto d = outcome_diff(base, rt.submit(data.desc, pinned).get())) {
+      return CheckFailure{"pinned-plan", cat("pinned submit() differs: ", *d)};
+    }
+  }
+
   // Three concurrent copies == three sequential runs (they are all the same
   // deterministic simulation).
   const auto outs = rt.run_batch({data.desc, data.desc, data.desc});

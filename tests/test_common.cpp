@@ -276,3 +276,114 @@ TEST(ParallelFor, DeterministicResults) {
   };
   EXPECT_EQ(run(1), run(8));
 }
+
+// ---- work-stealing pool and its environment knob ---------------------------
+
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+
+namespace {
+
+/// RAII guard: set XDBLAS_WORKERS for one test, restore the prior value.
+struct WorkersEnv {
+  std::string saved;
+  bool had;
+  WorkersEnv() {
+    const char* old = std::getenv("XDBLAS_WORKERS");
+    had = old != nullptr;
+    if (had) saved = old;
+  }
+  ~WorkersEnv() {
+    if (had) {
+      ::setenv("XDBLAS_WORKERS", saved.c_str(), 1);
+    } else {
+      ::unsetenv("XDBLAS_WORKERS");
+    }
+  }
+  static void set(const char* v) { ::setenv("XDBLAS_WORKERS", v, 1); }
+};
+
+}  // namespace
+
+TEST(DefaultWorkers, AcceptsExactPositiveIntegers) {
+  WorkersEnv env;
+  WorkersEnv::set("17");
+  EXPECT_EQ(default_workers(), 17u);
+  WorkersEnv::set("1");
+  EXPECT_EQ(default_workers(), 1u);
+  WorkersEnv::set("4096");  // the cap itself is legal
+  EXPECT_EQ(default_workers(), 4096u);
+}
+
+TEST(DefaultWorkers, RejectsGarbageWithFallback) {
+  WorkersEnv env;
+  ::unsetenv("XDBLAS_WORKERS");
+  const unsigned fallback = default_workers();  // hardware concurrency
+  // strtol would silently accept "4abc" as 4; the parser must not.
+  for (const char* bad :
+       {"4abc", "abc", "-2", "0", "4097", "0x10", "99999999999999999999"}) {
+    WorkersEnv::set(bad);
+    EXPECT_EQ(default_workers(), fallback) << "XDBLAS_WORKERS=" << bad;
+  }
+  WorkersEnv::set("");  // empty counts as unset, no warning
+  EXPECT_EQ(default_workers(), fallback);
+}
+
+TEST(ThreadPool, CountsEveryExecutedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 200);
+  // local_pops + steals tallies exactly the tasks executed, however the
+  // deques split them.
+  EXPECT_EQ(pool.local_pops() + pool.steals(), 200u);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBusyWorkersDeque) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  // The outer job posts 50 tasks — worker-local, so they all land on ITS
+  // deque — then blocks until they finish. It never pops while blocked, so
+  // every one of the 50 must be stolen by the other worker.
+  auto fut = pool.submit([&] {
+    for (int i = 0; i < 50; ++i) pool.post([&] { done.fetch_add(1); });
+    while (done.load() < 50) std::this_thread::yield();
+  });
+  fut.get();
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_GE(pool.steals(), 50u);
+}
+
+TEST(ThreadPool, NestedParallelForInsidePooledJobsIsDeterministic) {
+  // Pool jobs that each run a parallel_for (which fans chunks onto the
+  // SHARED pool while the caller participates): no deadlock, and every
+  // job's result matches the sequential computation exactly.
+  ThreadPool pool(4);
+  auto golden = [](int j) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < 512; ++i) {
+      s += std::sin(static_cast<double>(i + 31 * j));
+    }
+    return s;
+  };
+  std::vector<std::future<double>> futs;
+  for (int j = 0; j < 16; ++j) {
+    futs.push_back(pool.submit([j] {
+      std::vector<double> v(512);
+      parallel_for(0, v.size(), [&](std::size_t i) {
+        v[i] = std::sin(static_cast<double>(i + 31 * j));
+      }, 4);
+      double s = 0.0;
+      for (double x : v) s += x;
+      return s;
+    }));
+  }
+  for (int j = 0; j < 16; ++j) EXPECT_EQ(futs[j].get(), golden(j)) << j;
+}

@@ -536,3 +536,206 @@ TEST(ParallelFor, NestedInsidePoolJobDoesNotDeadlock) {
   }
   for (auto& f : futs) EXPECT_EQ(f.get(), 999L * 1000L / 2);
 }
+
+// ---- small-op executor: pinned plans, slab state, batch fast path ----------
+
+namespace {
+
+/// Full bit-exact outcome equality: every value AND the timing report.
+void expect_outcome_eq(const Outcome& got, const Outcome& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.values.size(), want.values.size()) << what;
+  for (std::size_t i = 0; i < got.values.size(); ++i) {
+    EXPECT_EQ(got.values[i], want.values[i]) << what << " values[" << i << "]";
+  }
+  EXPECT_EQ(got.report.cycles, want.report.cycles) << what;
+  EXPECT_EQ(got.report.stall_cycles, want.report.stall_cycles) << what;
+  EXPECT_EQ(got.report.flops, want.report.flops) << what;
+}
+
+}  // namespace
+
+TEST(Runtime, PinnedPlanBitIdenticalToLruPath) {
+  Rng rng(21);
+  const auto u = rng.vector(48), v = rng.vector(48);
+  const auto a = rng.matrix(24, 24);
+  const auto x = rng.vector(24);
+
+  Runtime rt({});
+  const Outcome dref = rt.run(OpDesc::dot(u, v));
+  const Outcome gref = rt.run(OpDesc::gemv(a, 24, 24, x));
+
+  const host::PlanHandle hd = rt.pin_plan(OpDesc::dot(u, v));
+  const host::PlanHandle hg = rt.pin_plan(OpDesc::gemv(a, 24, 24, x));
+  ASSERT_TRUE(hd.valid());
+  ASSERT_TRUE(hg.valid());
+
+  expect_outcome_eq(rt.run(OpDesc::dot(u, v), hd), dref, "pinned dot run");
+  expect_outcome_eq(rt.submit(OpDesc::dot(u, v), hd).get(), dref,
+                    "pinned dot submit");
+  expect_outcome_eq(rt.run(OpDesc::gemv(a, 24, 24, x), hg), gref,
+                    "pinned gemv run");
+  // A handle for the wrong shape is detected, not trusted: the mismatch
+  // falls back to the ordinary cache probe and still computes the right op.
+  expect_outcome_eq(rt.run(OpDesc::dot(u, v), hg), dref, "mismatched handle");
+  // A default-constructed (invalid) handle behaves like no handle at all.
+  expect_outcome_eq(rt.run(OpDesc::dot(u, v), host::PlanHandle{}), dref,
+                    "invalid handle");
+}
+
+TEST(Runtime, PinnedPlansExemptFromEviction) {
+  ContextConfig cfg;
+  cfg.plan_cache_capacity = 2;
+  Runtime rt(cfg);
+  const auto& cache = rt.plan_cache();
+
+  Rng rng(22);
+  const auto a16 = rng.matrix(16, 16);
+  const auto x16 = rng.vector(16);
+
+  rt.run(OpDesc::gemv(a16, 16, 16, x16));  // builds an LRU entry
+  EXPECT_EQ(cache.size(), 1u);
+  const host::PlanHandle h = rt.pin_plan(OpDesc::gemv(a16, 16, 16, x16));
+  ASSERT_TRUE(h.valid());
+  // Pinning promotes the existing LRU entry rather than rebuilding it.
+  EXPECT_EQ(cache.pinned_count(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Churn far past the LRU capacity: the pinned plan must survive.
+  for (std::size_t n : {24, 32, 40, 48, 56, 64}) {
+    Rng r(100 + n);
+    const auto a = r.matrix(n, n);
+    const auto xx = r.vector(n);
+    rt.run(OpDesc::gemv(a, n, n, xx));
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.pinned_count(), 1u);
+
+  const u64 h0 = cache.hits();
+  rt.run(OpDesc::gemv(a16, 16, 16, x16));  // pinned probe counts as a hit
+  EXPECT_EQ(cache.hits(), h0 + 1);
+
+  rt.pin_plan(OpDesc::gemv(a16, 16, 16, x16));  // idempotent
+  EXPECT_EQ(cache.pinned_count(), 1u);
+}
+
+TEST(Runtime, PinnedCountPublishedAsGauge) {
+  telemetry::Session tel;
+  ContextConfig cfg;
+  cfg.telemetry = &tel;
+  Runtime rt(cfg);
+
+  Rng rng(26);
+  const auto u = rng.vector(32), v = rng.vector(32);
+  rt.pin_plan(OpDesc::dot(u, v));
+  rt.run(OpDesc::dot(u, v));  // run publishes the host.plan.* gauges
+
+  auto lock = tel.lock();
+  const telemetry::Metric* m = tel.metrics().find("host.plan.pinned");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, 1.0);
+}
+
+TEST(Runtime, RunBatchFastPathMatchesPerOpRuns) {
+  Rng rng(23);
+  // Long same-shape runs (the staged fast path) with distinct data per op,
+  // plus a shape switch and a trailing singleton — every outcome must be
+  // bit-identical to a sequential per-op run, cycles included.
+  std::vector<std::vector<double>> us, vs, xs;
+  for (int i = 0; i < 12; ++i) {
+    us.push_back(rng.vector(40));
+    vs.push_back(rng.vector(40));
+  }
+  const auto a = rng.matrix(20, 20);
+  for (int i = 0; i < 6; ++i) xs.push_back(rng.vector(20));
+
+  std::vector<OpDesc> descs;
+  for (int i = 0; i < 12; ++i) descs.push_back(OpDesc::dot(us[i], vs[i]));
+  for (int i = 0; i < 6; ++i) descs.push_back(OpDesc::gemv(a, 20, 20, xs[i]));
+  descs.push_back(OpDesc::dot(us[0], vs[0]));
+
+  Runtime rt({});
+  Runtime seq({});
+  const auto outs = rt.run_batch(descs);
+  ASSERT_EQ(outs.size(), descs.size());
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    expect_outcome_eq(outs[i], seq.run(descs[i]), cat("batch[", i, "]"));
+  }
+}
+
+TEST(Runtime, RunBatchFastPathPropagatesMidGroupErrors) {
+  Rng rng(24);
+  const auto u = rng.vector(32), v = rng.vector(32);
+  const auto bad = rng.vector(16);  // wrong length, same PlanKey as dot(u,v)
+
+  Runtime rt({});
+  EXPECT_THROW(
+      rt.run_batch({OpDesc::dot(u, v), OpDesc::dot(u, bad), OpDesc::dot(u, v)}),
+      ConfigError);
+  // Every job settled: the two good ops completed, the bad one failed.
+  const auto stats = rt.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(Runtime, TinySubmitStormAcrossShapesWithTinyCache) {
+  // The small-op soak the executor was rebuilt for: 10k tiny submits across
+  // four shapes through a capacity-2 plan cache, two shapes pinned, so the
+  // two unpinned shapes continuously evict each other while pinned handles
+  // bypass the churn. Every single future must be bit-identical (values and
+  // cycles) to a sequential reference run.
+  ContextConfig cfg;
+  cfg.plan_cache_capacity = 2;
+  Runtime rt(cfg);
+
+  Rng rng(25);
+  const auto u = rng.vector(24), v = rng.vector(24);
+  const auto u2 = rng.vector(48), v2 = rng.vector(48);
+  const auto a = rng.matrix(12, 12);
+  const auto x = rng.vector(12);
+  const auto a2 = rng.matrix(16, 16);
+  const auto x2 = rng.vector(16);
+  const OpDesc shapes[4] = {OpDesc::dot(u, v), OpDesc::dot(u2, v2),
+                            OpDesc::gemv(a, 12, 12, x),
+                            OpDesc::gemv(a2, 16, 16, x2)};
+  const host::PlanHandle pins[2] = {rt.pin_plan(shapes[0]),
+                                    rt.pin_plan(shapes[2])};
+
+  Runtime seq({});
+  Outcome want[4];
+  for (int s = 0; s < 4; ++s) want[s] = seq.run(shapes[s]);
+
+  const auto pool_work0 =
+      ThreadPool::shared().local_pops() + ThreadPool::shared().steals();
+
+  constexpr int kOps = 10000;
+  std::vector<std::future<Outcome>> futs;
+  futs.reserve(kOps);
+  for (int i = 0; i < kOps; ++i) {
+    const int s = i & 3;
+    if (s == 0) {
+      futs.push_back(rt.submit(shapes[0], pins[0]));
+    } else if (s == 2) {
+      futs.push_back(rt.submit(shapes[2], pins[1]));
+    } else {
+      futs.push_back(rt.submit(shapes[s]));
+    }
+  }
+
+  int value_mismatches = 0, cycle_mismatches = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const Outcome got = futs[i].get();
+    const Outcome& ref = want[i & 3];
+    if (got.values != ref.values) ++value_mismatches;
+    if (got.report.cycles != ref.report.cycles) ++cycle_mismatches;
+  }
+  EXPECT_EQ(value_mismatches, 0);
+  EXPECT_EQ(cycle_mismatches, 0);
+  EXPECT_EQ(rt.stats().completed, static_cast<u64>(kOps));
+  EXPECT_EQ(rt.stats().failed, 0u);
+  EXPECT_EQ(rt.plan_cache().pinned_count(), 2u);
+  // Every op was executed off a worker deque (locally popped or stolen).
+  const auto pool_work1 =
+      ThreadPool::shared().local_pops() + ThreadPool::shared().steals();
+  EXPECT_GE(pool_work1 - pool_work0, static_cast<unsigned long long>(kOps));
+}

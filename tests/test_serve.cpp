@@ -392,9 +392,15 @@ TEST(Serve, StatsControlLineReportsCountersAndPercentiles) {
        {"\"op\":\"stats\"", "\"completed\":", "\"shed\":", "\"inflight\":",
         "\"max_inflight\":", "\"connections\":", "\"workers\":",
         "\"e2e_p50_us\":", "\"e2e_p99_us\":", "\"exec_p50_us\":",
-        "\"queue_wait_p99_us\":"}) {
+        "\"queue_wait_p99_us\":", "\"plan_hits\":", "\"plan_misses\":",
+        "\"plan_hit_rate\":", "\"plan_pinned\":", "\"pool_steals\":",
+        "\"pool_local_pops\":"}) {
     EXPECT_NE(rec.find(field), std::string::npos) << field;
   }
+  // The mixed traffic repeated shapes, so the server interned pinned plans
+  // for them.
+  EXPECT_GE(ts.server.runtime().plan_cache().pinned_count(), 1u);
+  EXPECT_EQ(rec.find("\"plan_pinned\":0,"), std::string::npos);
 }
 
 // The golden corpus, streamed over a live connection in adversarial chunk

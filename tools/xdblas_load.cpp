@@ -341,6 +341,11 @@ int main(int argc, char** argv) {
     num_after(stats, "e2e_p95_us", 0, p95);
     num_after(stats, "e2e_p99_us", 0, p99);
     num_after(stats, "shed", 0, shed_srv);
+    double plan_hit_rate = 0, plan_pinned = 0, steals = 0, local_pops = 0;
+    num_after(stats, "plan_hit_rate", 0, plan_hit_rate);
+    num_after(stats, "plan_pinned", 0, plan_pinned);
+    num_after(stats, "pool_steals", 0, steals);
+    num_after(stats, "pool_local_pops", 0, local_pops);
 
     if (self) {
       server->drain();
@@ -369,6 +374,10 @@ int main(int argc, char** argv) {
     w.kv("p50_us", p50);
     w.kv("p95_us", p95);
     w.kv("p99_us", p99);
+    w.kv("plan_hit_rate", plan_hit_rate);
+    w.kv("plan_pinned", static_cast<u64>(plan_pinned));
+    w.kv("pool_steals", static_cast<u64>(steals));
+    w.kv("pool_local_pops", static_cast<u64>(local_pops));
     w.end_object();
     const std::string rec = w.str() + "\n";
     if (out_path.empty()) {
@@ -381,9 +390,12 @@ int main(int argc, char** argv) {
 
     std::fprintf(stderr,
                  "xdblas_load: %zu conns x %zu ops in %.2fs — "
-                 "%.0f ops/s, p50 %.0fus p99 %.0fus, %zu errors, %zu shed%s\n",
+                 "%.0f ops/s, p50 %.0fus p99 %.0fus, %zu errors, %zu shed, "
+                 "plan hit %.0f%% (%.0f pinned), pool %.0f local/%.0f "
+                 "stolen%s\n",
                  conns, ops, wall_s, ops_per_sec, p50, p99, total.errors,
-                 total.shed, bits_equal ? "" : " [MISMATCH]");
+                 total.shed, 100.0 * plan_hit_rate, plan_pinned, local_pops,
+                 steals, bits_equal ? "" : " [MISMATCH]");
     return bits_equal ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
