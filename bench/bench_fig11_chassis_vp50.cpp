@@ -20,7 +20,7 @@ int main() {
   for (unsigned slices = 1600; slices <= 2000; slices += 100) {
     std::vector<std::string> row{std::to_string(slices)};
     for (unsigned clock = 160; clock <= 200; clock += 10) {
-      const auto p = model::project_chassis(area, dev, slices, clock);
+      const auto p = model::project_chassis(area, dev, slices, clock, 6, 2048);
       row.push_back(TextTable::num(p.gflops, 1));
     }
     t.add_row(row);
@@ -29,7 +29,7 @@ int main() {
   bench::note("Paper: 'When the PE occupies 1600 slices and runs at 200 MHz, "
               "one chassis can achieve more than 27 GFLOPS.'");
 
-  const auto best = model::project_chassis(area, dev, 1600, 200.0);
+  const auto best = model::project_chassis(area, dev, 1600, 200.0, 6, 2048);
   const auto xd1 = mem::cray_xd1();
   bench::heading("Bandwidth requirements for the smallest/fastest PE");
   TextTable b({"Link", "Required", "Available (XD1)", "Met"});

@@ -18,7 +18,7 @@ int main() {
   for (unsigned slices = 1600; slices <= 2000; slices += 100) {
     std::vector<std::string> row{std::to_string(slices)};
     for (unsigned clock = 160; clock <= 200; clock += 10) {
-      const auto p = model::project_chassis(area, vp100, slices, clock);
+      const auto p = model::project_chassis(area, vp100, slices, clock, 6, 2048);
       row.push_back(TextTable::num(p.gflops, 1));
     }
     t.add_row(row);
@@ -26,8 +26,8 @@ int main() {
   bench::print_table(t);
 
   bench::heading("XC2VP100 vs XC2VP50 (same PE, best corner)");
-  const auto p100 = model::project_chassis(area, vp100, 1600, 200.0);
-  const auto p50 = model::project_chassis(area, vp50, 1600, 200.0);
+  const auto p100 = model::project_chassis(area, vp100, 1600, 200.0, 6, 2048);
+  const auto p50 = model::project_chassis(area, vp50, 1600, 200.0, 6, 2048);
   TextTable c({"Device", "PEs/FPGA", "Chassis GFLOPS", "Required SRAM",
                "Required DRAM"});
   c.row("XC2VP50", p50.pes_per_fpga, TextTable::num(p50.gflops, 1),

@@ -128,9 +128,9 @@ int main() {
 
   // --- Figures 11/12 --------------------------------------------------------
   {
-    const auto p50 = model::project_chassis(area, vp50, 1600, 200.0);
+    const auto p50 = model::project_chassis(area, vp50, 1600, 200.0, 6, 2048);
     const auto p100 =
-        model::project_chassis(area, machine::xc2vp100(), 1600, 200.0);
+        model::project_chassis(area, machine::xc2vp100(), 1600, 200.0, 6, 2048);
     check("F11: best-corner chassis GFLOPS > 27", 27.0, p50.gflops, 0.01);
     check("F12: VP100 ~ 50 GFLOPS", 50.4, p100.gflops, 0.02);
     check("F12: VP100/VP50 ~ 2x", 2.0, p100.gflops / p50.gflops, 0.1);

@@ -8,6 +8,7 @@
 #include "common/util.hpp"
 #include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
+#include "model/perf_model.hpp"
 #include "telemetry/session.hpp"
 
 namespace xd::blas3 {
@@ -35,24 +36,27 @@ u64 MmHierEngine::model_cycles(std::size_t n) const {
   return compute + static_cast<u64>(cfg_.k) * cfg_.l;  // array traversal skew
 }
 
-void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t n) const {
-  const double dn = static_cast<double>(n);
+void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t rows,
+                              std::size_t n) const {
   const double db = static_cast<double>(cfg_.b);
 
-  // DRAM traffic (Sec 5.2): each of the (n/b)^3 panel multiplies reads two
-  // b x b panels; C leaves once (n^2 words).
-  const double dram_words = 2.0 * dn * dn * dn / db + dn * dn;
-  const u64 compute_cycles = model_cycles(n);
-  const double io_cycles = dram_words / std::min(cfg_.dram_words_per_cycle,
-                                                 cfg_.link_words_per_cycle);
-  const u64 cycles =
-      std::max<u64>(compute_cycles, static_cast<u64>(std::ceil(io_cycles)));
+  // DRAM traffic (Sec 5.2, rows-general): each rows x n panel multiply
+  // reads two b x b panels per step; C leaves once (rows x n words). The
+  // formulas live in model/perf_model so the shard scheduler's analytic
+  // model and this engine can never drift; rows == n reproduces the square
+  // arithmetic bit-for-bit.
+  const double dram_words = model::mm_hier_panel_dram_words(rows, n, cfg_.b);
+  const u64 compute_cycles =
+      model::mm_hier_panel_model_cycles(rows, n, cfg_.k, cfg_.l);
+  const u64 cycles = model::mm_hier_panel_cycles(
+      rows, n, cfg_.k, cfg_.l, cfg_.b,
+      std::min(cfg_.dram_words_per_cycle, cfg_.link_words_per_cycle));
 
   out.report.design = cat("mm-hier l=", cfg_.l, " k=", cfg_.k, " m=", cfg_.m,
                           " b=", cfg_.b);
   out.report.cycles = cycles;
   out.report.compute_cycles = compute_cycles;
-  out.report.flops = 2ull * n * n * n;
+  out.report.flops = 2ull * rows * n * n;
   out.report.stall_cycles = cycles - compute_cycles;
   out.report.dram_words = dram_words;
   // Per-FPGA C' traffic: one read + one write per cycle (Sec 6.3), plus the
@@ -83,7 +87,7 @@ void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t n) const {
     tel->gauge("mem.sram.gemm.panel_words").set(out.sram_panel_words);
     tel->gauge("mem.sram.gemm.required_words_per_cycle")
         .set(out.required_sram_words_per_cycle);
-    tel->counter("fpu.gemm.mac.ops").add(static_cast<u64>(n) * n * n);
+    tel->counter("fpu.gemm.mac.ops").add(static_cast<u64>(rows) * n * n);
     tel->gauge("fpu.gemm.pe.count")
         .set(static_cast<double>(cfg_.k) * cfg_.l);
     tel->counter("blas3.gemm.runs").add(1);
@@ -97,26 +101,36 @@ void MmHierEngine::fill_model(MmHierOutcome& out, std::size_t n) const {
 MmHierOutcome MmHierEngine::project(std::size_t n) const {
   require(n % cfg_.b == 0, "n must be a multiple of b");
   MmHierOutcome out;
-  fill_model(out, n);
+  fill_model(out, n, n);
   return out;
 }
 
 MmHierOutcome MmHierEngine::run(const std::vector<double>& a,
                                 const std::vector<double>& b, std::size_t n) {
+  return run_panel(a, n, b, n);
+}
+
+MmHierOutcome MmHierEngine::run_panel(const std::vector<double>& a,
+                                      std::size_t rows,
+                                      const std::vector<double>& b,
+                                      std::size_t n) {
   require(n >= 1 && n % cfg_.b == 0, "n must be a positive multiple of b");
-  require(a.size() == n * n && b.size() == n * n, "GEMM: matrix size mismatch");
+  require(rows >= 1, "GEMM panel needs at least one row");
+  require(a.size() == rows * n && b.size() == n * n,
+          "GEMM: matrix size mismatch");
 
   MmHierOutcome out;
-  out.c.assign(n * n, 0.0);
+  out.c.assign(rows * n, 0.0);
 
   // Numerics: every C element accumulates its products in ascending inner
   // index — the exact order the PE array produces (validated bit-for-bit
-  // against MmArrayEngine in tests), independent of the blocking.
-  std::vector<u64> abits(n * n), bbits(n * n);
-  std::memcpy(abits.data(), a.data(), n * n * sizeof(double));
+  // against MmArrayEngine in tests), independent of the blocking. This is
+  // what makes row-panel sharding bit-identical to a single full run.
+  std::vector<u64> abits(rows * n), bbits(n * n);
+  std::memcpy(abits.data(), a.data(), rows * n * sizeof(double));
   std::memcpy(bbits.data(), b.data(), n * n * sizeof(double));
   const fp::Backend& be = fp::active_backend();
-  parallel_for(0, n, [&](std::size_t row) {
+  parallel_for(0, rows, [&](std::size_t row) {
     for (std::size_t col = 0; col < n; ++col) {
       u64 acc = fp::kPosZero;
       for (std::size_t inner = 0; inner < n; ++inner) {
@@ -126,7 +140,7 @@ MmHierOutcome MmHierEngine::run(const std::vector<double>& a,
     }
   });
 
-  fill_model(out, n);
+  fill_model(out, rows, n);
   return out;
 }
 

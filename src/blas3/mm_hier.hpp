@@ -62,6 +62,14 @@ class MmHierEngine {
   MmHierOutcome run(const std::vector<double>& a, const std::vector<double>& b,
                     std::size_t n);
 
+  /// C = A * B where A is a rows x n row panel and B is n x n (n a multiple
+  /// of b; rows need not be). This is the sub-op shape the shard scheduler
+  /// (host/shard.hpp) dispatches: because every C element accumulates its
+  /// products in ascending inner index regardless of blocking, a row panel
+  /// computed here is bit-identical to the same rows of the full run().
+  MmHierOutcome run_panel(const std::vector<double>& a, std::size_t rows,
+                          const std::vector<double>& b, std::size_t n);
+
   /// Effective-latency model: n^3 / (k l) cycles plus the k*l array skew.
   u64 model_cycles(std::size_t n) const;
 
@@ -73,7 +81,7 @@ class MmHierEngine {
   const MmHierConfig& config() const { return cfg_; }
 
  private:
-  void fill_model(MmHierOutcome& out, std::size_t n) const;
+  void fill_model(MmHierOutcome& out, std::size_t rows, std::size_t n) const;
   MmHierConfig cfg_;
 };
 

@@ -235,6 +235,13 @@ OpDesc OpDesc::gemm(const std::vector<double>& a, const std::vector<double>& b,
   return d;
 }
 
+OpDesc OpDesc::gemm_panel(const std::vector<double>& a, std::size_t rows,
+                          const std::vector<double>& b, std::size_t n) {
+  OpDesc d = gemm(a, b, n);
+  d.rows = rows;
+  return d;
+}
+
 OpDesc OpDesc::gemm_array(const std::vector<double>& a,
                           const std::vector<double>& b, std::size_t n) {
   OpDesc d = gemm(a, b, n);
@@ -280,8 +287,17 @@ void OpDesc::validate() const {
     case OpKind::GemmMulti: {
       require(a && b, "gemm: missing operands");
       const std::size_t elems = shape_product(n, n, "gemm");
-      require(a->size() == elems && b->size() == elems,
-              "gemm: matrix size != n * n");
+      require(b->size() == elems, "gemm: matrix size != n * n");
+      if (rows == 0) {
+        require(a->size() == elems, "gemm: matrix size != n * n");
+      } else {
+        // Row-panel form: only the hierarchical engine runs panels; the
+        // cycle-accurate array/multi engines are square-only.
+        require(kind == OpKind::Gemm,
+                "gemm: row panels need the hierarchical engine");
+        require(a->size() == shape_product(rows, n, "gemm panel"),
+                "gemm: A size != rows * n");
+      }
       break;
     }
   }

@@ -97,7 +97,7 @@ struct OpDesc {
   OpKind kind = OpKind::Dot;
   Placement placement = Placement::Sram;
   GemvArch arch = GemvArch::Tree;
-  std::size_t rows = 0;  ///< GEMV: rows of A
+  std::size_t rows = 0;  ///< GEMV: rows of A; Gemm: panel rows (0 = square)
   std::size_t cols = 0;  ///< dot: n; GEMV: cols of A
   std::size_t n = 0;     ///< GEMM: matrix edge
   std::size_t batch = 0; ///< DotBatch: number of pairs
@@ -122,6 +122,11 @@ struct OpDesc {
   static OpDesc spmxv(const blas2::CrsMatrix& a, const std::vector<double>& x);
   static OpDesc gemm(const std::vector<double>& a, const std::vector<double>& b,
                      std::size_t n);
+  /// Row-panel GEMM: C = A B where A is rows x n and B is n x n. This is
+  /// the sub-op shape the shard scheduler dispatches (hierarchical engine
+  /// only); rows == 0 is reserved to mean "square" on a plain gemm().
+  static OpDesc gemm_panel(const std::vector<double>& a, std::size_t rows,
+                           const std::vector<double>& b, std::size_t n);
   static OpDesc gemm_array(const std::vector<double>& a,
                            const std::vector<double>& b, std::size_t n);
   static OpDesc gemm_multi(const std::vector<double>& a,

@@ -238,7 +238,12 @@ Outcome Runtime::run_engine(const Plan& plan, const OpDesc& desc,
       } else {
         blas3::MmHierEngine engine(
             with_telemetry(std::get<blas3::MmHierConfig>(plan.engine), tel));
-        out = to_outcome(engine.run(*desc.a, *desc.b, desc.n));
+        // rows != 0 marks the shard scheduler's row-panel form (validate()
+        // guarantees it only reaches the hierarchical engine).
+        out = desc.rows != 0
+                  ? to_outcome(engine.run_panel(*desc.a, desc.rows, *desc.b,
+                                                desc.n))
+                  : to_outcome(engine.run(*desc.a, *desc.b, desc.n));
       }
       break;
     }

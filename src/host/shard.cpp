@@ -1,0 +1,362 @@
+#include "host/shard.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "fp/backend.hpp"
+
+namespace xd::host {
+
+namespace {
+
+/// Channel carrying the hop between global chain positions p and p+1.
+/// Within a chassis the two directions have their own RocketIO channel;
+/// a hop crossing a chassis boundary uses the single inter-chassis link
+/// for both directions (they contend, exactly like the projection's
+/// shared RapidArray switch).
+mem::Channel& hop_channel(machine::System& system, unsigned p, bool forward) {
+  const unsigned nodes = system.config().chassis.nodes;
+  const unsigned c = p / nodes;
+  if ((p + 1) % nodes == 0) return system.chassis_link(c);
+  machine::Chassis& ch = system.chassis(c);
+  return forward ? ch.forward_link(p % nodes) : ch.backward_link(p % nodes);
+}
+
+using BusyMap = std::unordered_map<const mem::Channel*, u64>;
+
+/// Drive one store-and-forward leg: tick the channel, moving whole words
+/// greedily, until the panel has crossed AND the analytic duration
+/// ceil(words / rate) has elapsed — so a leg's cost never depends on the
+/// fractional credit a previous leg left behind, and the channel-driven
+/// timing equals model::shard_leg_cycles exactly while the channel's word
+/// and cycle counters record the real traffic. Legs on one channel are
+/// serialized through `busy` (shards are laid out in ascending index
+/// order, which makes the whole timeline deterministic).
+u64 drive_leg(mem::Channel& ch, std::size_t words, u64 ready, BusyMap& busy) {
+  const u64 start = std::max(ready, busy[&ch]);
+  const u64 min_ticks =
+      model::shard_leg_cycles(static_cast<double>(words), ch.rate());
+  std::size_t moved = 0;
+  u64 ticks = 0;
+  while (moved < words || ticks < min_ticks) {
+    ch.tick();
+    ++ticks;
+    while (moved < words && ch.can_transfer(1.0)) {
+      ch.transfer(1.0);
+      ++moved;
+    }
+  }
+  const u64 end = start + ticks;
+  busy[&ch] = end;
+  return end;
+}
+
+/// The serialized scatter/compute/gather timeline over analytic leg costs —
+/// the closed-form twin of the channel-driven loop in run(). Used for
+/// ranking candidate l values (and for GEMM it is exactly
+/// model::shard_gemm_model_cycles, which tests pin against the sim).
+template <class ScatterWords, class GatherWords, class EngineCycles>
+u64 analytic_timeline(unsigned l, unsigned nodes, double fwd_wpc,
+                      double bwd_wpc, double xlink_wpc,
+                      ScatterWords scatter_words, GatherWords gather_words,
+                      EngineCycles engine_cycles) {
+  std::vector<u64> busy(3 * static_cast<std::size_t>(l > 1 ? l - 1 : 1), 0);
+  auto leg = [&](unsigned p, bool forward, double words, u64 ready) {
+    const bool cross = (p + 1) % nodes == 0;
+    const std::size_t key =
+        3 * static_cast<std::size_t>(p) + (cross ? 2 : (forward ? 0 : 1));
+    const double wpc = cross ? xlink_wpc : (forward ? fwd_wpc : bwd_wpc);
+    const u64 end = std::max(busy[key], ready) +
+                    model::shard_leg_cycles(words, wpc);
+    busy[key] = end;
+    return end;
+  };
+  std::vector<u64> done(l, 0);
+  for (unsigned i = 0; i < l; ++i) {
+    u64 t = 0;
+    for (unsigned p = 0; p < i; ++p)
+      t = leg(p, /*forward=*/true, scatter_words(i), t);
+    done[i] = t + engine_cycles(i);
+  }
+  u64 total = done[0];
+  for (unsigned i = 1; i < l; ++i) {
+    u64 t = done[i];
+    for (unsigned p = i; p-- > 0;)
+      t = leg(p, /*forward=*/false, gather_words(i), t);
+    total = std::max(total, t);
+  }
+  return total;
+}
+
+}  // namespace
+
+struct ShardScheduler::EngineParams {
+  double clock_mhz = 0.0;
+  unsigned k = 1;
+  // GEMM (hierarchical engine) only:
+  unsigned engine_l = 1;
+  std::size_t b = 512;
+  double engine_wpc = 0.0;
+};
+
+ShardScheduler::ShardScheduler(Runtime& rt, machine::SystemConfig sys)
+    : rt_(rt), sys_(std::move(sys)) {
+  require(sys_.chassis_count >= 1, "shard: needs at least one chassis");
+  require(sys_.chassis.nodes >= 1, "shard: needs at least one node");
+}
+
+ShardScheduler::EngineParams ShardScheduler::resolve_engine(
+    const OpDesc& desc, std::size_t shard_rows) {
+  // Resolve through the plan layer — the same cache, tuner policy and
+  // engine derivation every other execution path uses, so the shard model
+  // can never drift from what the runtime will actually run.
+  PlanKey key;
+  key.kind = desc.kind;
+  key.placement = desc.placement;
+  key.arch = desc.arch;
+  key.backend = fp::active_backend().kind;
+  key.tune = rt_.config().tune;
+  if (desc.kind == OpKind::Gemm) {
+    key.rows = shard_rows;  // row-panel form, even at l = 1
+    key.n = desc.n;
+  } else {
+    key.rows = shard_rows;
+    key.cols = desc.cols;
+  }
+  const std::shared_ptr<const Plan> plan =
+      rt_.plan_cache().get_or_build(rt_.config(), key);
+
+  EngineParams ep;
+  if (const auto* hc = std::get_if<blas3::MmHierConfig>(&plan->engine)) {
+    ep.clock_mhz = hc->clock_mhz;
+    ep.k = hc->k;
+    ep.engine_l = hc->l;
+    ep.b = hc->b;
+    ep.engine_wpc =
+        std::min(hc->dram_words_per_cycle, hc->link_words_per_cycle);
+  } else if (const auto* tc = std::get_if<blas2::MxvTreeConfig>(&plan->engine)) {
+    ep.clock_mhz = tc->clock_mhz;
+    ep.k = tc->k;
+  } else if (const auto* cc = std::get_if<blas2::MxvColConfig>(&plan->engine)) {
+    ep.clock_mhz = cc->clock_mhz;
+    ep.k = cc->k;
+  } else {
+    require(false, "shard: plan resolved to an unshardable engine");
+  }
+  return ep;
+}
+
+u64 ShardScheduler::modeled_total(const OpDesc& desc, unsigned l,
+                                  const EngineParams& ep) {
+  const double clock_hz = ep.clock_mhz * 1e6;
+  const double fwd =
+      mem::Channel::words_per_cycle_for(sys_.chassis.link_bytes_per_s, clock_hz);
+  const double xlink = mem::Channel::words_per_cycle_for(
+      sys_.interchassis_bytes_per_s, clock_hz);
+
+  if (desc.kind == OpKind::Gemm) {
+    model::ShardGemmModel m;
+    m.l = l;
+    m.nodes_per_chassis = sys_.chassis.nodes;
+    m.fwd_wpc = fwd;
+    m.bwd_wpc = fwd;
+    m.xlink_wpc = xlink;
+    m.k = ep.k;
+    m.engine_l = ep.engine_l;
+    m.b = ep.b;
+    m.engine_wpc = ep.engine_wpc;
+    return model::shard_gemm_model_cycles(desc.n, m);
+  }
+  const double dc = static_cast<double>(desc.cols);
+  return analytic_timeline(
+      l, sys_.chassis.nodes, fwd, fwd, xlink,
+      [&](unsigned i) {
+        return static_cast<double>(model::shard_rows(desc.rows, l, i)) * dc +
+               dc;
+      },
+      [&](unsigned i) {
+        return static_cast<double>(model::shard_rows(desc.rows, l, i));
+      },
+      [&](unsigned i) {
+        return model::gemv_model_cycles(model::shard_rows(desc.rows, l, i),
+                                        desc.cols, ep.k);
+      });
+}
+
+ShardPlan ShardScheduler::plan(const OpDesc& desc, unsigned forced_l) {
+  desc.validate();
+  require(desc.kind == OpKind::Gemm || desc.kind == OpKind::Gemv,
+          "shard: only GEMM and GEMV can be sharded");
+  require(desc.placement == Placement::Sram,
+          "shard: sharded ops take Placement::Sram — the scatter legs are "
+          "the staging");
+  if (desc.kind == OpKind::Gemm) {
+    require(desc.rows == 0, "shard: pass the square descriptor; the "
+                            "scheduler derives the row panels");
+  } else {
+    require(desc.arch == GemvArch::Tree,
+            "shard: sharded GEMV needs the tree architecture (the column "
+            "design's rows/k hazard bound breaks under row splitting)");
+  }
+
+  const std::size_t rows = desc.kind == OpKind::Gemm ? desc.n : desc.rows;
+  const unsigned total = sys_.chassis_count * sys_.chassis.nodes;
+  const unsigned max_l =
+      static_cast<unsigned>(std::min<std::size_t>(total, rows));
+  require(max_l >= 1, "shard: nothing to split");
+  require(forced_l <= max_l,
+          cat("shard: l = ", forced_l, " exceeds ", max_l,
+              " (min of machine FPGAs and rows)"));
+
+  ShardPlan sp;
+  sp.kind = desc.kind;
+  sp.rows = rows;
+  sp.n = desc.kind == OpKind::Gemm ? desc.n : desc.cols;
+
+  // Joint choice of l and engine design: every candidate l re-resolves the
+  // shard-0 panel through the plan layer (whose tuner picks the engine for
+  // that panel shape) and is scored with the full scatter/compute/gather
+  // timeline. Ties go to the smaller l — fewer FPGAs, same cycles.
+  unsigned best_l = 1;
+  u64 best_cycles = 0;
+  EngineParams best_ep;
+  for (unsigned l = 1; l <= max_l; ++l) {
+    if (forced_l != 0 && l != forced_l) continue;
+    const EngineParams ep = resolve_engine(desc, model::shard_rows(rows, l, 0));
+    const u64 cycles = modeled_total(desc, l, ep);
+    sp.candidates.push_back(ShardCandidate{l, cycles});
+    if (sp.candidates.size() == 1 || cycles < best_cycles) {
+      best_l = l;
+      best_cycles = cycles;
+      best_ep = ep;
+    }
+  }
+  sp.l = best_l;
+  sp.model_cycles = best_cycles;
+  sp.clock_mhz = best_ep.clock_mhz;
+
+  for (unsigned i = 0; i < sp.l; ++i) {
+    ShardPiece piece;
+    piece.index = i;
+    piece.chassis = i / sys_.chassis.nodes;
+    piece.node = i % sys_.chassis.nodes;
+    piece.row0 = model::shard_row0(rows, sp.l, i);
+    piece.rows = model::shard_rows(rows, sp.l, i);
+    const EngineParams ep = resolve_engine(desc, piece.rows);
+    piece.engine_cycles =
+        desc.kind == OpKind::Gemm
+            ? model::mm_hier_panel_cycles(piece.rows, desc.n, ep.k,
+                                          ep.engine_l, ep.b, ep.engine_wpc)
+            : model::gemv_model_cycles(piece.rows, desc.cols, ep.k);
+    sp.pieces.push_back(piece);
+  }
+  return sp;
+}
+
+ShardOutcome ShardScheduler::run(const OpDesc& desc, unsigned forced_l) {
+  ShardOutcome out;
+  out.plan = plan(desc, forced_l);
+  const unsigned l = out.plan.l;
+  const std::size_t inner = desc.kind == OpKind::Gemm ? desc.n : desc.cols;
+
+  // The machine, rebuilt at the engine clock so every link's words/cycle
+  // and every engine cycle share one clock domain.
+  machine::SystemConfig mcfg = sys_;
+  mcfg.chassis.node.clock_mhz = out.plan.clock_mhz;
+  machine::System system(mcfg);
+
+  // Slice the operand rows each shard owns (contiguous in the row-major
+  // operand). The slices must outlive the futures; they live here.
+  std::vector<std::vector<double>> panels(l);
+  std::vector<OpDesc> subs(l);
+  for (unsigned i = 0; i < l; ++i) {
+    const ShardPiece& p = out.plan.pieces[i];
+    const double* base = desc.a->data() + p.row0 * inner;
+    panels[i].assign(base, base + p.rows * inner);
+    subs[i] = desc.kind == OpKind::Gemm
+                  ? OpDesc::gemm_panel(panels[i], p.rows, *desc.b, desc.n)
+                  : OpDesc::gemv(panels[i], p.rows, desc.cols, *desc.x,
+                                 Placement::Sram, GemvArch::Tree);
+  }
+
+  // Scatter: shard i's operand panel (its A rows plus the shared operand —
+  // B for GEMM, x for GEMV) walks hops 0..i-1, store-and-forward, shards
+  // in ascending order.
+  BusyMap busy;
+  std::vector<u64> ready(l, 0);
+  for (unsigned i = 1; i < l; ++i) {
+    const std::size_t words =
+        out.plan.pieces[i].rows * inner +
+        (desc.kind == OpKind::Gemm ? desc.n * desc.n : desc.cols);
+    u64 t = 0;
+    for (unsigned p = 0; p < i; ++p)
+      t = drive_leg(hop_channel(system, p, /*forward=*/true), words, t, busy);
+    ready[i] = t;
+  }
+
+  // Execute every shard concurrently on the runtime's pool. Engines are
+  // deterministic, so concurrent execution is bit-identical to sequential;
+  // futures are consumed in ascending shard order.
+  std::vector<std::future<Outcome>> futures;
+  futures.reserve(l);
+  for (unsigned i = 0; i < l; ++i) futures.push_back(rt_.submit(subs[i]));
+  out.shards.reserve(l);
+  for (unsigned i = 0; i < l; ++i) {
+    out.shards.push_back(futures[i].get());
+    out.plan.pieces[i].engine_cycles = out.shards[i].report.cycles;
+    out.plan.pieces[i].scatter_ready = ready[i];
+  }
+
+  // Gather: each result panel walks back to node 0 over the backward links
+  // (sharing the inter-chassis channels with the scatter), again in
+  // ascending shard order.
+  u64 makespan = ready[0] + out.plan.pieces[0].engine_cycles;
+  out.plan.pieces[0].done = makespan;
+  for (unsigned i = 1; i < l; ++i) {
+    const std::size_t words =
+        out.plan.pieces[i].rows * (desc.kind == OpKind::Gemm ? desc.n : 1);
+    u64 t = ready[i] + out.plan.pieces[i].engine_cycles;
+    for (unsigned p = i; p-- > 0;)
+      t = drive_leg(hop_channel(system, p, /*forward=*/false), words, t, busy);
+    out.plan.pieces[i].done = t;
+    makespan = std::max(makespan, t);
+  }
+
+  // Reduce in fixed deterministic order: ascending shard index, which is
+  // ascending row blocks — a pure concatenation, so the reduced values are
+  // bit-identical to single-device execution by construction.
+  out.values.reserve(out.plan.rows *
+                     (desc.kind == OpKind::Gemm ? desc.n : 1));
+  u64 flops = 0;
+  u64 max_engine = 0;
+  for (const Outcome& s : out.shards) {
+    out.values.insert(out.values.end(), s.values.begin(), s.values.end());
+    flops += s.report.flops;
+    max_engine = std::max(max_engine, s.report.cycles);
+  }
+
+  out.report.design =
+      cat("shard l=", l, " over ", system.chassis_count(), " chassis [",
+          out.shards.front().report.design, "]");
+  out.report.cycles = makespan;
+  out.report.compute_cycles = max_engine;
+  // The communication overhang beyond the slowest engine: scatter the
+  // engines could not hide plus the serialized gather tail.
+  out.report.staging_cycles = makespan - max_engine;
+  out.report.flops = flops;
+  out.report.clock_mhz = out.plan.clock_mhz;
+
+  for (unsigned c = 0; c < system.chassis_count(); ++c) {
+    machine::Chassis& ch = system.chassis(c);
+    for (unsigned i = 0; i + 1 < ch.node_count(); ++i) {
+      out.link_words += ch.forward_link(i).words_transferred();
+      out.link_words += ch.backward_link(i).words_transferred();
+    }
+  }
+  for (unsigned c = 0; c + 1 < system.chassis_count(); ++c)
+    out.interchassis_words += system.chassis_link(c).words_transferred();
+  return out;
+}
+
+}  // namespace xd::host

@@ -599,7 +599,11 @@ TuneResult tune_op(const ContextConfig& cfg, const PlanKey& key) {
       add_spmxv(tr.ranked, cfg, area, key.rows, key.cols);
       break;
     case OpKind::Gemm:
-      add_gemm(tr.ranked, cfg, area, key.n, true, true, true);
+      // Row-panel keys (rows != 0, the shard scheduler's sub-ops) tune
+      // within the hierarchical family only: the cycle-accurate array and
+      // multi-FPGA engines are square-only.
+      add_gemm(tr.ranked, cfg, area, key.n, key.rows == 0, true,
+               key.rows == 0);
       break;
     case OpKind::GemmArray:
       // An explicit engine request: tune within the family only.

@@ -1,7 +1,28 @@
 // Full reconfigurable-system model: multiple chassis connected by RapidArray
 // external switches (Sec 6.4.2: a typical XD1 installation has 12 chassis,
-// 4 GB/s between chassis). Used by the multi-chassis GEMM projection bench
-// and the chassis-scaling example.
+// 4 GB/s between chassis). Used by the multi-chassis GEMM projection bench,
+// the chassis-scaling example, and the host shard scheduler
+// (host/shard.hpp), which maps l-FPGA sub-ops onto the chain and charges
+// their transfer legs through these channels.
+//
+// Tick-ordering contract (pinned by tests/test_machine.cpp):
+// One System::tick() is one design-clock cycle for every component, advanced
+// in a fixed order — each chassis in index order (its nodes, then its
+// forward links, then its backward links), then the inter-chassis links in
+// index order. Consequences consumers may rely on:
+//   - No channel has credit before its first tick; nothing crosses any link
+//     in the cycle before the system first ticks.
+//   - Every link (intra- and inter-chassis) advances in lockstep: after N
+//     System::tick()s each reports cycles() == N.
+//   - Producers tick before the links that would carry their output (nodes
+//     before chassis links, chassis before inter-chassis links), so a word
+//     produced in cycle t can be offered to its outgoing link in cycle t
+//     (tick-then-transfer). A same-cycle produce->forward across a chassis
+//     boundary is therefore allowed, never ambiguous: the inter-chassis
+//     link accrues its cycle-t credit after all chassis-side producers ran.
+//   - Transfers at coarser granularity (the shard scheduler moves a whole
+//     panel per leg) are store-and-forward: a leg completes on the hop's
+//     channel before the next hop starts.
 #pragma once
 
 #include <memory>
@@ -21,6 +42,10 @@ class System {
  public:
   explicit System(const SystemConfig& cfg);
 
+  /// Advance one design-clock cycle in the documented order: all chassis
+  /// (nodes, forward links, backward links) first, then the inter-chassis
+  /// links — producers always tick before the links that carry their
+  /// output. See the header comment for the full contract.
   void tick();
 
   unsigned chassis_count() const { return static_cast<unsigned>(chassis_.size()); }

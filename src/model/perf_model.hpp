@@ -6,6 +6,7 @@
 // cycle-accurate engines against the model.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -149,6 +150,76 @@ GemmDesignPoint gemm_naive_multi(std::size_t n, unsigned k, unsigned l,
 /// SRAM panels cut the DRAM requirement to 3 k l / b words/cycle.
 GemmDesignPoint gemm_hier_multi(std::size_t n, unsigned k, unsigned l,
                                 unsigned m, std::size_t b);
+
+// ---- Sharded multi-FPGA execution (host/shard.hpp; docs/sharding.md) -------
+// The shard scheduler splits one GEMM/GEMV into l row panels, maps them onto
+// the machine::System FPGA chain, and charges explicit transfer legs through
+// the chassis/system channels. These formulas replicate that timeline
+// closed-form — one ceil(words / wpc) per leg, the same serialized
+// store-and-forward order — so the analytic model and the channel-driven
+// cycle sim agree exactly (tests/test_shard.cpp pins the equality, the same
+// discipline the fused-chain staging formulas above established).
+
+/// Rows shard i (0-based) of l owns under the deterministic row-panel
+/// split: base rows/l plus one of the first rows%l remainder rows.
+inline std::size_t shard_rows(std::size_t rows, unsigned l, unsigned i) {
+  const std::size_t base = rows / l;
+  return base + (i < rows % l ? 1 : 0);
+}
+
+/// First row of shard i under the same split.
+inline std::size_t shard_row0(std::size_t rows, unsigned l, unsigned i) {
+  const std::size_t base = rows / l;
+  const std::size_t rem = rows % l;
+  return static_cast<std::size_t>(i) * base + std::min<std::size_t>(i, rem);
+}
+
+/// One store-and-forward transfer leg across one channel:
+/// ceil(words / words_per_cycle). The shard scheduler's channel drive loop
+/// produces exactly this count (greedy whole-word drain of a credit
+/// accumulator whose burst exceeds rate + 1 word of carry).
+u64 shard_leg_cycles(double words, double words_per_cycle);
+
+/// The machine and per-shard engine parameters of the sharded-GEMM model.
+/// Link rates are in words per engine clock cycle (the scheduler builds its
+/// System at the engine clock, so every leg and every engine cycle share
+/// one clock domain).
+struct ShardGemmModel {
+  unsigned l = 1;                 ///< shards (one FPGA of the chain each)
+  unsigned nodes_per_chassis = 6;
+  double fwd_wpc = 0.0;           ///< intra-chassis forward (scatter) links
+  double bwd_wpc = 0.0;           ///< intra-chassis backward (gather) links
+  double xlink_wpc = 0.0;         ///< inter-chassis links (shared direction)
+  // Per-shard engine: the planned mm-hier row-panel design.
+  unsigned k = 8;                 ///< PEs per FPGA
+  unsigned engine_l = 1;          ///< FPGAs inside one shard's engine
+  std::size_t b = 512;            ///< SRAM panel edge
+  double engine_wpc = 0.0;        ///< min(dram, link) words/cycle of the engine
+};
+
+/// Compute cycles of a rows x n panel on the hierarchical design: the
+/// rows-general form of mm_hier_model_cycles plus the k*l array skew —
+/// exactly MmHierEngine's compute model (rows == n reduces to it).
+u64 mm_hier_panel_model_cycles(std::size_t rows, std::size_t n, unsigned k,
+                               unsigned l);
+
+/// DRAM words of a rows x n panel multiply: each of the rows/b * (n/b)^2
+/// panel multiplies reads two b x b panels, and the rows x n C panel leaves
+/// once (Sec 5.2 generalized; rows == n gives 2n^3/b + n^2).
+double mm_hier_panel_dram_words(std::size_t rows, std::size_t n,
+                                std::size_t b);
+
+/// Total engine cycles of the rows x n panel: max(compute, ceil(io)),
+/// MmHierEngine::fill_model's throttle.
+u64 mm_hier_panel_cycles(std::size_t rows, std::size_t n, unsigned k,
+                         unsigned l, std::size_t b, double engine_wpc);
+
+/// Reduced cycle count of the sharded n x n GEMM: the per-shard
+/// scatter-ready times (serialized legs over shared hops, shards in
+/// ascending index order), plus each shard's engine cycles, plus the
+/// serialized gather legs back to node 0 — the exact arithmetic
+/// host::ShardScheduler performs while driving the channels.
+u64 shard_gemm_model_cycles(std::size_t n, const ShardGemmModel& m);
 
 // ---- I/O complexity (Hong & Kung lower bound, Sec 5) -----------------------
 

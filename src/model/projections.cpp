@@ -26,6 +26,8 @@ ChassisProjection project_chassis(const machine::AreaModel& area,
                                   const machine::FpgaDevice& dev,
                                   unsigned pe_slices, double pe_clock_mhz,
                                   unsigned fpgas, std::size_t b) {
+  require(fpgas >= 1, "project_chassis: fpgas must be >= 1");
+  require(b >= 1, "project_chassis: SRAM panel edge b must be >= 1");
   ChassisProjection p;
   p.pe_slices = pe_slices;
   p.pe_clock_mhz = pe_clock_mhz;
@@ -44,21 +46,30 @@ ChassisProjection project_chassis(const machine::AreaModel& area,
 }
 
 std::vector<ChassisProjection> figure11_grid(const machine::AreaModel& area,
-                                             const machine::FpgaDevice& dev) {
+                                             const machine::FpgaDevice& dev,
+                                             unsigned fpgas, std::size_t b) {
+  require(fpgas >= 1, "figure11_grid: fpgas must be >= 1");
+  require(b >= 1, "figure11_grid: SRAM panel edge b must be >= 1");
   std::vector<ChassisProjection> grid;
   for (unsigned slices = 1600; slices <= 2000; slices += 100) {
     for (unsigned clock = 160; clock <= 200; clock += 10) {
-      grid.push_back(project_chassis(area, dev, slices, clock));
+      grid.push_back(project_chassis(area, dev, slices, clock, fpgas, b));
     }
   }
   return grid;
 }
 
-SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
-                                double clock_mhz, double per_fpga_gflops) {
+SystemProjection project_system(const machine::SystemConfig& sys, unsigned k,
+                                std::size_t b, double clock_mhz,
+                                double per_fpga_gflops) {
+  require(sys.chassis_count >= 1, "project_system: needs at least one chassis");
+  require(sys.chassis.nodes >= 1, "project_system: needs at least one node");
+  require(b >= 1, "project_system: SRAM panel edge b must be >= 1");
   SystemProjection s;
-  s.chassis = chassis;
-  s.total_fpgas = chassis * 6;
+  s.chassis = sys.chassis_count;
+  // One source of truth with the executable machine: the same arithmetic
+  // machine::System::total_fpgas() performs over its chassis.
+  s.total_fpgas = sys.chassis_count * sys.chassis.nodes;
   s.gflops = per_fpga_gflops * s.total_fpgas;
   const double clock_hz = clock_mhz * 1e6;
   const unsigned l = s.total_fpgas;
@@ -70,8 +81,15 @@ SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
   const mem::HierarchySpec xd1 = mem::cray_xd1();
   s.bandwidth_met = s.sram_bytes_per_s <= xd1.level(mem::Level::B).bytes_per_s &&
                     s.dram_bytes_per_s <= xd1.level(mem::Level::C).bytes_per_s &&
-                    s.interchassis_bytes_per_s <= 4.0 * kGB;
+                    s.interchassis_bytes_per_s <= sys.interchassis_bytes_per_s;
   return s;
+}
+
+SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
+                                double clock_mhz, double per_fpga_gflops) {
+  machine::SystemConfig sys;
+  sys.chassis_count = chassis;
+  return project_system(sys, k, b, clock_mhz, per_fpga_gflops);
 }
 
 }  // namespace xd::model

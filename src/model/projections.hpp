@@ -15,6 +15,7 @@
 
 #include "machine/area.hpp"
 #include "machine/device.hpp"
+#include "machine/system.hpp"
 
 namespace xd::model {
 
@@ -41,16 +42,22 @@ struct ChassisProjection {
 };
 
 /// Project one chassis configuration (Sec 6.4.1). `fpgas` is 6 for an XD1
-/// chassis; `b` is the SRAM panel edge (2048 in the paper).
+/// chassis; `b` is the SRAM panel edge (2048 in the paper). Both are
+/// explicit — a zero for either would divide the bandwidth formulas by zero
+/// — and are validated with a ConfigError.
 ChassisProjection project_chassis(const machine::AreaModel& area,
                                   const machine::FpgaDevice& dev,
                                   unsigned pe_slices, double pe_clock_mhz,
-                                  unsigned fpgas = 6, std::size_t b = 2048);
+                                  unsigned fpgas, std::size_t b);
 
 /// Full Figure 11 / 12 grid: PE area 1600..2000 step 100, clock 160..200
-/// step 10, on the given device.
+/// step 10, on the given device. `fpgas` and `b` are passed through to
+/// project_chassis explicitly (the paper's grid uses 6 and 2048) and
+/// validated the same way — rejecting fpgas == 0 / b == 0 instead of
+/// producing NaN or zero-division projections.
 std::vector<ChassisProjection> figure11_grid(const machine::AreaModel& area,
-                                             const machine::FpgaDevice& dev);
+                                             const machine::FpgaDevice& dev,
+                                             unsigned fpgas, std::size_t b);
 
 /// Multi-chassis projection (Sec 6.4.2).
 struct SystemProjection {
@@ -63,8 +70,20 @@ struct SystemProjection {
   bool bandwidth_met = false;           ///< against XD1's available bandwidth
 };
 
-/// Project `chassis` XD1 chassis running the measured k-PE design at
-/// `per_fpga_gflops` (the paper uses the measured 2.06 GFLOPS).
+/// Project the installation described by `sys` running the measured k-PE
+/// design at `per_fpga_gflops` (the paper uses the measured 2.06 GFLOPS).
+/// FPGA count and the inter-chassis bandwidth bound are read from the
+/// machine configuration — chassis_count * ChassisConfig::nodes and
+/// SystemConfig::interchassis_bytes_per_s — so this projection can never
+/// disagree with the executable machine::System built from the same config
+/// (total_fpgas always equals System::total_fpgas()).
+SystemProjection project_system(const machine::SystemConfig& sys, unsigned k,
+                                std::size_t b, double clock_mhz,
+                                double per_fpga_gflops);
+
+/// Convenience arity for the paper's default installation: `chassis` XD1
+/// chassis of 6 FPGAs each with 4 GB/s between chassis. Forwards to the
+/// SystemConfig overload with an otherwise-default configuration.
 SystemProjection project_system(unsigned chassis, unsigned k, std::size_t b,
                                 double clock_mhz, double per_fpga_gflops);
 

@@ -45,6 +45,7 @@ constexpr NamePair kKinds[] = {
     {"jacobi_batch", static_cast<int>(FuzzKind::JacobiBatch)},
     {"cg", static_cast<int>(FuzzKind::Cg)},
     {"graph", static_cast<int>(FuzzKind::Graph)},
+    {"sharded", static_cast<int>(FuzzKind::Sharded)},
 };
 
 constexpr NamePair kGraphForms[] = {
@@ -535,6 +536,22 @@ void materialize(const FuzzCase& fc, CaseData& data) {
     }
     case FuzzKind::Graph: {
       materialize_graph(fc, data, rng);
+      break;
+    }
+    case FuzzKind::Sharded: {
+      // n > 0 selects a square hierarchical GEMM, otherwise a tree GEMV
+      // (rows x cols). Never sabotaged; the shard checker re-runs the same
+      // descriptor through the ShardScheduler at several l values.
+      if (fc.n > 0) {
+        data.a = draw_vector(rng, fc.n * fc.n, fc.mode);
+        data.b = draw_vector(rng, fc.n * fc.n, fc.mode);
+        data.desc = OpDesc::gemm(data.a, data.b, fc.n);
+      } else {
+        data.a = draw_vector(rng, fc.rows * fc.cols, fc.mode);
+        data.x = draw_vector(rng, fc.cols, fc.mode);
+        data.desc = OpDesc::gemv(data.a, fc.rows, fc.cols, data.x,
+                                 host::Placement::Sram, host::GemvArch::Tree);
+      }
       break;
     }
   }

@@ -24,8 +24,10 @@ namespace xd::testing {
 
 /// Everything the fuzzer can exercise: the eight OpDesc kinds, the two
 /// solver drivers (which run *through* the runtime but are checked with
-/// solver-level invariants), and fused op graphs (small DAGs over the
-/// fusable kinds, checked fused-vs-unfused).
+/// solver-level invariants), fused op graphs (small DAGs over the fusable
+/// kinds, checked fused-vs-unfused), and sharded multi-FPGA execution
+/// (a GEMM or tree GEMV re-run through host::ShardScheduler at l in
+/// {1, 2, 3, 6}, checked bit-identical to the single-device run).
 enum class FuzzKind {
   Dot,
   DotBatch,
@@ -38,6 +40,7 @@ enum class FuzzKind {
   JacobiBatch,
   Cg,
   Graph,
+  Sharded,
 };
 
 const char* fuzz_kind_name(FuzzKind kind);

@@ -10,6 +10,7 @@
 #include "fp/backend.hpp"
 #include "fp/softfloat.hpp"
 #include "host/context.hpp"
+#include "host/shard.hpp"
 #include "host/tuner.hpp"
 #include "solver/cg.hpp"
 #include "solver/jacobi.hpp"
@@ -449,6 +450,117 @@ std::optional<CheckFailure> check_op(const FuzzCase& fc, CaseData& data) {
   return std::nullopt;
 }
 
+/// FuzzKind::Sharded invariant: the case's GEMM/GEMV re-run through the
+/// ShardScheduler at l in {1, 2, 3, 6} (on a 3-chassis x 2-node system, so
+/// l = 3 and l = 6 cross chassis boundaries).
+///
+/// Value comparison against the single-device run is scoped by what the
+/// engine's association order guarantees (the same doctrine as the oracle,
+/// see ValueMode in case.hpp):
+///  - GEMM: bitwise in every mode. The hierarchical engine accumulates each
+///    C element over the full inner dimension in ascending order, so a row
+///    panel computes exactly the element it would in the whole problem.
+///  - GEMV at l = 1: bitwise in every mode — the sub-op IS the original op.
+///  - GEMV at l > 1: the Sec 3 reduction circuit pairs a row's partial
+///    chunk sums in an order that depends on which other rows share
+///    Buf_red and on fold-path adder contention, so splitting the row set
+///    reassociates. Bitwise only in Exact mode (integer sums are
+///    association-independent); Uniform compares against the naive oracle
+///    with the magnitude-scaled tolerance; Extreme skips value comparison.
+/// In every mode and at every l the sharded run itself must be
+/// reproducible: rerunning yields bit-identical values AND identical
+/// per-shard cycles/timelines. l = 1 must cost exactly the single-device
+/// run (no transfer legs), and for GEMM the channel-driven simulation must
+/// land on the analytic model cycle-for-cycle.
+std::optional<CheckFailure> check_sharded(const FuzzCase& fc, CaseData& data) {
+  Runtime rt(fc.config());
+  const Outcome base = rt.run(data.desc);
+
+  machine::SystemConfig sys;
+  sys.chassis_count = 3;
+  sys.chassis.nodes = 2;
+
+  const bool is_gemm = fc.n > 0;
+  const std::size_t rows = is_gemm ? fc.n : fc.rows;
+  const OracleVec want =
+      !is_gemm && fc.mode == ValueMode::Uniform
+          ? oracle_gemv(data.a, data.desc.rows, data.desc.cols, data.x)
+          : OracleVec{};
+  for (const unsigned l : {1u, 2u, 3u, 6u}) {
+    if (l > rows) continue;
+    host::ShardScheduler sched(rt, sys);
+    const host::ShardOutcome out = sched.run(data.desc, l);
+
+    if (out.values.size() != base.values.size()) {
+      return CheckFailure{"shard-identity",
+                          cat("l=", l, ": ", out.values.size(),
+                              " values != single-device ",
+                              base.values.size())};
+    }
+    if (is_gemm || l == 1 || fc.mode == ValueMode::Exact) {
+      for (std::size_t i = 0; i < base.values.size(); ++i) {
+        if (!bits_equal(out.values[i], base.values[i])) {
+          return CheckFailure{
+              "shard-identity",
+              cat("l=", l, " values[", i, "] ", out.values[i],
+                  " != ", base.values[i], " (bits 0x", std::hex,
+                  fp::to_bits(out.values[i]), " vs 0x",
+                  fp::to_bits(base.values[i]), ")")};
+        }
+      }
+    } else if (fc.mode == ValueMode::Uniform) {
+      for (std::size_t i = 0; i < want.values.size(); ++i) {
+        const double tol = oracle_tolerance(want.mag[i]);
+        const double diff = std::fabs(out.values[i] - want.values[i]);
+        if (!(diff <= tol)) {
+          return CheckFailure{"shard-identity",
+                              cat("l=", l, " values[", i, "]: sharded ",
+                                  out.values[i], " vs oracle ",
+                                  want.values[i], ", |diff| ", diff, " > tol ",
+                                  tol)};
+        }
+      }
+    }
+
+    if (l == 1 && out.report.cycles != base.report.cycles) {
+      return CheckFailure{"shard-l1",
+                          cat("l=1 took ", out.report.cycles,
+                              " cycles != single-device ",
+                              base.report.cycles)};
+    }
+    if (fc.n > 0 && out.report.cycles != out.plan.model_cycles) {
+      return CheckFailure{"shard-model",
+                          cat("l=", l, " simulated ", out.report.cycles,
+                              " cycles != modeled ", out.plan.model_cycles)};
+    }
+
+    // Rerun through a fresh scheduler: the reduced cycle count and every
+    // per-shard timeline entry must be independent of pool scheduling.
+    host::ShardScheduler again(rt, sys);
+    const host::ShardOutcome rep = again.run(data.desc, l);
+    if (rep.report.cycles != out.report.cycles) {
+      return CheckFailure{"shard-determinism",
+                          cat("l=", l, " rerun took ", rep.report.cycles,
+                              " cycles != ", out.report.cycles)};
+    }
+    for (std::size_t i = 0; i < base.values.size(); ++i) {
+      if (!bits_equal(rep.values[i], out.values[i])) {
+        return CheckFailure{"shard-determinism",
+                            cat("l=", l, " rerun values[", i, "] differ")};
+      }
+    }
+    for (unsigned s = 0; s < l; ++s) {
+      if (rep.plan.pieces[s].done != out.plan.pieces[s].done ||
+          rep.shards[s].report.cycles != out.shards[s].report.cycles) {
+        return CheckFailure{
+            "shard-determinism",
+            cat("l=", l, " shard ", s, " timeline differs across reruns")};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<CheckFailure> check_solver(const FuzzCase& fc) {
   CaseData data;
   materialize(fc, data);
@@ -787,8 +899,9 @@ FuzzCase generate_case(u64 seed, u64 index) {
   else if (kind_roll <= 72) fc.kind = FuzzKind::Gemm;
   else if (kind_roll <= 80) fc.kind = FuzzKind::GemmArray;
   else if (kind_roll <= 86) fc.kind = FuzzKind::GemmMulti;
-  else if (kind_roll <= 93) fc.kind = FuzzKind::JacobiBatch;
-  else if (kind_roll <= 96) fc.kind = FuzzKind::Graph;
+  else if (kind_roll <= 92) fc.kind = FuzzKind::JacobiBatch;
+  else if (kind_roll <= 95) fc.kind = FuzzKind::Graph;
+  else if (kind_roll <= 98) fc.kind = FuzzKind::Sharded;
   else fc.kind = FuzzKind::Cg;
 
   fc.mode = is_solver(fc.kind) ? ValueMode::Uniform : pick_mode(rng);
@@ -923,6 +1036,26 @@ FuzzCase generate_case(u64 seed, u64 index) {
       }
       break;
     }
+    case FuzzKind::Sharded: {
+      // Never sabotaged: the invariant is bit-identity of a well-formed op
+      // across shard counts, not error handling. n > 0 selects GEMM.
+      if (rng.uniform_int(0, 1)) {
+        const unsigned ms[] = {2, 4, 8};
+        const unsigned m = ms[rng.uniform_int(0, 2)];
+        const unsigned kchoices[] = {1, m / 2, m};
+        fc.mm_m = m;
+        fc.mm_k = std::max(1u, kchoices[rng.uniform_int(0, 2)]);
+        fc.n = static_cast<std::size_t>(m) *
+               static_cast<std::size_t>(rng.uniform_int(2, 6));
+        fc.mm_b = rng.uniform_int(0, 1) ? fc.n : m;
+      } else {
+        const unsigned ks[] = {0, 1, 2, 8};
+        fc.gemv_k = ks[rng.uniform_int(0, 3)];
+        fc.rows = static_cast<std::size_t>(rng.uniform_int(6, 192));
+        fc.cols = static_cast<std::size_t>(rng.uniform_int(1, 128));
+      }
+      break;
+    }
   }
   return fc;
 }
@@ -933,6 +1066,7 @@ std::optional<CheckFailure> check_case(const FuzzCase& fc) {
     CaseData data;
     materialize(fc, data);
     if (fc.kind == FuzzKind::Graph) return check_graph(fc, data);
+    if (fc.kind == FuzzKind::Sharded) return check_sharded(fc, data);
     if (fc.expect_error()) return check_error_paths(fc, data);
     return check_op(fc, data);
   } catch (const std::exception& e) {

@@ -211,3 +211,33 @@ TEST(StatusRegisters, HandshakeOverheadIsNegligibleVsGemv) {
                                    100000);
   EXPECT_LT(static_cast<double>(overhead), 0.01 * 262144.0);
 }
+
+TEST(System, TickAdvancesEveryLinkInLockstepAfterProducers) {
+  // The tick-ordering contract of machine/system.hpp: no channel has credit
+  // before the system's first tick, and after N ticks every link — intra-
+  // and inter-chassis — reports exactly N cycles.
+  machine::SystemConfig cfg;
+  cfg.chassis_count = 3;
+  cfg.chassis.nodes = 2;
+  cfg.chassis.node.dram_words = 1024;
+  cfg.chassis.node.sram_bank_words = 1024;
+  machine::System sys(cfg);
+
+  EXPECT_FALSE(sys.chassis(0).forward_link(0).can_transfer(1.0));
+  EXPECT_FALSE(sys.chassis_link(0).can_transfer(1.0));
+
+  for (int t = 0; t < 5; ++t) sys.tick();
+  for (unsigned c = 0; c < sys.chassis_count(); ++c) {
+    auto& ch = sys.chassis(c);
+    for (unsigned i = 0; i + 1 < ch.node_count(); ++i) {
+      EXPECT_EQ(ch.forward_link(i).cycles(), 5u);
+      EXPECT_EQ(ch.backward_link(i).cycles(), 5u);
+    }
+  }
+  for (unsigned c = 0; c + 1 < sys.chassis_count(); ++c)
+    EXPECT_EQ(sys.chassis_link(c).cycles(), 5u);
+
+  // Credit has accrued: a word can now cross any link in either layer.
+  EXPECT_TRUE(sys.chassis(1).forward_link(0).can_transfer(1.0));
+  EXPECT_TRUE(sys.chassis_link(1).can_transfer(1.0));
+}

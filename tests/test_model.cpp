@@ -69,7 +69,7 @@ TEST(Projections, Figure9Series) {
 TEST(Projections, Figure11BestCell) {
   machine::AreaModel area;
   const auto p =
-      model::project_chassis(area, machine::xc2vp50(), 1600, 200.0);
+      model::project_chassis(area, machine::xc2vp50(), 1600, 200.0, 6, 2048);
   EXPECT_EQ(p.pes_per_fpga, 15u);
   // "one chassis can achieve more than 27 GFLOPS".
   EXPECT_NEAR(p.gflops, 27.0, 0.01);
@@ -78,7 +78,7 @@ TEST(Projections, Figure11BestCell) {
 
 TEST(Projections, Figure11GridShape) {
   machine::AreaModel area;
-  const auto grid = model::figure11_grid(area, machine::xc2vp50());
+  const auto grid = model::figure11_grid(area, machine::xc2vp50(), 6, 2048);
   EXPECT_EQ(grid.size(), 25u);  // 5 areas x 5 clocks
   // GFLOPS increase with clock at fixed area and with smaller PEs at fixed
   // clock (monotone along the grid axes).
@@ -90,9 +90,9 @@ TEST(Projections, Figure11GridShape) {
 
 TEST(Projections, Figure12AboutDoubleOfVp50) {
   machine::AreaModel area;
-  const auto p50 = model::project_chassis(area, machine::xc2vp50(), 1600, 200.0);
+  const auto p50 = model::project_chassis(area, machine::xc2vp50(), 1600, 200.0, 6, 2048);
   const auto p100 =
-      model::project_chassis(area, machine::xc2vp100(), 1600, 200.0);
+      model::project_chassis(area, machine::xc2vp100(), 1600, 200.0, 6, 2048);
   EXPECT_EQ(p100.pes_per_fpga, 28u);
   // "a chassis in XD1 can achieve about 50 GFLOPS".
   EXPECT_NEAR(p100.gflops, 50.4, 0.1);
@@ -150,4 +150,33 @@ TEST(PerfModel, RelatedWorkDesignPoints) {
   const auto sc = model::gemm_sc05(1024, 8, 8);
   EXPECT_DOUBLE_EQ(sc.storage_words, 128.0);
   EXPECT_DOUBLE_EQ(sc.words_per_cycle, 3.0);
+}
+
+TEST(Projections, SystemProjectionTracksTheMachineConfig) {
+  // The projection reads FPGA count and inter-chassis bandwidth from the
+  // same SystemConfig the executable machine is built from, so the two can
+  // never disagree — including at non-default node counts.
+  machine::SystemConfig cfg;
+  cfg.chassis_count = 3;
+  cfg.chassis.nodes = 4;
+  cfg.chassis.node.dram_words = 1024;  // keep the machine allocation small
+  cfg.chassis.node.sram_bank_words = 1024;
+  machine::System sys(cfg);
+  const auto s = model::project_system(cfg, 8, 2048, 130.0, 2.06);
+  EXPECT_EQ(s.total_fpgas, sys.total_fpgas());
+  EXPECT_EQ(s.total_fpgas, 12u);
+  EXPECT_EQ(s.chassis, 3u);
+}
+
+TEST(Projections, RejectsDegenerateChassisParameters) {
+  // fpgas == 0 or b == 0 would divide the bandwidth formulas by zero; both
+  // must surface as ConfigError, from the single projection and the grid.
+  machine::AreaModel area;
+  const auto dev = machine::xc2vp50();
+  EXPECT_THROW(model::project_chassis(area, dev, 1600, 200.0, 0, 2048),
+               ConfigError);
+  EXPECT_THROW(model::project_chassis(area, dev, 1600, 200.0, 6, 0),
+               ConfigError);
+  EXPECT_THROW(model::figure11_grid(area, dev, 0, 2048), ConfigError);
+  EXPECT_THROW(model::figure11_grid(area, dev, 6, 0), ConfigError);
 }
